@@ -1,0 +1,156 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	wavelettrie "repro"
+	"repro/internal/appendbv"
+	"repro/internal/dynbv"
+	"repro/internal/entropy"
+	"repro/internal/hashwt"
+	"repro/internal/workload"
+)
+
+func runT4(quick bool) {
+	fmt.Println("Theorem 4.5 — append-only bitvector: O(1) Append/Rank/Select; nH0(β)+o(n) bits.")
+	t := newTable("n", "p(1)", "append ns", "rank ns", "select ns", "bits/bit", "H(p)")
+	sizes := pick(quick, []int{1 << 16, 1 << 18}, []int{1 << 18, 1 << 20, 1 << 22, 1 << 24})
+	for _, n := range sizes {
+		for _, p := range []float64{0.5, 0.1, 0.01} {
+			r := rand.New(rand.NewSource(4))
+			v := appendbv.New()
+			app := measure(n, func(int) {
+				b := byte(0)
+				if r.Float64() < p {
+					b = 1
+				}
+				v.Append(b)
+			})
+			pos := make([]int, 1024)
+			for i := range pos {
+				pos[i] = r.Intn(n)
+			}
+			rk := measure(200000, func(i int) { v.Rank1(pos[i&1023]) })
+			var se float64
+			if v.Ones() > 0 {
+				se = measure(200000, func(i int) { v.Select1(i % v.Ones()) })
+			}
+			t.row(n, p, app, rk, se,
+				fmt.Sprintf("%.3f", float64(v.SizeBits())/float64(n)),
+				fmt.Sprintf("%.3f", entropy.H(p)))
+		}
+	}
+	t.flush()
+}
+
+func runT5(quick bool) {
+	fmt.Println("Theorem 4.9 — dynamic RLE+γ bitvector: ops O(log n); Init O(log n) regardless")
+	fmt.Println("of run length; space tracks the γ-encoded run structure, O(nH0)+O(log n).")
+	t := newTable("n", "insert ns", "ins/log2n", "rank ns", "delete ns", "enc bits/bit")
+	sizes := pick(quick, []int{1 << 12, 1 << 14}, []int{1 << 14, 1 << 16, 1 << 18, 1 << 20})
+	for _, n := range sizes {
+		r := rand.New(rand.NewSource(5))
+		v := dynbv.New()
+		ins := measure(n, func(int) { v.Insert(r.Intn(v.Len()+1), byte(r.Intn(2))) })
+		pos := make([]int, 1024)
+		for i := range pos {
+			pos[i] = r.Intn(n)
+		}
+		rk := measure(100000, func(i int) { v.Rank1(pos[i&1023]) })
+		iters := n / 4
+		del := measure(iters, func(int) { v.Delete(r.Intn(v.Len())) })
+		lg := log2(float64(n))
+		t.row(n, ins, ins/lg, rk, del,
+			fmt.Sprintf("%.3f", float64(v.EncodedSizeBits())/float64(v.Len())))
+	}
+	t.flush()
+
+	fmt.Println("\nInit(b, n): cost must not depend on n (Remark 4.2).")
+	t2 := newTable("init length", "init+1st-insert ns", "runs", "enc bits")
+	for _, n := range []int{1 << 10, 1 << 20, 1 << 30} {
+		ns := measure(2000, func(i int) {
+			v := dynbv.NewInit(1, n)
+			v.Insert(n/2, 0)
+		})
+		v := dynbv.NewInit(1, n)
+		t2.row(n, ns, v.RunCount(), v.EncodedSizeBits())
+	}
+	t2.flush()
+}
+
+func runT6(quick bool) {
+	fmt.Println("Theorem 6.2 — randomized wavelet tree over u=2^64: height ≤ (α+2)log|Σ| w.h.p.")
+	trials := pick(quick, []int{10}, []int{50})[0]
+	t := newTable("|Σ|", "bound 3log|Σ|", "max height", "mean height", "violations", "log u")
+	for _, sigma := range pick(quick, []int{256, 1024}, []int{256, 1024, 4096, 16384}) {
+		bound := int(3 * log2(float64(sigma)))
+		maxH, sumH, viol := 0, 0, 0
+		for seed := 0; seed < trials; seed++ {
+			tr := hashwt.New(64, int64(seed))
+			base := uint64(1 << 40)
+			for i := 0; i < sigma; i++ {
+				tr.Append(base + uint64(i)) // clustered values: unhashed worst case
+			}
+			h := tr.Height()
+			sumH += h
+			if h > maxH {
+				maxH = h
+			}
+			if h > bound {
+				viol++
+			}
+		}
+		t.row(sigma, bound, maxH, float64(sumH)/float64(trials),
+			fmt.Sprintf("%d/%d", viol, trials), 64)
+	}
+	t.flush()
+}
+
+func runQ5(quick bool) {
+	fmt.Println("§5 — sequential access via iterators amortizes one Rank per node across the")
+	fmt.Println("whole range; repeated Access pays O(hs) Ranks per element.")
+	n := pick(quick, []int{1 << 14}, []int{1 << 18})[0]
+	seq := workload.URLLog(n, 1, workload.DefaultURLConfig())
+	t := newTable("variant", "range", "enumerate ns/elem", "access ns/elem", "speedup")
+	for _, v := range []struct {
+		name string
+		w    interface {
+			Len() int
+			Access(int) string
+			Enumerate(int, int, func(int, string) bool)
+		}
+	}{
+		{"static", wavelettrie.NewStatic(seq)},
+		{"appendonly", wavelettrie.NewAppendOnlyFrom(seq)},
+		{"dynamic", wavelettrie.NewDynamicFrom(seq)},
+	} {
+		for _, width := range []int{1 << 10, n / 2} {
+			l := n/2 - width/2
+			r := l + width
+			enum := measure(1, func(int) {
+				v.w.Enumerate(l, r, func(int, string) bool { return true })
+			}) / float64(width)
+			acc := measure(width, func(i int) { v.w.Access(l + i) })
+			t.row(v.name, fmt.Sprintf("[%d,%d)", l, r), enum, acc,
+				fmt.Sprintf("%.1fx", acc/enum))
+		}
+	}
+	t.flush()
+
+	fmt.Println("\nDistinct-in-range and majority (costs depend on output, not range width):")
+	w := wavelettrie.NewStatic(seq)
+	t2 := newTable("range width", "distinct found", "distinct ns", "majority ns")
+	for _, width := range []int{1 << 8, 1 << 12, n / 2} {
+		l := n/2 - width/2
+		d := w.DistinctInRange(l, l+width)
+		dns := measure(pick(quick, []int{20}, []int{100})[0], func(int) {
+			w.DistinctInRange(l, l+width)
+		})
+		mns := measure(pick(quick, []int{200}, []int{2000})[0], func(int) {
+			w.RangeMajority(l, l+width)
+		})
+		t2.row(width, len(d), dns, mns)
+	}
+	t2.flush()
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"text/tabwriter"
+	"time"
+)
+
+// measure times fn over iters calls and returns nanoseconds per call.
+func measure(iters int, fn func(i int)) float64 {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn(i)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+// table is a minimal aligned-column printer.
+type table struct {
+	w *tabwriter.Writer
+}
+
+func newTable(headers ...string) *table {
+	t := &table{w: tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)}
+	t.row(toAny(headers)...)
+	sep := make([]any, len(headers))
+	for i, h := range headers {
+		sep[i] = dashes(len(h))
+	}
+	t.row(sep...)
+	return t
+}
+
+func toAny(ss []string) []any {
+	out := make([]any, len(ss))
+	for i, s := range ss {
+		out[i] = s
+	}
+	return out
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}
+
+func (t *table) row(cells ...any) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.w, "\t")
+		}
+		switch v := c.(type) {
+		case float64:
+			fmt.Fprintf(t.w, "%.1f", v)
+		default:
+			fmt.Fprintf(t.w, "%v", v)
+		}
+	}
+	fmt.Fprintln(t.w)
+}
+
+func (t *table) flush() { t.w.Flush() }
+
+// log2 is a shorthand.
+func log2(x float64) float64 { return math.Log2(x) }
+
+// kbits formats a bit count as bits/element given n.
+func perElem(bits, n int) float64 { return float64(bits) / float64(n) }
+
+// pick returns a when quick, else b.
+func pick(quick bool, a, b []int) []int {
+	if quick {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,245 @@
+// Command wtquery loads a line-oriented log (one string per line) into a
+// Wavelet Trie and answers queries interactively — a REPL over the full
+// indexed-sequence operation set of the paper.
+//
+// Usage:
+//
+//	wtquery -file access.log          # index a file (append-only trie)
+//	wtquery -gen 100000               # or a generated URL log
+//	wtquery -dynamic -gen 10000       # fully-dynamic variant (ins/del)
+//
+// Commands (positions 0-based, ranges half-open):
+//
+//	access POS
+//	rank STR POS          | count STR
+//	select STR IDX
+//	rankprefix PREF POS   | countprefix PREF
+//	selectprefix PREF IDX
+//	distinct L R          | majority L R | topk L R K | threshold L R T
+//	slice L R
+//	append STR            | insert POS STR | delete POS   (dynamic/append)
+//	stats                 | help | quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	wavelettrie "repro"
+	"repro/internal/workload"
+)
+
+// store unifies the two mutable variants for the REPL.
+type store interface {
+	Len() int
+	AlphabetSize() int
+	Height() int
+	AvgHeight() float64
+	Access(int) string
+	Rank(string, int) int
+	Count(string) int
+	Select(string, int) (int, bool)
+	RankPrefix(string, int) int
+	CountPrefix(string) int
+	SelectPrefix(string, int) (int, bool)
+	DistinctInRange(int, int) []wavelettrie.Distinct
+	RangeMajority(int, int) (string, bool)
+	RangeThreshold(int, int, int) []wavelettrie.Distinct
+	TopK(int, int, int) []wavelettrie.Distinct
+	Slice(int, int) []string
+	Append(string)
+	SizeBits() int
+}
+
+// dynStore adds the dynamic-only operations.
+type dynStore interface {
+	store
+	Insert(string, int)
+	Delete(int) string
+}
+
+func main() {
+	file := flag.String("file", "", "log file to index (one string per line)")
+	gen := flag.Int("gen", 0, "generate a URL log of this length instead")
+	seed := flag.Int64("seed", 1, "generator seed")
+	dynamic := flag.Bool("dynamic", false, "use the fully-dynamic variant")
+	flag.Parse()
+
+	var lines []string
+	switch {
+	case *file != "":
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wtquery:", err)
+			os.Exit(1)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "wtquery:", err)
+			os.Exit(1)
+		}
+	case *gen > 0:
+		lines = workload.URLLog(*gen, *seed, workload.DefaultURLConfig())
+	default:
+		fmt.Fprintln(os.Stderr, "wtquery: need -file or -gen; see -h")
+		os.Exit(2)
+	}
+
+	var st store
+	if *dynamic {
+		st = wavelettrie.NewDynamicFrom(lines)
+	} else {
+		st = wavelettrie.NewAppendOnlyFrom(lines)
+	}
+	fmt.Printf("indexed %d elements, %d distinct, %.1f bits/elem; type 'help'\n",
+		st.Len(), st.AlphabetSize(), float64(st.SizeBits())/float64(max(1, st.Len())))
+
+	repl(st)
+}
+
+func repl(st store) {
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("wt> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		args := strings.Fields(line)
+		if done := execute(st, args); done {
+			return
+		}
+	}
+}
+
+// execute runs one command; it returns true on quit.
+func execute(st store, args []string) bool {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Println("error:", r)
+		}
+	}()
+	atoi := func(s string) int {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			panic(fmt.Sprintf("not a number: %q", s))
+		}
+		return v
+	}
+	need := func(k int) {
+		if len(args) < k+1 {
+			panic(fmt.Sprintf("%s needs %d argument(s)", args[0], k))
+		}
+	}
+	switch args[0] {
+	case "quit", "exit", "q":
+		return true
+	case "help":
+		fmt.Println("access POS | rank STR POS | count STR | select STR IDX")
+		fmt.Println("rankprefix PREF POS | countprefix PREF | selectprefix PREF IDX")
+		fmt.Println("distinct L R | majority L R | topk L R K | threshold L R T | slice L R")
+		fmt.Println("append STR | insert POS STR | delete POS | stats | quit")
+	case "access":
+		need(1)
+		fmt.Println(st.Access(atoi(args[1])))
+	case "rank":
+		need(2)
+		fmt.Println(st.Rank(args[1], atoi(args[2])))
+	case "count":
+		need(1)
+		fmt.Println(st.Count(args[1]))
+	case "select":
+		need(2)
+		if pos, ok := st.Select(args[1], atoi(args[2])); ok {
+			fmt.Println(pos)
+		} else {
+			fmt.Println("no such occurrence")
+		}
+	case "rankprefix":
+		need(2)
+		fmt.Println(st.RankPrefix(args[1], atoi(args[2])))
+	case "countprefix":
+		need(1)
+		fmt.Println(st.CountPrefix(args[1]))
+	case "selectprefix":
+		need(2)
+		if pos, ok := st.SelectPrefix(args[1], atoi(args[2])); ok {
+			fmt.Println(pos)
+		} else {
+			fmt.Println("no such occurrence")
+		}
+	case "distinct":
+		need(2)
+		for _, d := range st.DistinctInRange(atoi(args[1]), atoi(args[2])) {
+			fmt.Printf("%8d  %s\n", d.Count, d.Value)
+		}
+	case "majority":
+		need(2)
+		if m, ok := st.RangeMajority(atoi(args[1]), atoi(args[2])); ok {
+			fmt.Println(m)
+		} else {
+			fmt.Println("no majority")
+		}
+	case "topk":
+		need(3)
+		for _, d := range st.TopK(atoi(args[1]), atoi(args[2]), atoi(args[3])) {
+			fmt.Printf("%8d  %s\n", d.Count, d.Value)
+		}
+	case "threshold":
+		need(3)
+		for _, d := range st.RangeThreshold(atoi(args[1]), atoi(args[2]), atoi(args[3])) {
+			fmt.Printf("%8d  %s\n", d.Count, d.Value)
+		}
+	case "slice":
+		need(2)
+		for i, s := range st.Slice(atoi(args[1]), atoi(args[2])) {
+			fmt.Printf("%8d  %s\n", atoi(args[1])+i, s)
+		}
+	case "append":
+		need(1)
+		st.Append(strings.Join(args[1:], " "))
+		fmt.Println("ok, n =", st.Len())
+	case "insert":
+		need(2)
+		d, ok := st.(dynStore)
+		if !ok {
+			panic("insert requires -dynamic")
+		}
+		d.Insert(strings.Join(args[2:], " "), atoi(args[1]))
+		fmt.Println("ok, n =", st.Len())
+	case "delete":
+		need(1)
+		d, ok := st.(dynStore)
+		if !ok {
+			panic("delete requires -dynamic")
+		}
+		fmt.Printf("deleted %q, n = %d\n", d.Delete(atoi(args[1])), st.Len())
+	case "stats":
+		fmt.Printf("n=%d  |Sset|=%d  height=%d  h~=%.2f  %.1f bits/elem (%d total)\n",
+			st.Len(), st.AlphabetSize(), st.Height(), st.AvgHeight(),
+			float64(st.SizeBits())/float64(max(1, st.Len())), st.SizeBits())
+	default:
+		fmt.Printf("unknown command %q; try 'help'\n", args[0])
+	}
+	return false
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,59 @@
+// Package wavelettrie is a Go implementation of the Wavelet Trie of
+// Roberto Grossi and Giuseppe Ottaviano, "The Wavelet Trie: Maintaining
+// an Indexed Sequence of Strings in Compressed Space" (PODS 2012,
+// arXiv:1204.3581) — a compressed indexed sequence of strings.
+//
+// # The problem
+//
+// An indexed sequence of strings stores a sequence S = ⟨s₀,…,s_{n-1}⟩
+// (strings repeat; order matters) and supports, beyond positional access:
+//
+//	Access(pos)            the string at position pos
+//	Rank(s, pos)           occurrences of s before position pos
+//	Select(s, idx)         position of the idx-th occurrence of s
+//	RankPrefix(p, pos)     elements before pos having prefix p
+//	SelectPrefix(p, idx)   position of the idx-th element with prefix p
+//
+// plus range analytics (distinct values, range majority, top-k, threshold
+// counting) and, in the dynamic variants, Insert/Append/Delete — all in
+// compressed space close to the information-theoretic lower bound
+// LB(S) = LT(Sset) + nH₀(S).
+//
+// # The three variants
+//
+//   - Static: immutable, queries in O(|s|+h_s), space LB + o(h̃n).
+//   - AppendOnly: additionally Append in O(|s|+h_s) — index a log on the
+//     fly; space LB + PT + o(h̃n).
+//   - Dynamic: arbitrary Insert and Delete in O(|s|+h_s·log n), with a
+//     fully dynamic alphabet (unseen strings simply work); space
+//     LB + PT + O(nH₀).
+//
+// Here h_s is the number of Patricia-trie nodes on s's path (h_s ≤ |s|
+// bits, typically far smaller thanks to path compression), h̃ the average
+// over the sequence, and PT the Patricia trie pointer overhead.
+//
+// Numeric sequences over a bounded universe are served by Numeric, the §6
+// randomized Wavelet Tree, whose height depends only on the working
+// alphabet (w.h.p.), not the universe.
+//
+// # Example
+//
+//	wt := wavelettrie.NewAppendOnly()
+//	for _, url := range accessLog {
+//		wt.Append(url)
+//	}
+//	hits := wt.RankPrefix("host01.example/", wt.Len()) // prefix count
+//	pos, ok := wt.SelectPrefix("host01.example/", 41)  // 42nd such access
+//
+// Positions and indexes are 0-based throughout; Rank counts over the
+// half-open window [0, pos); all range operations use half-open [l, r).
+// Out-of-range positions panic, mirroring slice indexing; absence is
+// reported through ok-style returns, never panics.
+//
+// The implementation is stdlib-only. Internal packages implement every
+// substrate from scratch: RRR bitvectors, the §4.1 append-only bitvector,
+// the §4.2 dynamic RLE+γ bitvector, dynamic Patricia tries, Elias-Fano
+// partial sums, Elias γ/δ codes, and DFUDS succinct trees. See DESIGN.md
+// for the inventory and EXPERIMENTS.md for the reproduction of every
+// bound in the paper's Table 1.
+package wavelettrie

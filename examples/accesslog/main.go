@@ -1,0 +1,91 @@
+// Accesslog replays the paper's motivating scenario (§1): a URL access
+// log is indexed on the fly with the append-only Wavelet Trie, then
+// interrogated with time-windowed prefix analytics — "what has been the
+// most accessed domain during winter vacation?".
+//
+// Usage: accesslog [-n 200000] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	wavelettrie "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 200000, "log length")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	fmt.Printf("Generating %d log lines (Zipf hosts, hierarchical paths)...\n", *n)
+	log := workload.URLLog(*n, *seed, workload.DefaultURLConfig())
+
+	// Index the stream as it "arrives".
+	wt := wavelettrie.NewAppendOnly()
+	start := time.Now()
+	for _, line := range log {
+		wt.Append(line)
+	}
+	el := time.Since(start)
+	fmt.Printf("Indexed in %v (%.0f appends/s), %d distinct URLs, h̃ = %.1f\n",
+		el.Round(time.Millisecond), float64(*n)/el.Seconds(), wt.AlphabetSize(), wt.AvgHeight())
+	fmt.Printf("Space: %.1f bits/line (raw input avg %.1f bytes/line)\n\n",
+		float64(wt.SizeBits())/float64(*n), avgLen(log))
+
+	// "Winter vacation" = the middle 20% of the time axis.
+	lo, hi := *n*2/5, *n*3/5
+	fmt.Printf("Window [%d, %d):\n", lo, hi)
+
+	// Most accessed host in the window: top-k via the trie.
+	fmt.Println("  top 3 URLs:")
+	for _, d := range wt.TopK(lo, hi, 3) {
+		fmt.Printf("    %-28s ×%d\n", d.Value, d.Count)
+	}
+
+	// Per-domain traffic via RankPrefix — no scan of the window.
+	for _, host := range []string{"host00.example", "host01.example", "host02.example"} {
+		inWindow := wt.RankPrefix(host, hi) - wt.RankPrefix(host, lo)
+		total := wt.CountPrefix(host)
+		fmt.Printf("  %s: %d hits in window (of %d total)\n", host, inWindow, total)
+	}
+
+	// Majority check: is any single URL more than half the window?
+	if m, ok := wt.RangeMajority(lo, hi); ok {
+		fmt.Printf("  majority URL: %s\n", m)
+	} else {
+		fmt.Println("  no single URL is a strict majority of the window")
+	}
+
+	// Locate the 100th access to the hottest host, then replay its
+	// neighbourhood with the sequential iterator.
+	if pos, ok := wt.SelectPrefix("host00.example", 99); ok {
+		fmt.Printf("\n100th access to host00.example was at position %d; context:\n", pos)
+		from := pos - 2
+		if from < 0 {
+			from = 0
+		}
+		to := pos + 3
+		if to > wt.Len() {
+			to = wt.Len()
+		}
+		wt.Enumerate(from, to, func(p int, s string) bool {
+			marker := "  "
+			if p == pos {
+				marker = "->"
+			}
+			fmt.Printf("  %s %7d %s\n", marker, p, s)
+			return true
+		})
+	}
+}
+
+func avgLen(ss []string) float64 {
+	t := 0
+	for _, s := range ss {
+		t += len(s)
+	}
+	return float64(t) / float64(len(ss))
+}

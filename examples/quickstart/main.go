@@ -1,0 +1,61 @@
+// Quickstart: the one-screen tour of the Wavelet Trie public API —
+// building a sequence, positional and occurrence queries, prefix queries,
+// and the live space accounting.
+package main
+
+import (
+	"fmt"
+
+	wavelettrie "repro"
+)
+
+func main() {
+	// A tiny "access log": order is time order, values repeat.
+	log := []string{
+		"site.example/home",
+		"site.example/cart",
+		"site.example/home",
+		"api.example/v1/users",
+		"site.example/home",
+		"api.example/v1/items",
+		"api.example/v1/users",
+	}
+
+	wt := wavelettrie.NewAppendOnly()
+	for _, url := range log {
+		wt.Append(url) // O(|s| + h_s) per append — index the log on the fly
+	}
+
+	fmt.Printf("n = %d elements, |Sset| = %d distinct\n", wt.Len(), wt.AlphabetSize())
+
+	// Access: what was the 4th request?
+	fmt.Printf("Access(3)        = %s\n", wt.Access(3))
+
+	// Rank: how many times had /home been hit before position 5?
+	fmt.Printf("Rank(home, 5)    = %d\n", wt.Rank("site.example/home", 5))
+
+	// Select: when was the 3rd /home hit? (0-based idx 2)
+	if pos, ok := wt.Select("site.example/home", 2); ok {
+		fmt.Printf("Select(home, 2)  = position %d\n", pos)
+	}
+
+	// Prefix queries — the operations plain wavelet trees cannot do with
+	// a dynamic alphabet: count and locate by URL prefix.
+	fmt.Printf("CountPrefix(api.example/)    = %d\n", wt.CountPrefix("api.example/"))
+	if pos, ok := wt.SelectPrefix("api.example/", 1); ok {
+		fmt.Printf("SelectPrefix(api.example/,1) = position %d (%s)\n", pos, wt.Access(pos))
+	}
+
+	// Range analytics (§5 of the paper).
+	fmt.Println("Distinct values in window [1,6):")
+	for _, d := range wt.DistinctInRange(1, 6) {
+		fmt.Printf("  %-22s ×%d\n", d.Value, d.Count)
+	}
+	if m, ok := wt.RangeMajority(0, 5); ok {
+		fmt.Printf("Majority of first 5 requests: %s\n", m)
+	}
+
+	// Space accounting: the structure is compressed.
+	fmt.Printf("Footprint: %d bits (%.1f bits/element), h̃ = %.2f\n",
+		wt.SizeBits(), float64(wt.SizeBits())/float64(wt.Len()), wt.AvgHeight())
+}

@@ -1,0 +1,76 @@
+package wavelettrie
+
+import (
+	"repro/internal/bitstr"
+	"repro/internal/succinct"
+)
+
+// Frozen is a static Wavelet Trie in the paper's §3 fully-succinct
+// encoding: a DFUDS tree, delimited concatenated labels and one
+// concatenated RRR bitvector — no pointers at all. It supports the five
+// primitive operations at the same O(|s|+h_s) cost as Static, can be
+// serialized byte-for-byte (MarshalBinary) and reloaded (LoadFrozen), and
+// is the smallest representation in the repository.
+type Frozen struct {
+	t *succinct.Trie
+}
+
+// Frozen returns the succinct encoding of this static trie (built on
+// first use and cached).
+func (s *Static) Frozen() *Frozen { return &Frozen{t: s.freeze()} }
+
+// LoadFrozen reconstructs a Frozen from MarshalBinary output.
+func LoadFrozen(data []byte) (*Frozen, error) {
+	t, err := succinct.UnmarshalBinary(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Frozen{t: t}, nil
+}
+
+// MarshalBinary serializes the succinct encoding.
+func (f *Frozen) MarshalBinary() ([]byte, error) { return f.t.MarshalBinary() }
+
+// Len returns the number of elements.
+func (f *Frozen) Len() int { return f.t.Len() }
+
+// AlphabetSize returns the number of distinct strings.
+func (f *Frozen) AlphabetSize() int { return f.t.AlphabetSize() }
+
+// SizeBits returns the size of the succinct encoding in bits.
+func (f *Frozen) SizeBits() int { return f.t.SizeBits() }
+
+// Access returns the string at position pos.
+func (f *Frozen) Access(pos int) string {
+	s, err := bitstr.DecodeString(f.t.AccessBits(pos))
+	if err != nil {
+		panic("wavelettrie: internal corruption: " + err.Error())
+	}
+	return s
+}
+
+// Rank counts occurrences of s in positions [0, pos).
+func (f *Frozen) Rank(s string, pos int) int {
+	return f.t.RankBits(bitstr.EncodeString(s), pos)
+}
+
+// Select returns the position of the idx-th (0-based) occurrence of s.
+func (f *Frozen) Select(s string, idx int) (int, bool) {
+	return f.t.SelectBits(bitstr.EncodeString(s), idx)
+}
+
+// RankPrefix counts elements in [0, pos) having byte prefix p.
+func (f *Frozen) RankPrefix(p string, pos int) int {
+	return f.t.RankPrefixBits(bitstr.EncodePrefixString(p), pos)
+}
+
+// SelectPrefix returns the position of the idx-th element with prefix p.
+func (f *Frozen) SelectPrefix(p string, idx int) (int, bool) {
+	return f.t.SelectPrefixBits(bitstr.EncodePrefixString(p), idx)
+}
+
+// Count returns the total occurrences of s.
+func (f *Frozen) Count(s string) int { return f.Rank(s, f.Len()) }
+
+// CountPrefix returns the total elements with byte prefix p.
+func (f *Frozen) CountPrefix(p string) int { return f.RankPrefix(p, f.Len()) }

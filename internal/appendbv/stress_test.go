@@ -1,0 +1,81 @@
+package appendbv
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestManySealsIterAndSelect drives the vector through many segment
+// seals and checks the cross-segment paths of Select and Iter, which the
+// smaller tests only brush.
+func TestManySealsIterAndSelect(t *testing.T) {
+	r := rand.New(rand.NewSource(200))
+	v := New()
+	n := 5*SegmentBits + SegmentBits/3
+	bits := make([]byte, 0, n)
+	for i := 0; i < n; i++ {
+		b := byte(0)
+		// Vary density per segment to vary per-segment ones.
+		seg := i / SegmentBits
+		if r.Intn(10) < 2+seg {
+			b = 1
+		}
+		v.Append(b)
+		bits = append(bits, b)
+	}
+	// Cross-check Select1 against a linear index of ones.
+	var onesAt []int
+	for i, b := range bits {
+		if b == 1 {
+			onesAt = append(onesAt, i)
+		}
+	}
+	if v.Ones() != len(onesAt) {
+		t.Fatalf("Ones=%d want %d", v.Ones(), len(onesAt))
+	}
+	for idx := 0; idx < len(onesAt); idx += 137 {
+		if got := v.Select1(idx); got != onesAt[idx] {
+			t.Fatalf("Select1(%d)=%d want %d", idx, got, onesAt[idx])
+		}
+	}
+	// Full iteration across all seals.
+	it := v.Iter(0)
+	for i := 0; i < n; i++ {
+		if it.Next() != bits[i] {
+			t.Fatalf("iter bit %d", i)
+		}
+	}
+	// Rank exactly at each seal boundary.
+	for seg := 0; seg <= 5; seg++ {
+		pos := seg * SegmentBits
+		want := 0
+		for _, b := range bits[:pos] {
+			want += int(b)
+		}
+		if v.Rank1(pos) != want {
+			t.Fatalf("Rank1 at seal %d", seg)
+		}
+	}
+}
+
+// TestInitPlusSealsSpace: a long Init run plus several sealed segments
+// keeps the O(log n) init accounting and compresses the appended part.
+func TestInitPlusSealsSpace(t *testing.T) {
+	v := NewInit(0, 1<<28)
+	for i := 0; i < 2*SegmentBits; i++ {
+		v.Append(0) // all zeros: maximally compressible
+	}
+	if v.Len() != 1<<28+2*SegmentBits {
+		t.Fatal("Len")
+	}
+	// Total size must be tiny: init descriptor + 2 compressed segments.
+	if v.SizeBits() > 8*SegmentBits {
+		t.Fatalf("SizeBits=%d for an all-zeros vector", v.SizeBits())
+	}
+	if v.Rank0(1<<28+100) != 1<<28+100 {
+		t.Fatal("rank over init boundary")
+	}
+	if v.Select0(1<<28+5) != 1<<28+5 {
+		t.Fatal("select over init boundary")
+	}
+}

@@ -1,0 +1,94 @@
+package bitstr
+
+import "fmt"
+
+// Binarization of byte strings (paper §2, §3).
+//
+// Definition 3.1 requires the underlying string set Sset to be prefix-free.
+// The paper obtains this by "appending a terminator symbol to each string".
+// We encode each byte b as the 9 bits  1·b7·b6·…·b0  (a 1 flag followed by
+// the byte MSB-first) and terminate the whole string with a single 0 bit:
+//
+//	Encode("ab") = 1 01100001 1 01100010 0
+//
+// Properties relied on throughout the repository:
+//
+//  1. Prefix-freeness: every encoding ends with the only 0 flag bit, so no
+//     encoding is a proper prefix of another.
+//  2. Prefix transparency: p is a byte-prefix of s  ⇔  EncodePrefix(p) is a
+//     bit-prefix of Encode(s). RankPrefix/SelectPrefix on user strings
+//     therefore reduce directly to bit-prefix operations on the trie.
+//  3. Order preservation: Encode preserves lexicographic byte order (the
+//     flag bits compare equal; bytes are emitted MSB-first; at the first
+//     byte difference the MSB-first bits decide the order the same way the
+//     bytes do, and a shorter string's 0 terminator sorts before any
+//     continuation's 1 flag).
+
+// Encode binarizes a byte string into the prefix-free bit-string alphabet.
+// Every distinct byte string maps to a distinct bit string and the set of
+// all encodings is prefix-free.
+func Encode(s []byte) BitString {
+	b := NewBuilder(9*len(s) + 1)
+	appendEncoded(b, s)
+	b.AppendBit(0)
+	return b.BitString()
+}
+
+// EncodeString is Encode for Go strings.
+func EncodeString(s string) BitString { return Encode([]byte(s)) }
+
+// EncodePrefix binarizes a byte string *without* the terminator, producing
+// the bit string that is a prefix of Encode(s) for every s having p as a
+// byte prefix. Use it to form RankPrefix/SelectPrefix arguments.
+func EncodePrefix(p []byte) BitString {
+	b := NewBuilder(9 * len(p))
+	appendEncoded(b, p)
+	return b.BitString()
+}
+
+// EncodePrefixString is EncodePrefix for Go strings.
+func EncodePrefixString(p string) BitString { return EncodePrefix([]byte(p)) }
+
+func appendEncoded(b *Builder, s []byte) {
+	for _, c := range s {
+		b.AppendBit(1)
+		for k := 7; k >= 0; k-- {
+			b.AppendBit(byte(c>>uint(k)) & 1)
+		}
+	}
+}
+
+// Decode inverts Encode. It returns an error if bs is not a complete,
+// well-formed encoding (wrong length, missing terminator, or trailing bits).
+func Decode(bs BitString) ([]byte, error) {
+	out := make([]byte, 0, bs.Len()/9)
+	i := 0
+	for {
+		if i >= bs.Len() {
+			return nil, fmt.Errorf("bitstr: Decode: missing terminator at bit %d", i)
+		}
+		flag := bs.Bit(i)
+		i++
+		if flag == 0 {
+			if i != bs.Len() {
+				return nil, fmt.Errorf("bitstr: Decode: %d trailing bits after terminator", bs.Len()-i)
+			}
+			return out, nil
+		}
+		if i+8 > bs.Len() {
+			return nil, fmt.Errorf("bitstr: Decode: truncated byte at bit %d", i)
+		}
+		var c byte
+		for k := 0; k < 8; k++ {
+			c = c<<1 | bs.Bit(i+k)
+		}
+		out = append(out, c)
+		i += 8
+	}
+}
+
+// DecodeString is Decode returning a Go string.
+func DecodeString(bs BitString) (string, error) {
+	b, err := Decode(bs)
+	return string(b), err
+}

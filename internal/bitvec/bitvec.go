@@ -1,0 +1,277 @@
+// Package bitvec implements a plain (uncompressed) static bitvector with
+// constant-time Rank and logarithmic-time Select — a Fully Indexed
+// Dictionary in the terminology of the paper (§2), without compression.
+//
+// It serves three roles in the repository:
+//
+//   - the raw bit storage that RRR blocks are carved from,
+//   - the mutable tail buffer of the append-only bitvector (§4.1), and
+//   - the simple, obviously-correct oracle that the compressed bitvectors
+//     are differentially tested against.
+//
+// Rank uses one level of 512-bit superblock counters plus word popcounts;
+// Select binary-searches the superblock counters and finishes with an
+// in-word bit search. Space overhead is 64/512 = 12.5% over the raw bits.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// wordsPerSuper is the number of 64-bit words per rank superblock.
+const wordsPerSuper = 8
+
+// superBits is the superblock size in bits.
+const superBits = wordsPerSuper * 64
+
+// Vector is an immutable bitvector with Rank/Select support. Construct one
+// with a Builder or FromWords. The zero value is an empty vector.
+type Vector struct {
+	words []uint64
+	n     int
+	ones  int
+	// super[i] = number of 1s in bits [0, i*superBits).
+	super []int32
+}
+
+// FromWords builds a Vector over n bits taken LSB-first from words (bit i
+// is bit i%64 of words[i/64]). Bits at positions >= n are ignored. The
+// input is copied.
+func FromWords(words []uint64, n int) *Vector {
+	if n < 0 || n > len(words)*64 {
+		panic(fmt.Sprintf("bitvec: FromWords: n=%d out of range for %d words", n, len(words)))
+	}
+	nw := (n + 63) / 64
+	w := make([]uint64, nw)
+	copy(w, words[:nw])
+	if r := uint(n) & 63; r != 0 && nw > 0 {
+		w[nw-1] &= (1 << r) - 1
+	}
+	v := &Vector{words: w, n: n}
+	v.buildRank()
+	return v
+}
+
+func (v *Vector) buildRank() {
+	ns := (len(v.words) + wordsPerSuper - 1) / wordsPerSuper
+	v.super = make([]int32, ns+1)
+	ones := 0
+	for i, w := range v.words {
+		if i%wordsPerSuper == 0 {
+			v.super[i/wordsPerSuper] = int32(ones)
+		}
+		ones += bits.OnesCount64(w)
+	}
+	v.super[ns] = int32(ones)
+	v.ones = ones
+}
+
+// Len returns the number of bits.
+func (v *Vector) Len() int { return v.n }
+
+// Ones returns the number of 1 bits.
+func (v *Vector) Ones() int { return v.ones }
+
+// Zeros returns the number of 0 bits.
+func (v *Vector) Zeros() int { return v.n - v.ones }
+
+// Access returns bit pos.
+func (v *Vector) Access(pos int) byte {
+	if pos < 0 || pos >= v.n {
+		panic(fmt.Sprintf("bitvec: Access(%d) out of range [0,%d)", pos, v.n))
+	}
+	return byte(v.words[pos>>6]>>(uint(pos)&63)) & 1
+}
+
+// Rank1 returns the number of 1 bits in [0, pos). pos may equal Len().
+func (v *Vector) Rank1(pos int) int {
+	if pos < 0 || pos > v.n {
+		panic(fmt.Sprintf("bitvec: Rank1(%d) out of range [0,%d]", pos, v.n))
+	}
+	wi := pos >> 6
+	r := int(v.super[wi/wordsPerSuper])
+	for i := wi &^ (wordsPerSuper - 1); i < wi; i++ {
+		r += bits.OnesCount64(v.words[i])
+	}
+	if off := uint(pos) & 63; off != 0 {
+		r += bits.OnesCount64(v.words[wi] & (1<<off - 1))
+	}
+	return r
+}
+
+// Rank0 returns the number of 0 bits in [0, pos).
+func (v *Vector) Rank0(pos int) int { return pos - v.Rank1(pos) }
+
+// Rank returns the number of occurrences of bit b in [0, pos).
+func (v *Vector) Rank(b byte, pos int) int {
+	if b == 0 {
+		return v.Rank0(pos)
+	}
+	return v.Rank1(pos)
+}
+
+// Select1 returns the position of the idx-th 1 bit (0-based): the returned
+// p satisfies Access(p)==1 and Rank1(p)==idx. It panics if idx is out of
+// range.
+func (v *Vector) Select1(idx int) int {
+	if idx < 0 || idx >= v.ones {
+		panic(fmt.Sprintf("bitvec: Select1(%d) out of range [0,%d)", idx, v.ones))
+	}
+	// Binary search the superblock whose prefix count is <= idx.
+	lo, hi := 0, len(v.super)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if int(v.super[mid]) <= idx {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	rem := idx - int(v.super[lo])
+	for wi := lo * wordsPerSuper; ; wi++ {
+		c := bits.OnesCount64(v.words[wi])
+		if rem < c {
+			return wi*64 + select64(v.words[wi], rem)
+		}
+		rem -= c
+	}
+}
+
+// Select0 returns the position of the idx-th 0 bit (0-based).
+func (v *Vector) Select0(idx int) int {
+	zeros := v.n - v.ones
+	if idx < 0 || idx >= zeros {
+		panic(fmt.Sprintf("bitvec: Select0(%d) out of range [0,%d)", idx, zeros))
+	}
+	// Binary search on zero-prefix counts derived from super.
+	lo, hi := 0, len(v.super)-1
+	zeroPrefix := func(i int) int { return i*superBits - int(v.super[i]) }
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		zp := zeroPrefix(mid)
+		// The last superblock may be partial; clamp.
+		if mid*superBits > v.n {
+			zp = v.n - v.ones // total zeros; forces search left
+		}
+		if zp <= idx {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	rem := idx - zeroPrefix(lo)
+	for wi := lo * wordsPerSuper; ; wi++ {
+		w := ^v.words[wi]
+		// Mask off bits beyond n in the final word so they don't count as 0s.
+		if (wi+1)*64 > v.n {
+			w &= (1 << (uint(v.n) & 63)) - 1
+		}
+		c := bits.OnesCount64(w)
+		if rem < c {
+			return wi*64 + select64(w, rem)
+		}
+		rem -= c
+	}
+}
+
+// Select returns the position of the idx-th occurrence of bit b.
+func (v *Vector) Select(b byte, idx int) int {
+	if b == 0 {
+		return v.Select0(idx)
+	}
+	return v.Select1(idx)
+}
+
+// Words exposes the packed bits (LSB-first per word). The slice must not
+// be modified.
+func (v *Vector) Words() []uint64 { return v.words }
+
+// SizeBits returns the memory footprint in bits of the succinct encoding:
+// the raw bits plus the rank directory.
+func (v *Vector) SizeBits() int {
+	return len(v.words)*64 + len(v.super)*32
+}
+
+// select64 returns the position of the k-th (0-based) set bit of w.
+// Precondition: k < popcount(w).
+func select64(w uint64, k int) int {
+	for i := 0; i < 8; i++ {
+		b := w >> (8 * i) & 0xff
+		c := bits.OnesCount8(uint8(b))
+		if k < c {
+			// Scan the byte.
+			for j := 0; j < 8; j++ {
+				if b>>j&1 == 1 {
+					if k == 0 {
+						return 8*i + j
+					}
+					k--
+				}
+			}
+		}
+		k -= c
+	}
+	panic("bitvec: select64: k out of range")
+}
+
+// A Builder accumulates bits and produces an immutable Vector. The zero
+// value is ready to use.
+type Builder struct {
+	words []uint64
+	n     int
+}
+
+// NewBuilder returns a Builder with capacity for sizeHint bits.
+func NewBuilder(sizeHint int) *Builder {
+	return &Builder{words: make([]uint64, 0, (sizeHint+63)/64)}
+}
+
+// Len returns the number of bits appended so far.
+func (b *Builder) Len() int { return b.n }
+
+// AppendBit appends one bit.
+func (b *Builder) AppendBit(bit byte) {
+	if b.n&63 == 0 {
+		b.words = append(b.words, 0)
+	}
+	if bit != 0 {
+		b.words[b.n>>6] |= 1 << (uint(b.n) & 63)
+	}
+	b.n++
+}
+
+// AppendRun appends cnt copies of bit.
+func (b *Builder) AppendRun(bit byte, cnt int) {
+	for cnt > 0 {
+		if b.n&63 == 0 {
+			b.words = append(b.words, 0)
+		}
+		off := uint(b.n) & 63
+		take := 64 - int(off)
+		if take > cnt {
+			take = cnt
+		}
+		if bit != 0 {
+			var mask uint64
+			if take == 64 {
+				mask = ^uint64(0)
+			} else {
+				mask = (1<<uint(take) - 1) << off
+			}
+			b.words[b.n>>6] |= mask
+		}
+		b.n += take
+		cnt -= take
+	}
+}
+
+// Build finalizes the Vector. The Builder must not be used afterwards.
+func (b *Builder) Build() *Vector {
+	v := &Vector{words: b.words, n: b.n}
+	if r := uint(b.n) & 63; r != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << r) - 1
+	}
+	v.buildRank()
+	return v
+}

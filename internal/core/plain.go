@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitstr"
+	"repro/internal/bitvec"
+)
+
+// StaticPlain is the compression ablation of the static Wavelet Trie: the
+// same trie and the same algorithms, but with uncompressed rank/select
+// bitvectors in the nodes. It isolates what RRR compression buys (space)
+// and costs (per-operation decode work) — the design choice DESIGN.md
+// calls out for ablation. Queries remain O(|s| + h_s).
+type StaticPlain struct {
+	wtrie
+}
+
+// NewStaticPlainFromBits builds the ablation variant over seq.
+func NewStaticPlainFromBits(seq []bitstr.BitString) *StaticPlain {
+	st := &StaticPlain{wtrie: newWtrie()}
+	if len(seq) == 0 {
+		return st
+	}
+	for _, s := range seq {
+		st.t.Insert(s)
+	}
+	builders := map[*node]*bitvec.Builder{}
+	for _, s := range seq {
+		nd := st.t.Root()
+		off := 0
+		for !nd.IsLeaf() {
+			off += nd.Label().Len()
+			bit := s.Bit(off)
+			b := builders[nd]
+			if b == nil {
+				b = bitvec.NewBuilder(0)
+				builders[nd] = b
+			}
+			b.AppendBit(bit)
+			nd = nd.Child(bit)
+			off++
+		}
+	}
+	st.t.Walk(func(nd *node, _ int) {
+		if !nd.IsLeaf() {
+			nd.Payload = builders[nd].Build()
+		}
+	})
+	st.n = len(seq)
+	if err := st.checkConsistency(); err != nil {
+		panic(fmt.Sprintf("core: NewStaticPlainFromBits: %v", err))
+	}
+	return st
+}
+
+// SizeBits returns the measured footprint (trie pointers + labels + plain
+// bitvectors with their rank directories).
+func (st *StaticPlain) SizeBits() int {
+	s := st.t.SizeBits()
+	st.t.Walk(func(nd *node, _ int) {
+		if !nd.IsLeaf() {
+			s += nd.Payload.(*bitvec.Vector).SizeBits()
+		}
+	})
+	return s
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitstr"
+	"repro/internal/bitvec"
+	"repro/internal/rrr"
+)
+
+// Static is the static Wavelet Trie of Theorem 3.7: built once over a
+// sequence of binary strings, it supports Access, Rank, Select,
+// RankPrefix and SelectPrefix in O(|s| + h_s) time within
+// LT(Sset) + nH₀(S) + o(h̃n) bits.
+//
+// The per-node bitvectors are RRR dictionaries. Navigation uses the
+// pointer-based trie (fast); the equivalent fully-succinct encoding of §3
+// "Static succinct representation" — DFUDS tree, concatenated labels with
+// an Elias-Fano delimiter directory, one concatenated RRR bitvector with
+// a second directory — is produced by internal/succinct.Freeze from
+// WalkPreorder and cross-checked against this type in its tests.
+type Static struct {
+	wtrie
+}
+
+// NewStaticFromBits builds a Static Wavelet Trie over the given sequence
+// of bit strings (which must come from a prefix-free set). Construction
+// is O(Σ|sᵢ| + n·h̃).
+func NewStaticFromBits(seq []bitstr.BitString) *Static {
+	st := &Static{wtrie: newWtrie()}
+	if len(seq) == 0 {
+		return st
+	}
+	// Build the Patricia trie of the distinct strings.
+	for _, s := range seq {
+		st.t.Insert(s)
+	}
+	// Accumulate per-node bitvectors by replaying the sequence.
+	builders := map[*node]*bitvec.Builder{}
+	for _, s := range seq {
+		nd := st.t.Root()
+		off := 0
+		for !nd.IsLeaf() {
+			off += nd.Label().Len()
+			bit := s.Bit(off)
+			b := builders[nd]
+			if b == nil {
+				b = bitvec.NewBuilder(0)
+				builders[nd] = b
+			}
+			b.AppendBit(bit)
+			nd = nd.Child(bit)
+			off++
+		}
+		if off+nd.Label().Len() != s.Len() {
+			panic(fmt.Sprintf("core: NewStaticFromBits: %q does not reach its leaf", s.String()))
+		}
+	}
+	// Replay is per-element in sequence order, but bits must land in
+	// subsequence order per node — they do: elements are processed in
+	// sequence order and each node's subsequence preserves that order.
+	st.t.Walk(func(nd *node, _ int) {
+		if !nd.IsLeaf() {
+			nd.Payload = rrr.FromBitvec(builders[nd].Build())
+		}
+	})
+	st.n = len(seq)
+	if err := st.checkConsistency(); err != nil {
+		panic("core: NewStaticFromBits: " + err.Error())
+	}
+	return st
+}
+
+// SizeBits returns the measured footprint of this pointer-based
+// representation: trie pointers + labels + RRR bitvectors.
+func (st *Static) SizeBits() int {
+	s := st.t.SizeBits()
+	st.t.Walk(func(nd *node, _ int) {
+		if !nd.IsLeaf() {
+			s += nd.Payload.(*rrr.Vector).SizeBits()
+		}
+	})
+	return s
+}
+
+// WalkPreorder visits the trie nodes in depth-first preorder (node, then
+// 0-child, then 1-child), passing each node's label, leaf flag and — for
+// internal nodes — its RRR bitvector. It is the export hook the succinct
+// encoder (internal/succinct) builds the §3 representation from.
+func (st *Static) WalkPreorder(visit func(label bitstr.BitString, isLeaf bool, bv *rrr.Vector)) {
+	st.t.Walk(func(nd *node, _ int) {
+		if nd.IsLeaf() {
+			visit(nd.Label(), true, nil)
+		} else {
+			visit(nd.Label(), false, nd.Payload.(*rrr.Vector))
+		}
+	})
+}

@@ -1,0 +1,30 @@
+package dfuds
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/wire"
+)
+
+// EncodeTo serializes the tree into w: node count plus raw parentheses;
+// the excess index is rebuilt on decode.
+func (t *Tree) EncodeTo(w *wire.Writer) {
+	w.Int(t.k)
+	t.p.bv.EncodeTo(w)
+}
+
+// DecodeTree reads a tree serialized by EncodeTo; errors are recorded on r.
+func DecodeTree(r *wire.Reader) *Tree {
+	k := r.Int()
+	bv := bitvec.DecodeFrom(r)
+	want := 2 * k // k closes + k-1 degree opens + 1 leading open
+	if k == 0 {
+		want = 1 // just the leading open
+	}
+	if r.Err() == nil && bv.Len() != want {
+		r.Fail("dfuds: %d paren bits for %d nodes, want %d", bv.Len(), k, want)
+	}
+	if r.Err() != nil {
+		return FromDegrees(nil)
+	}
+	return &Tree{p: NewParens(bv), k: k}
+}

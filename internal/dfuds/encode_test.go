@@ -1,0 +1,75 @@
+package dfuds
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func TestTreeEncodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(220))
+	for _, k := range []int{0, 1, 5, 500} {
+		rt := randomTree(r, k, 3)
+		var tr *Tree
+		if k == 0 {
+			tr = FromDegrees(nil)
+		} else {
+			tr = FromDegrees(rt.degrees())
+		}
+		w := wire.NewWriter(1, 1)
+		tr.EncodeTo(w)
+		rd, _ := wire.NewReader(w.Bytes(), 1, 1)
+		got := DecodeTree(rd)
+		if err := rd.Done(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if got.NumNodes() != k {
+			t.Fatalf("k=%d: NumNodes=%d", k, got.NumNodes())
+		}
+		if k > 0 {
+			// Navigation identical on a sample of nodes.
+			for i := 0; i < k; i += 1 + k/17 {
+				a, b := tr.NodePos(i), got.NodePos(i)
+				if a != b || tr.Degree(a) != got.Degree(b) {
+					t.Fatalf("k=%d node %d differs after round trip", k, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeTreeRejectsShapeMismatch(t *testing.T) {
+	tr := FromDegrees([]int{2, 0, 0})
+	w := wire.NewWriter(1, 1)
+	tr.EncodeTo(w)
+	buf := w.Bytes()
+	// Bump the node count header (bytes 6..14).
+	buf[6] = 9
+	rd, _ := wire.NewReader(buf, 1, 1)
+	DecodeTree(rd)
+	if rd.Err() == nil {
+		t.Fatal("node-count/paren mismatch accepted")
+	}
+}
+
+func TestTreePanics(t *testing.T) {
+	tr := FromDegrees([]int{2, 0, 0})
+	empty := FromDegrees(nil)
+	for _, f := range []func(){
+		func() { empty.Root() },
+		func() { tr.Parent(tr.Root()) },
+		func() { tr.Child(tr.Root(), 2) },
+		func() { tr.NodePos(3) },
+		func() { FromDegrees([]int{-1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

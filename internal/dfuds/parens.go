@@ -1,0 +1,238 @@
+// Package dfuds implements succinct trees: a balanced-parentheses
+// sequence with FindClose/FindOpen navigation, and on top of it the DFUDS
+// (Depth-First Unary Degree Sequence) tree encoding of Benoit et al. [2
+// in the paper], which §3 uses to store the Patricia trie structure of
+// the static Wavelet Trie in 2k + o(k) bits.
+//
+// The parentheses sequence is stored as a plain bitvector (1 = open); the
+// excess search behind FindClose/FindOpen uses a two-level block index
+// (per-64-bit-word relative min/max excess, then per-64-word superblock),
+// giving skips at two scales — the practical stand-in for the
+// range-min-max tree, with o(n) space (≈ 25% of the paren bits).
+package dfuds
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+const (
+	blockBits      = 64
+	blocksPerSuper = 64
+	superBits      = blockBits * blocksPerSuper
+)
+
+// Parens is an immutable balanced-parentheses sequence supporting
+// Rank/Select over parens plus FindClose, FindOpen and Excess.
+type Parens struct {
+	bv *bitvec.Vector
+	// Per-block (64-bit word) summaries, relative to the block start:
+	// total excess delta, and min/max of the running excess within the
+	// block (over prefix lengths 0..64, hence including the endpoints).
+	blockExc []int16
+	blockMin []int16
+	blockMax []int16
+	// Superblock (64 blocks) summaries, relative to superblock start.
+	superExc []int32
+	superMin []int32
+	superMax []int32
+}
+
+// NewParens indexes a parentheses sequence given as a bitvector where bit
+// 1 is '(' and 0 is ')'. The sequence must be balanced.
+func NewParens(bv *bitvec.Vector) *Parens {
+	p := &Parens{bv: bv}
+	n := bv.Len()
+	nb := (n + blockBits - 1) / blockBits
+	ns := (nb + blocksPerSuper - 1) / blocksPerSuper
+	p.blockExc = make([]int16, nb)
+	p.blockMin = make([]int16, nb)
+	p.blockMax = make([]int16, nb)
+	p.superExc = make([]int32, ns)
+	p.superMin = make([]int32, ns)
+	p.superMax = make([]int32, ns)
+	for b := 0; b < nb; b++ {
+		exc, mn, mx := int16(0), int16(0), int16(0)
+		start := b * blockBits
+		end := start + blockBits
+		if end > n {
+			end = n
+		}
+		for i := start; i < end; i++ {
+			if bv.Access(i) == 1 {
+				exc++
+			} else {
+				exc--
+			}
+			if exc < mn {
+				mn = exc
+			}
+			if exc > mx {
+				mx = exc
+			}
+		}
+		p.blockExc[b] = exc
+		p.blockMin[b] = mn
+		p.blockMax[b] = mx
+	}
+	for s := 0; s < ns; s++ {
+		exc, mn, mx := int32(0), int32(0), int32(0)
+		for b := s * blocksPerSuper; b < (s+1)*blocksPerSuper && b < nb; b++ {
+			if v := exc + int32(p.blockMin[b]); v < mn {
+				mn = v
+			}
+			if v := exc + int32(p.blockMax[b]); v > mx {
+				mx = v
+			}
+			exc += int32(p.blockExc[b])
+		}
+		p.superExc[s] = exc
+		p.superMin[s] = mn
+		p.superMax[s] = mx
+	}
+	return p
+}
+
+// Len returns the sequence length.
+func (p *Parens) Len() int { return p.bv.Len() }
+
+// IsOpen reports whether position i holds '('.
+func (p *Parens) IsOpen(i int) bool { return p.bv.Access(i) == 1 }
+
+// Excess returns E(i) = #opens - #closes in positions [0, i).
+func (p *Parens) Excess(i int) int { return 2*p.bv.Rank1(i) - i }
+
+// RankClose returns the number of ')' in [0, i).
+func (p *Parens) RankClose(i int) int { return p.bv.Rank0(i) }
+
+// SelectClose returns the position of the idx-th (0-based) ')'.
+func (p *Parens) SelectClose(idx int) int { return p.bv.Select0(idx) }
+
+// FindClose returns the position of the ')' matching the '(' at i.
+func (p *Parens) FindClose(i int) int {
+	if !p.IsOpen(i) {
+		panic(fmt.Sprintf("dfuds: FindClose(%d): not an open paren", i))
+	}
+	// Want the smallest j > i with E(j+1) == E(i); equivalently, walking
+	// right from i with depth starting at +1 after consuming position i,
+	// the first position where depth returns to 0.
+	n := p.bv.Len()
+	depth := 0
+	pos := i
+	// Scan the remainder of i's block.
+	blockEnd := (i/blockBits + 1) * blockBits
+	if blockEnd > n {
+		blockEnd = n
+	}
+	for ; pos < blockEnd; pos++ {
+		if p.bv.Access(pos) == 1 {
+			depth++
+		} else {
+			depth--
+		}
+		if depth == 0 {
+			return pos
+		}
+	}
+	// Skip blocks/superblocks that cannot bring the depth to 0.
+	b := blockEnd / blockBits
+	nb := len(p.blockExc)
+	for b < nb {
+		if b%blocksPerSuper == 0 {
+			s := b / blocksPerSuper
+			// If the whole superblock cannot reach depth 0, skip it.
+			if depth+int(p.superMin[s]) > 0 {
+				depth += int(p.superExc[s])
+				b += blocksPerSuper
+				continue
+			}
+		}
+		if depth+int(p.blockMin[b]) > 0 {
+			depth += int(p.blockExc[b])
+			b++
+			continue
+		}
+		// The answer is inside block b.
+		start := b * blockBits
+		end := start + blockBits
+		if end > n {
+			end = n
+		}
+		for pos = start; pos < end; pos++ {
+			if p.bv.Access(pos) == 1 {
+				depth++
+			} else {
+				depth--
+			}
+			if depth == 0 {
+				return pos
+			}
+		}
+		b++
+	}
+	panic(fmt.Sprintf("dfuds: FindClose(%d): unbalanced sequence", i))
+}
+
+// FindOpen returns the position of the '(' matching the ')' at i.
+func (p *Parens) FindOpen(i int) int {
+	if p.IsOpen(i) {
+		panic(fmt.Sprintf("dfuds: FindOpen(%d): not a close paren", i))
+	}
+	// Walking left from i with depth starting at -1 after consuming
+	// position i, the first position where depth returns to 0.
+	depth := 0
+	pos := i
+	blockStart := (i / blockBits) * blockBits
+	for ; pos >= blockStart; pos-- {
+		if p.bv.Access(pos) == 1 {
+			depth++
+		} else {
+			depth--
+		}
+		if depth == 0 {
+			return pos
+		}
+	}
+	b := blockStart/blockBits - 1
+	for b >= 0 {
+		if (b+1)%blocksPerSuper == 0 {
+			s := b / blocksPerSuper
+			// The scan entering this superblock from the right with the
+			// current depth reaches 0 at some q inside iff the running
+			// excess relE(q) (relative to the superblock start, spanning
+			// [superMin, superMax]) hits depth + superExc.
+			g := depth + int(p.superExc[s])
+			if !(int(p.superMin[s]) <= g && g <= int(p.superMax[s])) {
+				depth += int(p.superExc[s])
+				b -= blocksPerSuper
+				continue
+			}
+		}
+		g := depth + int(p.blockExc[b])
+		if !(int(p.blockMin[b]) <= g && g <= int(p.blockMax[b])) {
+			depth += int(p.blockExc[b])
+			b--
+			continue
+		}
+		start := b * blockBits
+		for pos = start + blockBits - 1; pos >= start; pos-- {
+			if p.bv.Access(pos) == 1 {
+				depth++
+			} else {
+				depth--
+			}
+			if depth == 0 {
+				return pos
+			}
+		}
+		b--
+	}
+	panic(fmt.Sprintf("dfuds: FindOpen(%d): unbalanced sequence", i))
+}
+
+// SizeBits returns the footprint: parens plus the excess index.
+func (p *Parens) SizeBits() int {
+	return p.bv.SizeBits() +
+		len(p.blockExc)*3*16 + len(p.superExc)*3*32
+}

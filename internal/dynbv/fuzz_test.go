@@ -1,0 +1,48 @@
+package dynbv
+
+import "testing"
+
+// FuzzDecodeRLE: arbitrary byte streams must either fail cleanly or
+// produce a vector that re-encodes consistently — never panic, never
+// build an inconsistent tree.
+func FuzzDecodeRLE(f *testing.F) {
+	v := NewInit(1, 100)
+	v.Insert(50, 0)
+	words, nbits := v.EncodeRLE()
+	seed := make([]byte, len(words)*8)
+	for i, w := range words {
+		for k := 0; k < 8; k++ {
+			seed[i*8+k] = byte(w >> (8 * k))
+		}
+	}
+	f.Add(seed, nbits)
+	f.Add([]byte{0xff, 0x00, 0x12}, 20)
+	f.Add([]byte{}, 0)
+	f.Fuzz(func(t *testing.T, raw []byte, nbits int) {
+		if nbits < 0 || nbits > len(raw)*8 || nbits > 1<<20 {
+			return
+		}
+		words := make([]uint64, (len(raw)+7)/8)
+		for i, b := range raw {
+			words[i/8] |= uint64(b) << (8 * (i % 8))
+		}
+		got, err := DecodeRLE(words, nbits)
+		if err != nil {
+			return
+		}
+		// A successful decode must be internally consistent and re-encode
+		// to a stream that decodes to the same content.
+		if got.Len() > 1<<24 {
+			return // header allowed huge totals; skip re-encode cost
+		}
+		w2, n2 := got.EncodeRLE()
+		back, err := DecodeRLE(w2, n2)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.Len() != got.Len() || back.Ones() != got.Ones() {
+			t.Fatalf("re-encode changed totals: (%d,%d) vs (%d,%d)",
+				back.Len(), back.Ones(), got.Len(), got.Ones())
+		}
+	})
+}

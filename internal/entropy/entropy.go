@@ -1,0 +1,187 @@
+// Package entropy computes the information-theoretic quantities the paper
+// measures space against (§2, §3):
+//
+//   - H(p), the binary entropy function;
+//   - nH₀(S), the zero-order empirical entropy of a sequence;
+//   - B(m,n) = ⌈log₂ C(n,m)⌉, the lower bound for an m-subset of [n];
+//   - LT(Sset) = |L| + e + B(e, |L|+e), the Ferragina-Grossi-Gupta-Shah-
+//     Vitter lower bound for a prefix-free string set (Theorem 3.6);
+//   - LB(S) = LT(Sset) + nH₀(S), the lower bound for a compressed indexed
+//     sequence of strings.
+//
+// The package is deliberately independent of the data-structure packages —
+// it rebuilds the Patricia trie shape on its own from the sorted string
+// set — so EXPERIMENTS.md comparisons pit measured sizes against an
+// independently computed bound.
+package entropy
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/bitstr"
+)
+
+// H is the binary entropy function H(p) = -p·log₂p - (1-p)·log₂(1-p),
+// with H(0) = H(1) = 0.
+func H(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// NH0Counts returns n·H₀ for a sequence whose symbol frequencies are
+// counts; n is the sum of counts. Zero counts are ignored.
+func NH0Counts(counts []int) float64 {
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	nh := 0.0
+	for _, c := range counts {
+		if c > 0 {
+			nh += float64(c) * math.Log2(float64(n)/float64(c))
+		}
+	}
+	return nh
+}
+
+// NH0Strings returns n·H₀(S) for a sequence of strings, treating each
+// distinct string as one symbol of the alphabet Sset.
+func NH0Strings(seq []string) float64 {
+	counts := map[string]int{}
+	for _, s := range seq {
+		counts[s]++
+	}
+	cs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		cs = append(cs, c)
+	}
+	return NH0Counts(cs)
+}
+
+// NH0Bits returns n·H₀(β) for a bitvector with m ones out of n bits.
+func NH0Bits(m, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(n) * H(float64(m)/float64(n))
+}
+
+// LogBinomial returns log₂ C(n,m) computed with the log-gamma function
+// (exact to floating-point accuracy, which is far below one bit for the
+// sizes measured here).
+func LogBinomial(m, n int) float64 {
+	if m < 0 || n < 0 || m > n {
+		return math.Inf(-1) // C = 0
+	}
+	if m == 0 || m == n {
+		return 0
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x) + 1)
+		return v
+	}
+	return (lg(n) - lg(m) - lg(n-m)) / math.Ln2
+}
+
+// B returns the paper's B(m,n) = ⌈log₂ C(n,m)⌉ in bits, the lower bound
+// for storing an m-element subset of a size-n universe.
+func B(m, n int) int {
+	lb := LogBinomial(m, n)
+	if math.IsInf(lb, -1) {
+		return 0
+	}
+	// Lgamma carries ~1e-12 relative error; snap to integers so that exact
+	// powers of two (e.g. C(1024,1)) do not ceil one bit too high.
+	if r := math.Round(lb); math.Abs(lb-r) < 1e-6 {
+		return int(r)
+	}
+	return int(math.Ceil(lb))
+}
+
+// TrieShape describes the Patricia trie of a prefix-free string set as the
+// space accounting needs it: the total label bits |L|, the number of edges
+// e = 2(k-1), and the number of strings k.
+type TrieShape struct {
+	LabelBits int // |L|: total bits across all node labels α
+	Edges     int // e = 2(k-1)
+	K         int // |Sset|
+}
+
+// ShapeOf computes the Patricia trie shape of the given prefix-free set of
+// distinct bit strings. The input order is irrelevant.
+func ShapeOf(set []bitstr.BitString) TrieShape {
+	if len(set) == 0 {
+		return TrieShape{}
+	}
+	sorted := make([]bitstr.BitString, len(set))
+	copy(sorted, set)
+	sort.Slice(sorted, func(i, j int) bool { return bitstr.Compare(sorted[i], sorted[j]) < 0 })
+	sh := TrieShape{K: len(set), Edges: 2 * (len(set) - 1)}
+	sh.LabelBits = labelBits(sorted, 0)
+	return sh
+}
+
+// labelBits sums label lengths over the Patricia trie of the suffixes of
+// sorted[i] starting at bit position depth. sorted must be sorted,
+// distinct and prefix-free.
+func labelBits(sorted []bitstr.BitString, depth int) int {
+	if len(sorted) == 1 {
+		return sorted[0].Len() - depth
+	}
+	// LCP of the whole group equals LCP of first and last when sorted.
+	first, last := sorted[0], sorted[len(sorted)-1]
+	l := bitstr.LCP(first, last)
+	// Find the 0/1 split at bit l: first index whose bit l is 1.
+	split := sort.Search(len(sorted), func(i int) bool { return sorted[i].Bit(l) == 1 })
+	if split == 0 || split == len(sorted) {
+		panic("entropy: labelBits: set is not prefix-free or not distinct")
+	}
+	alpha := l - depth
+	return alpha + labelBits(sorted[:split], l+1) + labelBits(sorted[split:], l+1)
+}
+
+// LT returns the Theorem 3.6 lower bound LT(Sset) = |L| + e + B(e, |L|+e)
+// in bits for the prefix-free set of distinct bit strings.
+func LT(set []bitstr.BitString) float64 {
+	sh := ShapeOf(set)
+	if sh.K <= 1 {
+		return float64(sh.LabelBits)
+	}
+	return float64(sh.LabelBits) + float64(sh.Edges) +
+		LogBinomial(sh.Edges, sh.LabelBits+sh.Edges)
+}
+
+// LB returns the paper's overall lower bound LB(S) = LT(Sset) + nH₀(S)
+// for an indexed sequence of (byte) strings, using the repository's
+// prefix-free binarization for the LT term.
+func LB(seq []string) float64 {
+	distinct := map[string]struct{}{}
+	for _, s := range seq {
+		distinct[s] = struct{}{}
+	}
+	set := make([]bitstr.BitString, 0, len(distinct))
+	for s := range distinct {
+		set = append(set, bitstr.EncodeString(s))
+	}
+	return LT(set) + NH0Strings(seq)
+}
+
+// AvgHeight returns h̃ = (Σᵢ hᵢ)/n given the per-element trie depths
+// (number of internal nodes on each element's root-to-leaf path), per
+// Definition 3.4.
+func AvgHeight(depths []int) float64 {
+	if len(depths) == 0 {
+		return 0
+	}
+	s := 0
+	for _, d := range depths {
+		s += d
+	}
+	return float64(s) / float64(len(depths))
+}

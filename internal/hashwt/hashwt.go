@@ -1,0 +1,140 @@
+// Package hashwt implements §6 of the paper: a dynamic Wavelet Tree over
+// a bounded numeric universe U = {0,…,u-1} whose height depends (with high
+// probability) only on the working alphabet Σ ⊆ U, not on u — without
+// knowing Σ in advance and without rebalancing.
+//
+// The construction hashes every value through the Dietzfelbinger et al.
+// multiplicative permutation h_a(x) = a·x mod 2^w (a odd, drawn once at
+// initialization), writes the hash as a w-bit string LSB-to-MSB, and
+// stores those strings in a fully-dynamic Wavelet Trie. By Lemma 6.1 the
+// hashes of any Σ are distinguished by their first (α+2)·log|Σ| bits with
+// probability 1-|Σ|^-α, so the path-compressed trie has logarithmic
+// height in |Σ| (Theorem 6.2). Values are recovered by applying the
+// modular inverse a⁻¹.
+package hashwt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitstr"
+	"repro/internal/core"
+)
+
+// Tree is a dynamic sequence of integers from {0,…,2^UniverseBits - 1}
+// supporting Access, Rank, Select, Insert, Append and Delete, with
+// operation cost O(log u + h·log n) where h ≤ (α+2)·log|Σ| w.h.p.
+type Tree struct {
+	wt           *core.Dynamic
+	a, aInv      uint64
+	universeBits int
+	mask         uint64
+}
+
+// New returns an empty tree over a universe of the given bit width
+// (1..64). The multiplier a is drawn from the given seed; identical seeds
+// give identical structures, which the experiments rely on.
+func New(universeBits int, seed int64) *Tree {
+	if universeBits < 1 || universeBits > 64 {
+		panic(fmt.Sprintf("hashwt: universe bits %d out of range [1,64]", universeBits))
+	}
+	r := rand.New(rand.NewSource(seed))
+	a := r.Uint64() | 1 // odd
+	t := &Tree{
+		wt:           core.NewDynamic(),
+		a:            a,
+		aInv:         invOdd(a),
+		universeBits: universeBits,
+	}
+	if universeBits == 64 {
+		t.mask = ^uint64(0)
+	} else {
+		t.mask = 1<<uint(universeBits) - 1
+	}
+	return t
+}
+
+// invOdd computes the multiplicative inverse of odd a modulo 2^64 by
+// Newton–Hensel lifting: five iterations double the valid bits from 4 to
+// 64 (x_{k+1} = x_k(2 - a·x_k)).
+func invOdd(a uint64) uint64 {
+	x := a // correct to 3 bits for odd a
+	for i := 0; i < 5; i++ {
+		x *= 2 - a*x
+	}
+	return x
+}
+
+// encode maps a value to its hashed fixed-width bit string, LSB first.
+func (t *Tree) encode(x uint64) bitstr.BitString {
+	if x&^t.mask != 0 {
+		panic(fmt.Sprintf("hashwt: value %d outside universe of %d bits", x, t.universeBits))
+	}
+	h := (t.a * x) & t.mask
+	b := bitstr.NewBuilder(t.universeBits)
+	b.AppendUint(h, t.universeBits)
+	return b.BitString()
+}
+
+// decode inverts encode.
+func (t *Tree) decode(s bitstr.BitString) uint64 {
+	if s.Len() != t.universeBits {
+		panic(fmt.Sprintf("hashwt: decoded string has %d bits, want %d", s.Len(), t.universeBits))
+	}
+	var h uint64
+	for i := 0; i < s.Len(); i++ {
+		h |= uint64(s.Bit(i)) << uint(i)
+	}
+	return (t.aInv * h) & t.mask
+}
+
+// Len returns the sequence length.
+func (t *Tree) Len() int { return t.wt.Len() }
+
+// AlphabetSize returns |Σ|, the number of distinct values currently
+// present.
+func (t *Tree) AlphabetSize() int { return t.wt.AlphabetSize() }
+
+// Height returns the current trie height (internal nodes on the longest
+// path) — the quantity Theorem 6.2 bounds by (α+2)·log|Σ| w.h.p.
+func (t *Tree) Height() int { return t.wt.Height() }
+
+// Access returns the value at position pos.
+func (t *Tree) Access(pos int) uint64 { return t.decode(t.wt.AccessBits(pos)) }
+
+// Rank counts occurrences of x in positions [0, pos).
+func (t *Tree) Rank(x uint64, pos int) int { return t.wt.RankBits(t.encode(x), pos) }
+
+// Select returns the position of the idx-th (0-based) occurrence of x.
+func (t *Tree) Select(x uint64, idx int) (int, bool) { return t.wt.SelectBits(t.encode(x), idx) }
+
+// Insert inserts x before position pos.
+func (t *Tree) Insert(x uint64, pos int) { t.wt.InsertBits(t.encode(x), pos) }
+
+// Append appends x at the end.
+func (t *Tree) Append(x uint64) { t.wt.AppendBits(t.encode(x)) }
+
+// Delete removes and returns the value at position pos.
+func (t *Tree) Delete(pos int) uint64 { return t.decode(t.wt.DeleteAt(pos)) }
+
+// DistinctInRange returns the distinct values in [l, r) with their
+// counts, in no particular value order (hash order internally).
+func (t *Tree) DistinctInRange(l, r int) map[uint64]int {
+	out := map[uint64]int{}
+	for _, d := range t.wt.DistinctInRange(l, r) {
+		out[t.decode(d.Value)] = d.Count
+	}
+	return out
+}
+
+// RangeMajority returns the strict majority value of [l, r), if any.
+func (t *Tree) RangeMajority(l, r int) (uint64, bool) {
+	s, ok := t.wt.RangeMajority(l, r)
+	if !ok {
+		return 0, false
+	}
+	return t.decode(s), true
+}
+
+// SizeBits returns the measured footprint of the underlying Wavelet Trie.
+func (t *Tree) SizeBits() int { return t.wt.SizeBits() }

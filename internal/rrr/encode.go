@@ -1,0 +1,41 @@
+package rrr
+
+import "repro/internal/wire"
+
+// EncodeTo serializes the compressed vector into w. All components are
+// stored verbatim; decode performs no recompression.
+func (v *Vector) EncodeTo(w *wire.Writer) {
+	w.Int(v.n)
+	w.Int(v.ones)
+	w.Words(v.classes)
+	w.Words(v.offsets)
+	w.Words(v.rankSample)
+	w.Words(v.posSample)
+}
+
+// DecodeFrom reads a vector serialized by EncodeTo. Structural shape is
+// validated (errors are recorded on r); bit-level corruption surfaces as
+// wrong query answers, so callers wanting integrity must checksum the
+// enclosing container.
+func DecodeFrom(r *wire.Reader) *Vector {
+	v := &Vector{
+		n:          r.Int(),
+		ones:       r.Int(),
+		classes:    r.Words(),
+		offsets:    r.Words(),
+		rankSample: r.Words(),
+		posSample:  r.Words(),
+	}
+	if r.Err() == nil {
+		nb := v.numBlocks()
+		ns := (nb + blocksPerSuper - 1) / blocksPerSuper
+		if len(v.rankSample) != ns+1 || len(v.posSample) != ns+1 ||
+			len(v.classes) != (nb*classBits+63)/64 {
+			r.Fail("rrr: directory shape inconsistent with n=%d", v.n)
+		}
+	}
+	if r.Err() != nil {
+		return FromWords(nil, 0)
+	}
+	return v
+}

@@ -1,0 +1,54 @@
+package rrr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func TestEncodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(230))
+	for _, n := range []int{0, 1, 63, 64, 10000} {
+		for _, p := range []float64{0, 0.3, 1} {
+			v, plain := buildBoth(r, n, p)
+			w := wire.NewWriter(1, 1)
+			v.EncodeTo(w)
+			rd, _ := wire.NewReader(w.Bytes(), 1, 1)
+			got := DecodeFrom(rd)
+			if err := rd.Done(); err != nil {
+				t.Fatalf("n=%d p=%v: %v", n, p, err)
+			}
+			if got.Len() != n || got.Ones() != plain.Ones() {
+				t.Fatalf("n=%d p=%v: totals differ", n, p)
+			}
+			for i := 0; i < n; i += 1 + n/31 {
+				if got.Access(i) != plain.Access(i) || got.Rank1(i) != plain.Rank1(i) {
+					t.Fatalf("n=%d p=%v: content differs at %d", n, p, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsShapeMismatch(t *testing.T) {
+	r := rand.New(rand.NewSource(231))
+	v, _ := buildBoth(r, 5000, 0.5)
+	w := wire.NewWriter(1, 1)
+	v.EncodeTo(w)
+	buf := w.Bytes()
+	// Corrupt the length header (bytes 6..14) hard enough to change the
+	// implied block count, so the directory arrays no longer match.
+	buf[7] ^= 0x40
+	rd, _ := wire.NewReader(buf, 1, 1)
+	DecodeFrom(rd)
+	if rd.Err() == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	// Truncation.
+	rd2, _ := wire.NewReader(w.Bytes()[:20], 1, 1)
+	DecodeFrom(rd2)
+	if rd2.Err() == nil {
+		t.Fatal("truncated input accepted")
+	}
+}

@@ -1,0 +1,442 @@
+// Package rrr implements the RRR compressed bitvector of Raman, Raman and
+// Rao [22 in the paper]: a static Fully Indexed Dictionary storing a
+// bitvector of n bits with m ones in B(m,n) + o(n) bits while answering
+// Access, Rank and Select in constant time (constant for the fixed block
+// size, exactly as the Four-Russians tables make it in the paper).
+//
+// Encoding. The bits are split into blocks of 63 bits. Each block is
+// represented by its class c (its popcount, 6 bits) and its offset (the
+// lexicographic index of the block among the C(63,c) possible blocks of
+// that class, ⌈log₂ C(63,c)⌉ bits). Low-entropy blocks therefore take few
+// bits: a run of zeros costs 6 bits per 63. Every 32 blocks a superblock
+// sample records the cumulative rank and the bit position of the block's
+// offset in the offset stream, so queries decode at most one superblock of
+// class fields plus one block body.
+//
+// The Wavelet Trie uses RRR for every bitvector β of the static variant
+// (Theorem 3.7) and for the immutable segments of the append-only
+// bitvector (§4.1, Theorem 4.5).
+package rrr
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitvec"
+)
+
+const (
+	blockBits      = 63
+	classBits      = 6
+	blocksPerSuper = 32
+	superBits      = blockBits * blocksPerSuper
+)
+
+// binom[n][k] = C(n,k) for n,k ≤ 63. C(63,31) < 2^63 so uint64 suffices.
+var binom [blockBits + 1][blockBits + 1]uint64
+
+// offsetWidth[c] = number of bits used to store an offset of class c.
+var offsetWidth [blockBits + 1]int
+
+func init() {
+	for n := 0; n <= blockBits; n++ {
+		binom[n][0] = 1
+		for k := 1; k <= n; k++ {
+			binom[n][k] = binom[n-1][k-1] + binom[n-1][k]
+		}
+	}
+	for c := 0; c <= blockBits; c++ {
+		// Width of the largest offset, C(63,c)-1. Class 0 and 63 need 0 bits.
+		offsetWidth[c] = bits.Len64(binom[blockBits][c] - 1)
+	}
+}
+
+// encodeBlock returns the class and offset of a 63-bit block.
+func encodeBlock(w uint64) (class int, offset uint64) {
+	class = bits.OnesCount64(w)
+	k := class
+	for i := 0; i < blockBits && k > 0; i++ {
+		rem := blockBits - i // positions left including i
+		if w>>uint(i)&1 == 1 {
+			offset += binom[rem-1][k]
+			k--
+		}
+	}
+	return class, offset
+}
+
+// decodeBlock reconstructs the 63-bit block from its class and offset.
+func decodeBlock(class int, offset uint64) uint64 {
+	var w uint64
+	k := class
+	for i := 0; i < blockBits && k > 0; i++ {
+		rem := blockBits - i
+		if offset >= binom[rem-1][k] {
+			offset -= binom[rem-1][k]
+			w |= 1 << uint(i)
+			k--
+		}
+	}
+	return w
+}
+
+// Vector is an immutable RRR-compressed bitvector.
+type Vector struct {
+	n    int
+	ones int
+
+	classes []uint64 // packed 6-bit classes, one per block
+	offsets []uint64 // packed variable-width offsets
+
+	// Superblock directory: for superblock s (covering blocks
+	// [s*32,(s+1)*32)), rankSample[s] is the number of ones before it and
+	// posSample[s] the bit position of its first offset in the stream.
+	rankSample []uint64
+	posSample  []uint64
+}
+
+// FromWords compresses the first n bits of words (bit i at word i/64,
+// offset i%64).
+func FromWords(words []uint64, n int) *Vector {
+	if n < 0 || n > len(words)*64 {
+		panic(fmt.Sprintf("rrr: FromWords: n=%d out of range for %d words", n, len(words)))
+	}
+	nb := (n + blockBits - 1) / blockBits
+	ns := (nb + blocksPerSuper - 1) / blocksPerSuper
+	v := &Vector{
+		n:          n,
+		rankSample: make([]uint64, ns+1),
+		posSample:  make([]uint64, ns+1),
+	}
+	cw := packedWriter{width: classBits}
+	ow := packedWriter{}
+	ones := 0
+	for b := 0; b < nb; b++ {
+		if b%blocksPerSuper == 0 {
+			s := b / blocksPerSuper
+			v.rankSample[s] = uint64(ones)
+			v.posSample[s] = uint64(ow.n)
+		}
+		w := extractBlock(words, n, b)
+		class, off := encodeBlock(w)
+		cw.append(uint64(class), classBits)
+		ow.append(off, offsetWidth[class])
+		ones += class
+	}
+	v.rankSample[ns] = uint64(ones)
+	v.posSample[ns] = uint64(ow.n)
+	v.ones = ones
+	v.classes = cw.words
+	v.offsets = ow.words
+	return v
+}
+
+// FromBitvec compresses a plain bitvector.
+func FromBitvec(bv *bitvec.Vector) *Vector { return FromWords(bv.Words(), bv.Len()) }
+
+// extractBlock returns block b (63 bits) of the first n bits of words,
+// with bits past n zeroed.
+func extractBlock(words []uint64, n, b int) uint64 {
+	start := b * blockBits
+	end := start + blockBits
+	wi := start >> 6
+	off := uint(start) & 63
+	var w uint64
+	w = words[wi] >> off
+	if off != 0 && wi+1 < len(words) {
+		w |= words[wi+1] << (64 - off)
+	}
+	w &= 1<<blockBits - 1
+	if end > n {
+		valid := uint(n - start)
+		w &= 1<<valid - 1
+	}
+	return w
+}
+
+// numBlocks returns the number of 63-bit blocks.
+func (v *Vector) numBlocks() int { return (v.n + blockBits - 1) / blockBits }
+
+// class returns the class of block b.
+func (v *Vector) class(b int) int {
+	return int(readPacked(v.classes, b*classBits, classBits))
+}
+
+// blockWord decodes block b given the bit position of its offset in the
+// offset stream.
+func (v *Vector) blockWord(b int, offPos int) uint64 {
+	c := v.class(b)
+	off := readPacked(v.offsets, offPos, offsetWidth[c])
+	return decodeBlock(c, off)
+}
+
+// seek returns the offset-stream bit position and the rank before block b.
+func (v *Vector) seek(b int) (offPos, rank int) {
+	s := b / blocksPerSuper
+	offPos = int(v.posSample[s])
+	rank = int(v.rankSample[s])
+	for i := s * blocksPerSuper; i < b; i++ {
+		c := v.class(i)
+		offPos += offsetWidth[c]
+		rank += c
+	}
+	return offPos, rank
+}
+
+// Len returns the number of bits.
+func (v *Vector) Len() int { return v.n }
+
+// Ones returns the number of 1 bits.
+func (v *Vector) Ones() int { return v.ones }
+
+// Zeros returns the number of 0 bits.
+func (v *Vector) Zeros() int { return v.n - v.ones }
+
+// Access returns bit pos.
+func (v *Vector) Access(pos int) byte {
+	if pos < 0 || pos >= v.n {
+		panic(fmt.Sprintf("rrr: Access(%d) out of range [0,%d)", pos, v.n))
+	}
+	b := pos / blockBits
+	offPos, _ := v.seek(b)
+	w := v.blockWord(b, offPos)
+	return byte(w>>uint(pos%blockBits)) & 1
+}
+
+// Rank1 returns the number of 1 bits in [0, pos). pos may equal Len().
+func (v *Vector) Rank1(pos int) int {
+	if pos < 0 || pos > v.n {
+		panic(fmt.Sprintf("rrr: Rank1(%d) out of range [0,%d]", pos, v.n))
+	}
+	if pos == v.n {
+		return v.ones
+	}
+	b := pos / blockBits
+	offPos, rank := v.seek(b)
+	w := v.blockWord(b, offPos)
+	if r := uint(pos % blockBits); r != 0 {
+		rank += bits.OnesCount64(w & (1<<r - 1))
+	}
+	return rank
+}
+
+// Rank0 returns the number of 0 bits in [0, pos).
+func (v *Vector) Rank0(pos int) int { return pos - v.Rank1(pos) }
+
+// Rank returns the number of occurrences of bit b in [0, pos).
+func (v *Vector) Rank(b byte, pos int) int {
+	if b == 0 {
+		return v.Rank0(pos)
+	}
+	return v.Rank1(pos)
+}
+
+// Select1 returns the position of the idx-th (0-based) 1 bit.
+func (v *Vector) Select1(idx int) int {
+	if idx < 0 || idx >= v.ones {
+		panic(fmt.Sprintf("rrr: Select1(%d) out of range [0,%d)", idx, v.ones))
+	}
+	// Binary search superblocks by rank sample.
+	lo, hi := 0, len(v.rankSample)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if int(v.rankSample[mid]) <= idx {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	rem := idx - int(v.rankSample[lo])
+	offPos := int(v.posSample[lo])
+	for b := lo * blocksPerSuper; ; b++ {
+		c := v.class(b)
+		if rem < c {
+			w := v.blockWord(b, offPos)
+			return b*blockBits + select64(w, rem)
+		}
+		rem -= c
+		offPos += offsetWidth[c]
+	}
+}
+
+// Select0 returns the position of the idx-th (0-based) 0 bit.
+func (v *Vector) Select0(idx int) int {
+	zeros := v.n - v.ones
+	if idx < 0 || idx >= zeros {
+		panic(fmt.Sprintf("rrr: Select0(%d) out of range [0,%d)", idx, zeros))
+	}
+	// Zero-prefix before superblock s: bits covered minus ones, clamped to n.
+	zeroPrefix := func(s int) int {
+		covered := s * superBits
+		if covered > v.n {
+			covered = v.n
+		}
+		return covered - int(v.rankSample[s])
+	}
+	lo, hi := 0, len(v.rankSample)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if zeroPrefix(mid) <= idx {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	rem := idx - zeroPrefix(lo)
+	offPos := int(v.posSample[lo])
+	for b := lo * blocksPerSuper; ; b++ {
+		blockLen := blockBits
+		if (b+1)*blockBits > v.n {
+			blockLen = v.n - b*blockBits
+		}
+		c := v.class(b)
+		z := blockLen - c
+		if rem < z {
+			w := v.blockWord(b, offPos)
+			// Complement within the valid bits of the block.
+			inv := ^w & (1<<uint(blockLen) - 1)
+			return b*blockBits + select64(inv, rem)
+		}
+		rem -= z
+		offPos += offsetWidth[c]
+	}
+}
+
+// Select returns the position of the idx-th occurrence of bit b.
+func (v *Vector) Select(b byte, idx int) int {
+	if b == 0 {
+		return v.Select0(idx)
+	}
+	return v.Select1(idx)
+}
+
+// SizeBits returns the total size of the encoding in bits: packed classes,
+// packed offsets and the superblock directory.
+func (v *Vector) SizeBits() int {
+	return len(v.classes)*64 + len(v.offsets)*64 +
+		len(v.rankSample)*64 + len(v.posSample)*64
+}
+
+// OffsetStreamBits returns the size of the offset stream alone — the part
+// that approaches the information-theoretic minimum B(m,n).
+func (v *Vector) OffsetStreamBits() int {
+	return int(v.posSample[len(v.posSample)-1])
+}
+
+// Iter returns an iterator positioned at bit pos. Iterators provide O(1)
+// amortized Next, which §5's sequential-access algorithm relies on.
+func (v *Vector) Iter(pos int) *Iter {
+	if pos < 0 || pos > v.n {
+		panic(fmt.Sprintf("rrr: Iter(%d) out of range [0,%d]", pos, v.n))
+	}
+	it := &Iter{v: v, pos: pos}
+	if pos < v.n {
+		b := pos / blockBits
+		offPos, _ := v.seek(b)
+		it.block = b
+		it.offPos = offPos
+		it.w = v.blockWord(b, offPos)
+	}
+	return it
+}
+
+// Iter is a sequential bit cursor over a Vector.
+type Iter struct {
+	v      *Vector
+	pos    int
+	block  int
+	offPos int
+	w      uint64
+}
+
+// Pos returns the position of the bit that Next will return.
+func (it *Iter) Pos() int { return it.pos }
+
+// Valid reports whether Next may be called.
+func (it *Iter) Valid() bool { return it.pos < it.v.n }
+
+// Next returns the bit at the current position and advances. Decoding
+// work is one block per 63 calls.
+func (it *Iter) Next() byte {
+	if it.pos >= it.v.n {
+		panic("rrr: Iter.Next past end")
+	}
+	b := it.pos / blockBits
+	if b != it.block {
+		// Advance to the next block; the common case is b == it.block+1.
+		c := it.v.class(it.block)
+		it.offPos += offsetWidth[c]
+		it.block = b
+		it.w = it.v.blockWord(b, it.offPos)
+	}
+	bit := byte(it.w>>uint(it.pos%blockBits)) & 1
+	it.pos++
+	return bit
+}
+
+// packedWriter appends fixed- or variable-width fields into packed words.
+type packedWriter struct {
+	words []uint64
+	n     int
+	width int // informational only
+}
+
+func (p *packedWriter) append(v uint64, nbits int) {
+	for nbits > 0 {
+		if p.n&63 == 0 {
+			p.words = append(p.words, 0)
+		}
+		off := uint(p.n) & 63
+		take := 64 - int(off)
+		if take > nbits {
+			take = nbits
+		}
+		var mask uint64
+		if take == 64 {
+			mask = ^uint64(0)
+		} else {
+			mask = 1<<uint(take) - 1
+		}
+		p.words[p.n>>6] |= (v & mask) << off
+		v >>= uint(take)
+		p.n += take
+		nbits -= take
+	}
+}
+
+// readPacked reads nbits bits starting at bit position pos.
+func readPacked(words []uint64, pos, nbits int) uint64 {
+	if nbits == 0 {
+		return 0
+	}
+	wi := pos >> 6
+	off := uint(pos) & 63
+	v := words[wi] >> off
+	if int(off)+nbits > 64 {
+		v |= words[wi+1] << (64 - off)
+	}
+	if nbits < 64 {
+		v &= 1<<uint(nbits) - 1
+	}
+	return v
+}
+
+// select64 returns the position of the k-th (0-based) set bit of w.
+func select64(w uint64, k int) int {
+	for i := 0; i < 8; i++ {
+		b := w >> (8 * i) & 0xff
+		c := bits.OnesCount8(uint8(b))
+		if k < c {
+			for j := 0; j < 8; j++ {
+				if b>>j&1 == 1 {
+					if k == 0 {
+						return 8*i + j
+					}
+					k--
+				}
+			}
+		}
+		k -= c
+	}
+	panic("rrr: select64: k out of range")
+}

@@ -1,0 +1,268 @@
+package rrr
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+)
+
+func TestBlockCodecExhaustiveSmallClasses(t *testing.T) {
+	// Every block of class 0, 1, 2, 62 and 63 round-trips.
+	checks := 0
+	for _, w := range []uint64{0, 1<<63 - 1} {
+		c, off := encodeBlock(w & (1<<blockBits - 1))
+		if got := decodeBlock(c, off); got != w&(1<<blockBits-1) {
+			t.Fatalf("codec broken for %x", w)
+		}
+		checks++
+	}
+	for i := 0; i < blockBits; i++ {
+		w := uint64(1) << uint(i)
+		c, off := encodeBlock(w)
+		if c != 1 {
+			t.Fatalf("class of single bit = %d", c)
+		}
+		if got := decodeBlock(c, off); got != w {
+			t.Fatalf("single-bit codec broken for bit %d", i)
+		}
+		for j := i + 1; j < blockBits; j++ {
+			w2 := w | 1<<uint(j)
+			c2, off2 := encodeBlock(w2)
+			if c2 != 2 || decodeBlock(c2, off2) != w2 {
+				t.Fatalf("two-bit codec broken for bits %d,%d", i, j)
+			}
+			checks++
+		}
+		// Complement: class 62.
+		w62 := ^w & (1<<blockBits - 1)
+		c62, off62 := encodeBlock(w62)
+		if c62 != 62 || decodeBlock(c62, off62) != w62 {
+			t.Fatalf("class-62 codec broken for hole %d", i)
+		}
+	}
+	if checks == 0 {
+		t.Fatal("no checks ran")
+	}
+}
+
+func TestBlockCodecRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(30))
+	for i := 0; i < 20000; i++ {
+		w := r.Uint64() & (1<<blockBits - 1)
+		c, off := encodeBlock(w)
+		if c != bits.OnesCount64(w) {
+			t.Fatalf("class mismatch for %x", w)
+		}
+		if off >= binom[blockBits][c] {
+			t.Fatalf("offset %d out of range C(63,%d)=%d", off, c, binom[blockBits][c])
+		}
+		if got := decodeBlock(c, off); got != w {
+			t.Fatalf("codec: %x -> (%d,%d) -> %x", w, c, off, got)
+		}
+	}
+}
+
+func TestOffsetsAreDenseRanks(t *testing.T) {
+	// For class 2 the offsets must be a perfect bijection with
+	// {0, …, C(63,2)-1}: every offset in range, no collisions, all used.
+	total := int(binom[blockBits][2])
+	seen := make([]bool, total)
+	for i := 0; i < blockBits; i++ {
+		for j := i + 1; j < blockBits; j++ {
+			w := uint64(1)<<uint(i) | uint64(1)<<uint(j)
+			c, off := encodeBlock(w)
+			if c != 2 {
+				t.Fatalf("class of %x = %d", w, c)
+			}
+			if off >= uint64(total) {
+				t.Fatalf("offset %d out of range %d", off, total)
+			}
+			if seen[off] {
+				t.Fatalf("offset collision at %d", off)
+			}
+			seen[off] = true
+		}
+	}
+	for off, ok := range seen {
+		if !ok {
+			t.Fatalf("offset %d never produced", off)
+		}
+	}
+}
+
+func buildBoth(r *rand.Rand, n int, p float64) (*Vector, *bitvec.Vector) {
+	b := bitvec.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		bit := byte(0)
+		if r.Float64() < p {
+			bit = 1
+		}
+		b.AppendBit(bit)
+	}
+	plain := b.Build()
+	return FromBitvec(plain), plain
+}
+
+func TestAgainstPlainBitvec(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for _, n := range []int{0, 1, 62, 63, 64, 126, 127, 2015, 2016, 2017, 10000} {
+		for _, p := range []float64{0, 0.02, 0.5, 0.98, 1} {
+			v, plain := buildBoth(r, n, p)
+			if v.Len() != n || v.Ones() != plain.Ones() {
+				t.Fatalf("n=%d p=%v: Len/Ones mismatch", n, p)
+			}
+			for i := 0; i < n; i++ {
+				if v.Access(i) != plain.Access(i) {
+					t.Fatalf("n=%d p=%v Access(%d)", n, p, i)
+				}
+			}
+			step := 1
+			if n > 3000 {
+				step = 7
+			}
+			for pos := 0; pos <= n; pos += step {
+				if v.Rank1(pos) != plain.Rank1(pos) {
+					t.Fatalf("n=%d p=%v Rank1(%d)=%d want %d", n, p, pos, v.Rank1(pos), plain.Rank1(pos))
+				}
+			}
+			for idx := 0; idx < v.Ones(); idx += step {
+				if v.Select1(idx) != plain.Select1(idx) {
+					t.Fatalf("n=%d p=%v Select1(%d)", n, p, idx)
+				}
+			}
+			for idx := 0; idx < v.Zeros(); idx += step {
+				if v.Select0(idx) != plain.Select0(idx) {
+					t.Fatalf("n=%d p=%v Select0(%d)=%d want %d", n, p, idx, v.Select0(idx), plain.Select0(idx))
+				}
+			}
+		}
+	}
+}
+
+func TestIterMatchesAccess(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	v, plain := buildBoth(r, 5000, 0.3)
+	for _, start := range []int{0, 1, 62, 63, 100, 4999, 5000} {
+		it := v.Iter(start)
+		for pos := start; pos < 5000; pos++ {
+			if !it.Valid() {
+				t.Fatalf("iter invalid at %d", pos)
+			}
+			if got := it.Next(); got != plain.Access(pos) {
+				t.Fatalf("iter from %d: bit %d mismatch", start, pos)
+			}
+		}
+		if it.Valid() {
+			t.Fatal("iter should be exhausted")
+		}
+	}
+}
+
+func TestCompressionApproachesEntropy(t *testing.T) {
+	// For sparse vectors the offset stream must be well below n bits and
+	// within a reasonable factor of the binomial bound.
+	r := rand.New(rand.NewSource(33))
+	n := 1 << 18
+	for _, p := range []float64{0.01, 0.05, 0.1} {
+		v, plain := buildBoth(r, n, p)
+		m := plain.Ones()
+		// B(m,n) ~ n*H(p) via Stirling; compare against offset stream.
+		h := -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+		lb := float64(n) * h
+		got := float64(v.OffsetStreamBits())
+		if got > lb*1.2+1000 {
+			t.Errorf("p=%v m=%d: offset stream %d bits vs entropy bound %.0f", p, m, int(got), lb)
+		}
+		if v.SizeBits() >= n {
+			t.Errorf("p=%v: total %d bits does not compress below raw %d", p, v.SizeBits(), n)
+		}
+	}
+}
+
+func TestRankSelectInverses(t *testing.T) {
+	f := func(seed int64, n16 uint16) bool {
+		n := int(n16)%5000 + 1
+		r := rand.New(rand.NewSource(seed))
+		v, _ := buildBoth(r, n, 0.5)
+		for idx := 0; idx < v.Ones(); idx += 11 {
+			p := v.Select1(idx)
+			if v.Access(p) != 1 || v.Rank1(p) != idx {
+				return false
+			}
+		}
+		for idx := 0; idx < v.Zeros(); idx += 11 {
+			p := v.Select0(idx)
+			if v.Access(p) != 0 || v.Rank0(p) != idx {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	v := FromWords([]uint64{0b1}, 2)
+	for _, fn := range []func(){
+		func() { v.Access(2) },
+		func() { v.Rank1(3) },
+		func() { v.Select1(1) },
+		func() { v.Select0(1) },
+		func() { v.Iter(3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkRank1(b *testing.B) {
+	r := rand.New(rand.NewSource(34))
+	v, _ := buildBoth(r, 1<<20, 0.5)
+	pos := make([]int, 1024)
+	for i := range pos {
+		pos[i] = r.Intn(1 << 20)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Rank1(pos[i&1023])
+	}
+}
+
+func BenchmarkSelect1(b *testing.B) {
+	r := rand.New(rand.NewSource(35))
+	v, _ := buildBoth(r, 1<<20, 0.5)
+	idxs := make([]int, 1024)
+	for i := range idxs {
+		idxs[i] = r.Intn(v.Ones())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Select1(idxs[i&1023])
+	}
+}
+
+func BenchmarkIterSequential(b *testing.B) {
+	r := rand.New(rand.NewSource(36))
+	v, _ := buildBoth(r, 1<<20, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := v.Iter(0)
+		var acc byte
+		for it.Valid() {
+			acc ^= it.Next()
+		}
+		_ = acc
+	}
+}

@@ -1,0 +1,277 @@
+// Package btindex implements the paper's related-work approach (3) (§1):
+// an indexed sequence stored as a classical uncompressed index — a B-tree
+// over the distinct strings, each key holding the sorted list of positions
+// where it occurs, next to a plain array holding the sequence for Access.
+//
+// This is how databases traditionally index a column. It is fast — Select
+// is a B-tree descent plus an array lookup, Rank a descent plus a binary
+// search — but it offers no compression (the sequence is stored twice:
+// once raw, once as the index) and is the space baseline the Wavelet Trie
+// is measured against in experiment CMP.
+package btindex
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+const degree = 16 // B-tree minimum degree: nodes hold degree-1..2*degree-1 keys
+
+// entry is one distinct string with its postings list.
+type entry struct {
+	key       string
+	positions []int // sorted
+}
+
+// bnode is a B-tree node.
+type bnode struct {
+	entries []*entry
+	kids    []*bnode // nil for leaves; else len(entries)+1
+}
+
+func (b *bnode) leaf() bool { return b.kids == nil }
+
+// Index is the combined sequence + B-tree index store.
+type Index struct {
+	seq  []string
+	root *bnode
+	keys int
+}
+
+// New returns an empty index.
+func New() *Index { return &Index{} }
+
+// FromSlice builds an index over a copy of seq.
+func FromSlice(seq []string) *Index {
+	ix := New()
+	for _, s := range seq {
+		ix.Append(s)
+	}
+	return ix
+}
+
+// Len returns the number of elements.
+func (ix *Index) Len() int { return len(ix.seq) }
+
+// AlphabetSize returns the number of distinct strings.
+func (ix *Index) AlphabetSize() int { return ix.keys }
+
+// Append appends s at the end of the sequence and posts its position.
+func (ix *Index) Append(s string) {
+	pos := len(ix.seq)
+	ix.seq = append(ix.seq, s)
+	e := ix.upsert(s)
+	e.positions = append(e.positions, pos) // appended positions are increasing
+}
+
+// Access returns the element at position pos.
+func (ix *Index) Access(pos int) string {
+	if pos < 0 || pos >= len(ix.seq) {
+		panic(fmt.Sprintf("btindex: Access(%d) out of range [0,%d)", pos, len(ix.seq)))
+	}
+	return ix.seq[pos]
+}
+
+// Rank counts occurrences of s in [0, pos) by binary-searching the
+// postings list.
+func (ix *Index) Rank(s string, pos int) int {
+	if pos < 0 || pos > len(ix.seq) {
+		panic(fmt.Sprintf("btindex: Rank position %d out of range [0,%d]", pos, len(ix.seq)))
+	}
+	e := ix.find(s)
+	if e == nil {
+		return 0
+	}
+	return sort.SearchInts(e.positions, pos)
+}
+
+// Select returns the position of the idx-th (0-based) occurrence of s.
+func (ix *Index) Select(s string, idx int) (int, bool) {
+	e := ix.find(s)
+	if e == nil || idx < 0 || idx >= len(e.positions) {
+		return 0, false
+	}
+	return e.positions[idx], true
+}
+
+// RankPrefix counts elements in [0, pos) with byte prefix p by merging
+// the postings of every key in the prefix range — possible here but
+// linear in the number of matching keys and their postings.
+func (ix *Index) RankPrefix(p string, pos int) int {
+	total := 0
+	ix.AscendPrefix(p, func(e string, positions []int) bool {
+		total += sort.SearchInts(positions, pos)
+		return true
+	})
+	return total
+}
+
+// SelectPrefix returns the position of the idx-th element with prefix p.
+// It materializes and merges the matching postings lists — the cost this
+// design pays for prefix selection.
+func (ix *Index) SelectPrefix(p string, idx int) (int, bool) {
+	if idx < 0 {
+		return 0, false
+	}
+	var all []int
+	ix.AscendPrefix(p, func(_ string, positions []int) bool {
+		all = append(all, positions...)
+		return true
+	})
+	if idx >= len(all) {
+		return 0, false
+	}
+	sort.Ints(all)
+	return all[idx], true
+}
+
+// AscendPrefix visits every distinct key with byte prefix p in ascending
+// order, passing its postings list; stop by returning false.
+func (ix *Index) AscendPrefix(p string, visit func(key string, positions []int) bool) {
+	var rec func(b *bnode) bool
+	rec = func(b *bnode) bool {
+		if b == nil {
+			return true
+		}
+		// Find first entry >= p.
+		i := sort.Search(len(b.entries), func(i int) bool { return b.entries[i].key >= p })
+		for ; i <= len(b.entries); i++ {
+			if !b.leaf() {
+				if !rec(b.kids[i]) {
+					return false
+				}
+			}
+			if i == len(b.entries) {
+				break
+			}
+			e := b.entries[i]
+			if !strings.HasPrefix(e.key, p) {
+				if e.key > p {
+					return false // past the prefix range
+				}
+				continue
+			}
+			if !visit(e.key, e.positions) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(ix.root)
+}
+
+// find locates the entry for key s.
+func (ix *Index) find(s string) *entry {
+	b := ix.root
+	for b != nil {
+		i := sort.Search(len(b.entries), func(i int) bool { return b.entries[i].key >= s })
+		if i < len(b.entries) && b.entries[i].key == s {
+			return b.entries[i]
+		}
+		if b.leaf() {
+			return nil
+		}
+		b = b.kids[i]
+	}
+	return nil
+}
+
+// upsert finds or inserts the entry for key s, splitting full nodes on
+// the way down (preemptive splitting keeps the insert single-pass).
+func (ix *Index) upsert(s string) *entry {
+	if ix.root == nil {
+		e := &entry{key: s}
+		ix.root = &bnode{entries: []*entry{e}}
+		ix.keys = 1
+		return e
+	}
+	if len(ix.root.entries) == 2*degree-1 {
+		old := ix.root
+		ix.root = &bnode{kids: []*bnode{old}}
+		ix.splitChild(ix.root, 0)
+	}
+	b := ix.root
+	for {
+		i := sort.Search(len(b.entries), func(i int) bool { return b.entries[i].key >= s })
+		if i < len(b.entries) && b.entries[i].key == s {
+			return b.entries[i]
+		}
+		if b.leaf() {
+			e := &entry{key: s}
+			b.entries = append(b.entries, nil)
+			copy(b.entries[i+1:], b.entries[i:])
+			b.entries[i] = e
+			ix.keys++
+			return e
+		}
+		if len(b.kids[i].entries) == 2*degree-1 {
+			ix.splitChild(b, i)
+			// After the split the median moved up to position i.
+			if s == b.entries[i].key {
+				return b.entries[i]
+			}
+			if s > b.entries[i].key {
+				i++
+			}
+		}
+		b = b.kids[i]
+	}
+}
+
+// splitChild splits the full child b.kids[i] around its median entry.
+func (ix *Index) splitChild(b *bnode, i int) {
+	child := b.kids[i]
+	mid := degree - 1
+	median := child.entries[mid]
+	right := &bnode{entries: append([]*entry(nil), child.entries[mid+1:]...)}
+	if !child.leaf() {
+		right.kids = append([]*bnode(nil), child.kids[mid+1:]...)
+		child.kids = child.kids[:mid+1]
+	}
+	child.entries = child.entries[:mid]
+	b.entries = append(b.entries, nil)
+	copy(b.entries[i+1:], b.entries[i:])
+	b.entries[i] = median
+	b.kids = append(b.kids, nil)
+	copy(b.kids[i+2:], b.kids[i+1:])
+	b.kids[i+1] = right
+}
+
+// Height returns the B-tree height in nodes (0 for empty).
+func (ix *Index) Height() int {
+	h := 0
+	for b := ix.root; b != nil; {
+		h++
+		if b.leaf() {
+			break
+		}
+		b = b.kids[0]
+	}
+	return h
+}
+
+// SizeBits returns the measured footprint: the raw sequence array, every
+// key string, every postings slot and per-node pointers. It demonstrates
+// the ≥2x blowup of storing the sequence plus an uncompressed index.
+func (ix *Index) SizeBits() int {
+	s := 0
+	for _, x := range ix.seq {
+		s += len(x)*8 + 2*64 // string bytes + header
+	}
+	var rec func(b *bnode)
+	rec = func(b *bnode) {
+		if b == nil {
+			return
+		}
+		s += 4 * 64 // node overhead
+		for _, e := range b.entries {
+			s += len(e.key)*8 + 2*64 + len(e.positions)*64
+		}
+		for _, k := range b.kids {
+			rec(k)
+		}
+	}
+	rec(ix.root)
+	return s
+}

@@ -1,0 +1,176 @@
+package btindex
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/seqstore/flat"
+)
+
+func TestAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(120))
+	pool := make([]string, 300) // enough keys to force several B-tree levels
+	for i := range pool {
+		pool[i] = fmt.Sprintf("key/%03d/%c", i%100, 'a'+i%26)
+	}
+	ix := New()
+	o := flat.New()
+	for i := 0; i < 3000; i++ {
+		s := pool[r.Intn(len(pool))]
+		ix.Append(s)
+		o.Append(s)
+	}
+	if ix.Len() != 3000 {
+		t.Fatalf("Len=%d", ix.Len())
+	}
+	if ix.Height() < 2 {
+		t.Fatalf("expected a multi-level B-tree, height=%d", ix.Height())
+	}
+	for i := 0; i < 3000; i += 7 {
+		if ix.Access(i) != o.Access(i) {
+			t.Fatalf("Access(%d)", i)
+		}
+	}
+	probes := append([]string{"", "key/", "key/05", "absent", pool[0], pool[42]}, pool[250])
+	for _, p := range probes {
+		for trial := 0; trial < 10; trial++ {
+			pos := r.Intn(3001)
+			if got, want := ix.Rank(p, pos), o.Rank(p, pos); got != want {
+				t.Fatalf("Rank(%q,%d)=%d want %d", p, pos, got, want)
+			}
+			if got, want := ix.RankPrefix(p, pos), o.RankPrefix(p, pos); got != want {
+				t.Fatalf("RankPrefix(%q,%d)=%d want %d", p, pos, got, want)
+			}
+		}
+		total := o.Rank(p, 3000)
+		for idx := 0; idx <= total; idx += 1 + total/6 {
+			gotPos, gotOK := ix.Select(p, idx)
+			wantPos, wantOK := o.Select(p, idx)
+			if gotOK != wantOK || (gotOK && gotPos != wantPos) {
+				t.Fatalf("Select(%q,%d)", p, idx)
+			}
+		}
+		totalP := o.RankPrefix(p, 3000)
+		for idx := 0; idx <= totalP; idx += 1 + totalP/4 {
+			gotPos, gotOK := ix.SelectPrefix(p, idx)
+			wantPos, wantOK := o.SelectPrefix(p, idx)
+			if gotOK != wantOK || (gotOK && gotPos != wantPos) {
+				t.Fatalf("SelectPrefix(%q,%d)=(%d,%v) want (%d,%v)", p, idx, gotPos, gotOK, wantPos, wantOK)
+			}
+		}
+	}
+}
+
+func TestAscendPrefixOrdered(t *testing.T) {
+	ix := New()
+	words := []string{"b", "a/1", "a/2", "a/10", "c", "a", "ab"}
+	for _, w := range words {
+		ix.Append(w)
+	}
+	var got []string
+	ix.AscendPrefix("a", func(k string, _ []int) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []string{"a", "a/1", "a/10", "a/2", "ab"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatal("not sorted")
+	}
+	// Early stop.
+	count := 0
+	ix.AscendPrefix("a", func(string, []int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop count %d", count)
+	}
+}
+
+func TestManyDistinctKeysSplitCorrectness(t *testing.T) {
+	// Insert enough distinct keys to force repeated splits at every level
+	// and verify the B-tree invariants.
+	ix := New()
+	n := 5000
+	for i := 0; i < n; i++ {
+		ix.Append(fmt.Sprintf("%06d", i*7919%n))
+	}
+	if ix.AlphabetSize() != n {
+		t.Fatalf("keys=%d want %d", ix.AlphabetSize(), n)
+	}
+	// Invariants: sorted keys, node occupancy, uniform leaf depth.
+	var depths []int
+	var last string
+	first := true
+	var rec func(b *bnode, d int)
+	rec = func(b *bnode, d int) {
+		if b.leaf() {
+			depths = append(depths, d)
+		}
+		for i, e := range b.entries {
+			if !b.leaf() {
+				rec(b.kids[i], d+1)
+			}
+			if !first && e.key <= last {
+				t.Fatalf("keys out of order: %q after %q", e.key, last)
+			}
+			last, first = e.key, false
+		}
+		if !b.leaf() {
+			rec(b.kids[len(b.entries)], d+1)
+		}
+		if len(b.entries) > 2*degree-1 {
+			t.Fatalf("node overflow: %d entries", len(b.entries))
+		}
+		if b != ix.root && len(b.entries) < degree-1 {
+			t.Fatalf("node underflow: %d entries", len(b.entries))
+		}
+	}
+	rec(ix.root, 0)
+	for _, d := range depths {
+		if d != depths[0] {
+			t.Fatal("leaves at different depths")
+		}
+	}
+	// Every key findable.
+	for i := 0; i < n; i += 13 {
+		k := fmt.Sprintf("%06d", i)
+		if ix.find(k) == nil {
+			t.Fatalf("key %q lost", k)
+		}
+	}
+}
+
+func TestSpaceExceedsRaw(t *testing.T) {
+	ix := New()
+	raw := 0
+	for i := 0; i < 1000; i++ {
+		s := fmt.Sprintf("value-%d", i%50)
+		ix.Append(s)
+		raw += len(s) * 8
+	}
+	if ix.SizeBits() <= raw {
+		t.Fatalf("uncompressed index %d bits should exceed raw %d bits", ix.SizeBits(), raw)
+	}
+}
+
+func BenchmarkSelect(b *testing.B) {
+	ix := New()
+	for i := 0; i < 1<<16; i++ {
+		ix.Append(fmt.Sprintf("k%04d", i%1000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Select(fmt.Sprintf("k%04d", i%1000), i%64)
+	}
+}

@@ -1,0 +1,150 @@
+// Package flat implements an uncompressed, brute-force indexed sequence
+// of strings: every operation of the problem statement (§1) by linear
+// scan. It is the correctness oracle that the Wavelet Trie variants and
+// the baselines are differentially tested against, and the "no index"
+// reference point in the space/time comparisons (experiment CMP).
+package flat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Store is a plain string sequence. The zero value is an empty sequence.
+type Store struct {
+	seq []string
+}
+
+// New returns an empty Store.
+func New() *Store { return &Store{} }
+
+// FromSlice returns a Store over a copy of seq.
+func FromSlice(seq []string) *Store {
+	return &Store{seq: append([]string(nil), seq...)}
+}
+
+// Len returns the number of elements.
+func (st *Store) Len() int { return len(st.seq) }
+
+// Access returns the element at position pos.
+func (st *Store) Access(pos int) string {
+	if pos < 0 || pos >= len(st.seq) {
+		panic(fmt.Sprintf("flat: Access(%d) out of range [0,%d)", pos, len(st.seq)))
+	}
+	return st.seq[pos]
+}
+
+// Rank counts occurrences of s in positions [0, pos).
+func (st *Store) Rank(s string, pos int) int {
+	if pos < 0 || pos > len(st.seq) {
+		panic(fmt.Sprintf("flat: Rank position %d out of range [0,%d]", pos, len(st.seq)))
+	}
+	r := 0
+	for _, x := range st.seq[:pos] {
+		if x == s {
+			r++
+		}
+	}
+	return r
+}
+
+// Select returns the position of the idx-th (0-based) occurrence of s.
+func (st *Store) Select(s string, idx int) (int, bool) {
+	if idx < 0 {
+		return 0, false
+	}
+	for i, x := range st.seq {
+		if x == s {
+			if idx == 0 {
+				return i, true
+			}
+			idx--
+		}
+	}
+	return 0, false
+}
+
+// RankPrefix counts elements in [0, pos) having byte prefix p.
+func (st *Store) RankPrefix(p string, pos int) int {
+	if pos < 0 || pos > len(st.seq) {
+		panic(fmt.Sprintf("flat: RankPrefix position %d out of range [0,%d]", pos, len(st.seq)))
+	}
+	r := 0
+	for _, x := range st.seq[:pos] {
+		if strings.HasPrefix(x, p) {
+			r++
+		}
+	}
+	return r
+}
+
+// SelectPrefix returns the position of the idx-th (0-based) element with
+// byte prefix p.
+func (st *Store) SelectPrefix(p string, idx int) (int, bool) {
+	if idx < 0 {
+		return 0, false
+	}
+	for i, x := range st.seq {
+		if strings.HasPrefix(x, p) {
+			if idx == 0 {
+				return i, true
+			}
+			idx--
+		}
+	}
+	return 0, false
+}
+
+// Insert inserts s before position pos.
+func (st *Store) Insert(s string, pos int) {
+	if pos < 0 || pos > len(st.seq) {
+		panic(fmt.Sprintf("flat: Insert position %d out of range [0,%d]", pos, len(st.seq)))
+	}
+	st.seq = append(st.seq, "")
+	copy(st.seq[pos+1:], st.seq[pos:])
+	st.seq[pos] = s
+}
+
+// Append appends s at the end.
+func (st *Store) Append(s string) { st.seq = append(st.seq, s) }
+
+// Delete removes and returns the element at position pos.
+func (st *Store) Delete(pos int) string {
+	if pos < 0 || pos >= len(st.seq) {
+		panic(fmt.Sprintf("flat: Delete(%d) out of range [0,%d)", pos, len(st.seq)))
+	}
+	s := st.seq[pos]
+	st.seq = append(st.seq[:pos], st.seq[pos+1:]...)
+	return s
+}
+
+// DistinctInRange returns the distinct values in [l, r) with counts, in
+// lexicographic order.
+func (st *Store) DistinctInRange(l, r int) map[string]int {
+	out := map[string]int{}
+	for _, x := range st.seq[l:r] {
+		out[x]++
+	}
+	return out
+}
+
+// Majority returns the strict majority element of [l, r), if any.
+func (st *Store) Majority(l, r int) (string, bool) {
+	counts := st.DistinctInRange(l, r)
+	for s, c := range counts {
+		if c > (r-l)/2 {
+			return s, true
+		}
+	}
+	return "", false
+}
+
+// SizeBits returns the raw storage cost: string bytes plus one pointer
+// and one length word per element.
+func (st *Store) SizeBits() int {
+	s := 0
+	for _, x := range st.seq {
+		s += len(x) * 8
+	}
+	return s + len(st.seq)*2*64
+}

@@ -1,0 +1,96 @@
+package flat
+
+import "testing"
+
+// The flat store is the oracle for every other structure, so its own
+// behaviour is pinned down by hand-computed cases.
+
+func demo() *Store {
+	return FromSlice([]string{"a", "b", "a", "ab", "a", "b"})
+}
+
+func TestAccessRankSelect(t *testing.T) {
+	st := demo()
+	if st.Len() != 6 {
+		t.Fatalf("Len=%d", st.Len())
+	}
+	if st.Access(3) != "ab" {
+		t.Fatal("Access")
+	}
+	if st.Rank("a", 5) != 3 || st.Rank("a", 0) != 0 || st.Rank("zz", 6) != 0 {
+		t.Fatal("Rank")
+	}
+	if pos, ok := st.Select("a", 2); !ok || pos != 4 {
+		t.Fatal("Select")
+	}
+	if _, ok := st.Select("a", 3); ok {
+		t.Fatal("Select out of range must fail")
+	}
+	if _, ok := st.Select("zz", 0); ok {
+		t.Fatal("Select of absent must fail")
+	}
+}
+
+func TestPrefixOps(t *testing.T) {
+	st := demo()
+	if st.RankPrefix("a", 6) != 4 { // a, a, ab, a
+		t.Fatalf("RankPrefix=%d", st.RankPrefix("a", 6))
+	}
+	if st.RankPrefix("", 6) != 6 {
+		t.Fatal("empty prefix matches everything")
+	}
+	if pos, ok := st.SelectPrefix("a", 2); !ok || pos != 3 {
+		t.Fatal("SelectPrefix")
+	}
+	if _, ok := st.SelectPrefix("a", 4); ok {
+		t.Fatal("SelectPrefix out of range")
+	}
+}
+
+func TestMutations(t *testing.T) {
+	st := New()
+	st.Append("x")
+	st.Insert("y", 0)
+	st.Insert("z", 1)
+	// y z x
+	if st.Access(0) != "y" || st.Access(1) != "z" || st.Access(2) != "x" {
+		t.Fatal("insert order")
+	}
+	if got := st.Delete(1); got != "z" || st.Len() != 2 {
+		t.Fatal("delete")
+	}
+}
+
+func TestAnalytics(t *testing.T) {
+	st := demo()
+	d := st.DistinctInRange(0, 6)
+	if d["a"] != 3 || d["b"] != 2 || d["ab"] != 1 || len(d) != 3 {
+		t.Fatalf("distinct %v", d)
+	}
+	if m, ok := st.Majority(0, 5); !ok || m != "a" {
+		t.Fatal("majority")
+	}
+	if _, ok := st.Majority(0, 6); ok {
+		t.Fatal("no majority in full range")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	st := demo()
+	for _, f := range []func(){
+		func() { st.Access(6) },
+		func() { st.Rank("a", 7) },
+		func() { st.Insert("q", 8) },
+		func() { st.Delete(-1) },
+		func() { st.RankPrefix("a", -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,173 @@
+// Package textindex implements the paper's related-work approach (2)
+// (§1, "Dynamic Text Collection" [18]): the string sequence is stored as
+// one big text — the concatenation of the elements with separators — and
+// indexed as text, here with a suffix array over the concatenation plus a
+// document-boundary directory.
+//
+// The paper's critique of this approach, which this implementation makes
+// measurable, is twofold: it is slower, "because it needs a search in the
+// compressed text index" (every string-level operation becomes a pattern
+// search plus postprocessing), and it is less space-efficient, because it
+// compresses toward the k-order entropy of the concatenated *text* and
+// "fail[s] to exploit the redundancy given by repeated strings" — a
+// sequence with few distinct strings still pays index space proportional
+// to the full text (here: one suffix-array entry per text character,
+// n log n bits, versus the Wavelet Trie's nH₀(S)).
+package textindex
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/eliasfano"
+)
+
+// sep terminates every document in the concatenation. Input strings must
+// not contain it; New panics otherwise (the classical text-collection
+// caveat — the Wavelet Trie needs no reserved byte).
+const sep = 0x01
+
+// Index is a static text-collection index over a string sequence.
+type Index struct {
+	text   []byte // s₀·SEP·s₁·SEP·…·s_{n-1}·SEP
+	sa     []int32
+	bounds *eliasfano.PartialSum // document lengths (incl. separator)
+	n      int
+}
+
+// New builds the index over seq.
+func New(seq []string) *Index {
+	ix := &Index{n: len(seq)}
+	lens := make([]int, len(seq))
+	total := 0
+	for i, s := range seq {
+		if strings.IndexByte(s, sep) >= 0 {
+			panic(fmt.Sprintf("textindex: element %d contains the reserved separator byte", i))
+		}
+		lens[i] = len(s) + 1
+		total += lens[i]
+	}
+	ix.text = make([]byte, 0, total)
+	for _, s := range seq {
+		ix.text = append(ix.text, s...)
+		ix.text = append(ix.text, sep)
+	}
+	ix.bounds = eliasfano.NewPartialSum(lens)
+	// Suffix array by direct comparison sort: O(n log n) comparisons of
+	// average-LCP cost — the simple construction, adequate for the
+	// comparison experiments (see DESIGN.md substitutions).
+	ix.sa = make([]int32, len(ix.text))
+	for i := range ix.sa {
+		ix.sa[i] = int32(i)
+	}
+	sort.Slice(ix.sa, func(a, b int) bool {
+		return string(ix.text[ix.sa[a]:]) < string(ix.text[ix.sa[b]:])
+	})
+	return ix
+}
+
+// Len returns the number of elements.
+func (ix *Index) Len() int { return ix.n }
+
+// Access extracts the element at position pos from the text.
+func (ix *Index) Access(pos int) string {
+	if pos < 0 || pos >= ix.n {
+		panic(fmt.Sprintf("textindex: Access(%d) out of range [0,%d)", pos, ix.n))
+	}
+	start := ix.bounds.Offset(pos)
+	end := ix.bounds.Offset(pos+1) - 1 // drop the separator
+	return string(ix.text[start:end])
+}
+
+// saRange returns the [lo, hi) suffix-array interval of suffixes starting
+// with pattern.
+func (ix *Index) saRange(pattern []byte) (int, int) {
+	lo := sort.Search(len(ix.sa), func(i int) bool {
+		return string(ix.text[ix.sa[i]:]) >= string(pattern)
+	})
+	hi := sort.Search(len(ix.sa), func(i int) bool {
+		suf := ix.text[ix.sa[i]:]
+		if len(suf) > len(pattern) {
+			suf = suf[:len(pattern)]
+		}
+		return string(suf) > string(pattern)
+	})
+	return lo, hi
+}
+
+// occurrenceDocs returns the sorted document ids whose text matches the
+// search: pattern occurrences anchored at document start.
+func (ix *Index) occurrenceDocs(pattern []byte) []int {
+	lo, hi := ix.saRange(pattern)
+	var docs []int
+	for i := lo; i < hi; i++ {
+		p := int(ix.sa[i])
+		// Anchored at a document start?
+		doc := ix.bounds.Find(uint64(p))
+		if int(ix.bounds.Offset(doc)) == p {
+			docs = append(docs, doc)
+		}
+	}
+	sort.Ints(docs)
+	return docs
+}
+
+// Count returns the number of elements equal to s — a text search for
+// SEP-terminated s anchored at document boundaries.
+func (ix *Index) Count(s string) int {
+	return len(ix.occurrenceDocs(append([]byte(s), sep)))
+}
+
+// Rank counts occurrences of s in positions [0, pos). Note the cost: a
+// full pattern search plus a scan of every occurrence — there is no
+// sublinear positional counting in a text index.
+func (ix *Index) Rank(s string, pos int) int {
+	if pos < 0 || pos > ix.n {
+		panic(fmt.Sprintf("textindex: Rank position %d out of range [0,%d]", pos, ix.n))
+	}
+	docs := ix.occurrenceDocs(append([]byte(s), sep))
+	return sort.SearchInts(docs, pos)
+}
+
+// Select returns the position of the idx-th occurrence of s.
+func (ix *Index) Select(s string, idx int) (int, bool) {
+	docs := ix.occurrenceDocs(append([]byte(s), sep))
+	if idx < 0 || idx >= len(docs) {
+		return 0, false
+	}
+	return docs[idx], true
+}
+
+// RankPrefix counts elements in [0, pos) having byte prefix p.
+func (ix *Index) RankPrefix(p string, pos int) int {
+	if pos < 0 || pos > ix.n {
+		panic(fmt.Sprintf("textindex: RankPrefix position %d out of range [0,%d]", pos, ix.n))
+	}
+	docs := ix.occurrenceDocs([]byte(p))
+	return sort.SearchInts(docs, pos)
+}
+
+// SelectPrefix returns the position of the idx-th element with prefix p.
+func (ix *Index) SelectPrefix(p string, idx int) (int, bool) {
+	docs := ix.occurrenceDocs([]byte(p))
+	if idx < 0 || idx >= len(docs) {
+		return 0, false
+	}
+	return docs[idx], true
+}
+
+// CountSubstring counts text-level occurrences of pattern anywhere in the
+// collection — the one query class where a text index genuinely beats an
+// indexed sequence of strings (the Wavelet Trie cannot answer it).
+func (ix *Index) CountSubstring(pattern string) int {
+	lo, hi := ix.saRange([]byte(pattern))
+	return hi - lo
+}
+
+// SizeBits returns the measured footprint: the text plus one suffix-array
+// entry per text byte plus the boundary directory — the space penalty the
+// paper's point (2) predicts.
+func (ix *Index) SizeBits() int {
+	return len(ix.text)*8 + len(ix.sa)*32 + ix.bounds.SizeBits()
+}

@@ -1,0 +1,102 @@
+package succinct
+
+import (
+	"fmt"
+
+	"repro/internal/bitstr"
+	"repro/internal/bitvec"
+	"repro/internal/dfuds"
+	"repro/internal/eliasfano"
+	"repro/internal/rrr"
+	"repro/internal/wire"
+)
+
+const (
+	wireMagic   = 0x57545249 // "WTRI"
+	wireVersion = 1
+)
+
+// MarshalBinary serializes the frozen Wavelet Trie into a self-contained
+// byte buffer (little-endian, versioned). The encoding is the succinct
+// representation itself — labels, parens, RRR streams and directories —
+// so the on-disk size matches SizeBits up to padding.
+func (t *Trie) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter(wireMagic, wireVersion)
+	w.Int(t.n)
+	if t.tree == nil {
+		w.Int(0) // node count 0 marks the empty trie
+		return w.Bytes(), nil
+	}
+	w.Int(t.tree.NumNodes())
+	t.tree.EncodeTo(w)
+	w.Int(t.labels.Len())
+	w.Words(t.labels.Words())
+	t.labelDir.EncodeTo(w)
+	t.internalID.bv.EncodeTo(w)
+	t.bits.EncodeTo(w)
+	t.bvOffsets.EncodeTo(w)
+	t.bvOnes.EncodeTo(w)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary reconstructs a frozen Wavelet Trie serialized by
+// MarshalBinary.
+func UnmarshalBinary(data []byte) (*Trie, error) {
+	r, err := wire.NewReader(data, wireMagic, wireVersion)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trie{n: r.Int()}
+	nodes := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if nodes == 0 {
+		if t.n != 0 {
+			return nil, fmt.Errorf("succinct: %d elements but empty trie", t.n)
+		}
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+	t.tree = dfuds.DecodeTree(r)
+	labelLen := r.Int()
+	labelWords := r.Words()
+	if r.Err() == nil {
+		if labelLen < 0 || labelLen > len(labelWords)*64 {
+			r.Fail("succinct: label stream shape")
+		} else {
+			t.labels = bitstr.FromWords(labelWords, labelLen)
+		}
+	}
+	t.labelDir = eliasfano.DecodePartialSum(r)
+	t.internalID = &internalRank{bv: bitvec.DecodeFrom(r)}
+	t.bits = rrr.DecodeFrom(r)
+	t.bvOffsets = eliasfano.DecodeMonotone(r)
+	t.bvOnes = eliasfano.DecodeMonotone(r)
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	// Cross-component validation.
+	if t.tree.NumNodes() != nodes {
+		return nil, fmt.Errorf("succinct: tree has %d nodes, header says %d", t.tree.NumNodes(), nodes)
+	}
+	if t.labelDir.Count() != nodes {
+		return nil, fmt.Errorf("succinct: label directory covers %d nodes, want %d", t.labelDir.Count(), nodes)
+	}
+	if int(t.labelDir.Total()) != t.labels.Len() {
+		return nil, fmt.Errorf("succinct: labels %d bits, directory says %d", t.labels.Len(), t.labelDir.Total())
+	}
+	internals := t.internalID.bv.Ones()
+	if t.internalID.bv.Len() != nodes || internals != (nodes-1)/2 {
+		return nil, fmt.Errorf("succinct: internal-rank map inconsistent (%d nodes, %d internals)", t.internalID.bv.Len(), internals)
+	}
+	if t.bvOffsets.Len() != internals+1 || t.bvOnes.Len() != internals+1 {
+		return nil, fmt.Errorf("succinct: bitvector directories cover %d segments, want %d", t.bvOffsets.Len()-1, internals)
+	}
+	if int(t.bvOffsets.Get(internals)) != t.bits.Len() {
+		return nil, fmt.Errorf("succinct: bitvector stream %d bits, directory says %d", t.bits.Len(), t.bvOffsets.Get(internals))
+	}
+	return t, nil
+}

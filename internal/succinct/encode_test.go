@@ -1,0 +1,108 @@
+package succinct
+
+import (
+	"testing"
+
+	"repro/internal/bitstr"
+	"repro/internal/core"
+)
+
+func freezeOf(seq []string) *Trie {
+	return Freeze(core.NewStaticFromBits(encodeSeq(seq)))
+}
+
+func TestMarshalRoundTripInternal(t *testing.T) {
+	for _, seq := range [][]string{
+		nil,
+		{"one"},
+		{"a", "b", "a", "ab", "b", "b"},
+	} {
+		fz := freezeOf(seq)
+		data, err := fz.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalBinary(data)
+		if err != nil {
+			t.Fatalf("seq %v: %v", seq, err)
+		}
+		if got.Len() != len(seq) || got.AlphabetSize() != fz.AlphabetSize() {
+			t.Fatalf("seq %v: totals differ", seq)
+		}
+		for i := range seq {
+			if !bitstr.Equal(got.AccessBits(i), fz.AccessBits(i)) {
+				t.Fatalf("seq %v: Access(%d)", seq, i)
+			}
+		}
+	}
+}
+
+// TestUnmarshalCrossComponentValidation flips individual header fields and
+// verifies the loader rejects each inconsistency class rather than
+// returning a structure that fails later.
+func TestUnmarshalCrossComponentValidation(t *testing.T) {
+	good, err := freezeOf([]string{"aa", "ab", "aa", "ba", "bb"}).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalBinary(good); err != nil {
+		t.Fatalf("control: %v", err)
+	}
+	mutate := func(off int, xor byte) []byte {
+		b := append([]byte{}, good...)
+		b[off] ^= xor
+		return b
+	}
+	rejected := 0
+	// Header layout: magic(4) version(2) n(8) nodes(8) …
+	for _, c := range []struct {
+		name string
+		data []byte
+	}{
+		{"node count", mutate(14, 0x07)},
+		{"truncated", good[:len(good)/2]},
+		{"trailing", append(append([]byte{}, good...), 1, 2, 3)},
+		{"empty-with-elements", func() []byte {
+			b := append([]byte{}, good...)
+			for i := 14; i < 22; i++ {
+				b[i] = 0 // nodes = 0 while n > 0
+			}
+			return b[:22]
+		}()},
+	} {
+		if _, err := UnmarshalBinary(c.data); err != nil {
+			rejected++
+		} else {
+			t.Errorf("%s: corruption accepted", c.name)
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no corruption rejected")
+	}
+}
+
+func TestFrozenPanicsOnBadPositions(t *testing.T) {
+	fz := freezeOf([]string{"x", "y"})
+	for _, f := range []func(){
+		func() { fz.AccessBits(2) },
+		func() { fz.AccessBits(-1) },
+		func() { fz.RankBits(bitstr.EncodeString("x"), 3) },
+		func() { fz.RankPrefixBits(bitstr.EncodePrefixString("x"), -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+	// Select with absurd idx must return false, not panic.
+	if _, ok := fz.SelectBits(bitstr.EncodeString("x"), 99); ok {
+		t.Error("Select past count should fail")
+	}
+	if _, ok := fz.SelectPrefixBits(bitstr.EncodePrefixString("zz"), 0); ok {
+		t.Error("SelectPrefix of absent prefix should fail")
+	}
+}

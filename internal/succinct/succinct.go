@@ -1,0 +1,396 @@
+// Package succinct implements the "Static succinct representation" of
+// paper §3 (Theorem 3.7): the static Wavelet Trie frozen into flat
+// succinct components —
+//
+//   - the trie structure as a DFUDS tree (2k + o(k) bits);
+//   - the node labels α concatenated in depth-first order into the
+//     bitvector L of Theorem 3.6, delimited by an Elias-Fano partial-sum
+//     directory;
+//   - all node bitvectors β concatenated into a single RRR dictionary,
+//     delimited by a second Elias-Fano directory (offsets and cumulative
+//     ones), so per-node query state is two O(1) directory lookups.
+//
+// The total is LT(Sset) + nH₀(S) + o(h̃n) bits up to the practical-RRR
+// redundancy, with no per-node pointer words at all — unlike the
+// pointer-based core.Static it is built from (and differentially tested
+// against).
+package succinct
+
+import (
+	"fmt"
+
+	"repro/internal/bitstr"
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/dfuds"
+	"repro/internal/eliasfano"
+	"repro/internal/rrr"
+)
+
+// Trie is a frozen static Wavelet Trie. All query operations mirror
+// core.Static at the same asymptotic cost; mutation is impossible.
+type Trie struct {
+	n    int
+	tree *dfuds.Tree
+
+	labels     bitstr.BitString      // L: concatenated labels, DFS order
+	labelDir   *eliasfano.PartialSum // delimits labels by preorder id
+	internalID *internalRank         // preorder id → internal index
+	bits       *rrr.Vector           // all β concatenated, internal DFS order
+	bvOffsets  *eliasfano.Monotone   // start of each internal node's segment
+	bvOnes     *eliasfano.Monotone   // ones before each segment (cum. rank)
+}
+
+// internalRank maps node preorder ids to internal-node indexes via a
+// rank-indexed bitvector (1 = internal), ~1.1 bits per node.
+type internalRank struct {
+	bv *bitvec.Vector
+}
+
+func newInternalRank(kinds []bool) *internalRank {
+	b := bitvec.NewBuilder(len(kinds))
+	for _, k := range kinds {
+		if k {
+			b.AppendBit(1)
+		} else {
+			b.AppendBit(0)
+		}
+	}
+	return &internalRank{bv: b.Build()}
+}
+
+func (ir *internalRank) rank(id int) int { return ir.bv.Rank1(id) }
+func (ir *internalRank) sizeBits() int   { return ir.bv.SizeBits() }
+
+// Freeze converts a pointer-based static Wavelet Trie into the succinct
+// representation.
+func Freeze(st *core.Static) *Trie {
+	t := &Trie{n: st.Len()}
+	var degs []int
+	var kinds []bool
+	var labelLens []int
+	labelCat := bitstr.NewBuilder(0)
+	var bvLens []uint64
+	var bvOnes []uint64
+	var segs []*rrr.Vector
+	totalBits, totalOnes := uint64(0), uint64(0)
+	st.WalkPreorder(func(label bitstr.BitString, isLeaf bool, bv *rrr.Vector) {
+		labelCat.Append(label)
+		labelLens = append(labelLens, label.Len())
+		kinds = append(kinds, !isLeaf)
+		if isLeaf {
+			degs = append(degs, 0)
+			return
+		}
+		degs = append(degs, 2)
+		bvLens = append(bvLens, totalBits)
+		bvOnes = append(bvOnes, totalOnes)
+		totalBits += uint64(bv.Len())
+		totalOnes += uint64(bv.Ones())
+		segs = append(segs, bv)
+	})
+	if len(degs) == 0 {
+		return t
+	}
+	t.tree = dfuds.FromDegrees(degs)
+	t.labels = labelCat.BitString()
+	t.labelDir = eliasfano.NewPartialSum(labelLens)
+	t.internalID = newInternalRank(kinds)
+	// Sentinel entries make segment ends addressable.
+	bvLens = append(bvLens, totalBits)
+	bvOnes = append(bvOnes, totalOnes)
+	t.bvOffsets = eliasfano.FromSorted(bvLens, totalBits+1)
+	t.bvOnes = eliasfano.FromSorted(bvOnes, totalOnes+1)
+	// Concatenate the bitvector contents into one RRR dictionary.
+	cat := bitstr.NewBuilder(int(totalBits))
+	for _, seg := range segs {
+		it := seg.Iter(0)
+		for it.Valid() {
+			cat.AppendBit(it.Next())
+		}
+	}
+	all := cat.BitString()
+	t.bits = rrr.FromWords(all.Words(), all.Len())
+	return t
+}
+
+// Len returns the number of elements.
+func (t *Trie) Len() int { return t.n }
+
+// AlphabetSize returns |Sset| (the number of leaves).
+func (t *Trie) AlphabetSize() int {
+	if t.tree == nil {
+		return 0
+	}
+	return (t.tree.NumNodes() + 1) / 2
+}
+
+// label returns the label of the node with the given preorder id.
+func (t *Trie) label(id int) bitstr.BitString {
+	off := int(t.labelDir.Offset(id))
+	return t.labels.Sub(off, off+t.labelDir.Length(id))
+}
+
+// segment returns the global [start, end) range and the number of ones
+// before start for internal node id.
+func (t *Trie) segment(id int) (start, end, onesBefore int) {
+	ii := t.internalID.rank(id)
+	return int(t.bvOffsets.Get(ii)), int(t.bvOffsets.Get(ii + 1)), int(t.bvOnes.Get(ii))
+}
+
+// segRank counts occurrences of bit b in the first pos bits of node id's
+// segment.
+func (t *Trie) segRank(id int, b byte, pos int) int {
+	start, _, onesBefore := t.segment(id)
+	ones := t.bits.Rank1(start+pos) - onesBefore
+	if b == 1 {
+		return ones
+	}
+	return pos - ones
+}
+
+// segAccess returns bit pos of node id's segment.
+func (t *Trie) segAccess(id, pos int) byte {
+	start, _, _ := t.segment(id)
+	return t.bits.Access(start + pos)
+}
+
+// segSelect returns the position within node id's segment of the idx-th
+// occurrence of bit b.
+func (t *Trie) segSelect(id int, b byte, idx int) int {
+	start, _, onesBefore := t.segment(id)
+	if b == 1 {
+		return t.bits.Select1(onesBefore+idx) - start
+	}
+	zerosBefore := start - onesBefore
+	return t.bits.Select0(zerosBefore+idx) - start
+}
+
+// segLen returns the length of node id's segment; segOnes its popcount.
+func (t *Trie) segLen(id int) int {
+	start, end, _ := t.segment(id)
+	return end - start
+}
+
+func (t *Trie) segOnes(id int) int {
+	_, end, onesBefore := t.segment(id)
+	return t.bits.Rank1(end) - onesBefore
+}
+
+// AccessBits returns the element at position pos as a bit string.
+func (t *Trie) AccessBits(pos int) bitstr.BitString {
+	if pos < 0 || pos >= t.n {
+		panic(fmt.Sprintf("succinct: Access(%d) out of range [0,%d)", pos, t.n))
+	}
+	b := bitstr.NewBuilder(0)
+	v := t.tree.Root()
+	for {
+		id := t.tree.Preorder(v)
+		b.Append(t.label(id))
+		if t.tree.IsLeaf(v) {
+			return b.BitString()
+		}
+		bit := t.segAccess(id, pos)
+		b.AppendBit(bit)
+		pos = t.segRank(id, bit, pos)
+		v = t.tree.Child(v, int(bit))
+	}
+}
+
+// RankBits counts occurrences of s in positions [0, pos).
+func (t *Trie) RankBits(s bitstr.BitString, pos int) int {
+	if pos < 0 || pos > t.n {
+		panic(fmt.Sprintf("succinct: Rank position %d out of range [0,%d]", pos, t.n))
+	}
+	if t.tree == nil {
+		return 0
+	}
+	v := t.tree.Root()
+	off := 0
+	for {
+		id := t.tree.Preorder(v)
+		label := t.label(id)
+		l := label.Len()
+		if off+l > s.Len() || bitstr.LCP(s.Suffix(off), label) < l {
+			return 0
+		}
+		off += l
+		if t.tree.IsLeaf(v) {
+			if off == s.Len() {
+				return pos
+			}
+			return 0
+		}
+		if off >= s.Len() {
+			return 0
+		}
+		bit := s.Bit(off)
+		pos = t.segRank(id, bit, pos)
+		v = t.tree.Child(v, int(bit))
+		off++
+	}
+}
+
+// RankPrefixBits counts elements in [0, pos) having bit prefix p.
+func (t *Trie) RankPrefixBits(p bitstr.BitString, pos int) int {
+	if pos < 0 || pos > t.n {
+		panic(fmt.Sprintf("succinct: RankPrefix position %d out of range [0,%d]", pos, t.n))
+	}
+	if t.tree == nil {
+		return 0
+	}
+	v := t.tree.Root()
+	off := 0
+	for {
+		id := t.tree.Preorder(v)
+		label := t.label(id)
+		l := label.Len()
+		take := l
+		if rem := p.Len() - off; rem < take {
+			take = rem
+		}
+		if bitstr.LCP(p.Suffix(off), label) < take {
+			return 0
+		}
+		off += l
+		if off >= p.Len() {
+			return pos
+		}
+		if t.tree.IsLeaf(v) {
+			return 0
+		}
+		bit := p.Bit(off)
+		pos = t.segRank(id, bit, pos)
+		v = t.tree.Child(v, int(bit))
+		off++
+	}
+}
+
+// SelectBits returns the position of the idx-th occurrence of s.
+func (t *Trie) SelectBits(s bitstr.BitString, idx int) (int, bool) {
+	v, ok := t.findLeaf(s)
+	if !ok || idx < 0 || idx >= t.nodeSeqLen(v) {
+		return 0, false
+	}
+	return t.climb(v, idx), true
+}
+
+// SelectPrefixBits returns the position of the idx-th element with bit
+// prefix p.
+func (t *Trie) SelectPrefixBits(p bitstr.BitString, idx int) (int, bool) {
+	v, ok := t.findPrefixNode(p)
+	if !ok || idx < 0 || idx >= t.nodeSeqLen(v) {
+		return 0, false
+	}
+	return t.climb(v, idx), true
+}
+
+// findLeaf locates the leaf storing exactly s.
+func (t *Trie) findLeaf(s bitstr.BitString) (int, bool) {
+	if t.tree == nil {
+		return 0, false
+	}
+	v := t.tree.Root()
+	off := 0
+	for {
+		label := t.label(t.tree.Preorder(v))
+		l := label.Len()
+		if off+l > s.Len() || bitstr.LCP(s.Suffix(off), label) < l {
+			return 0, false
+		}
+		off += l
+		if t.tree.IsLeaf(v) {
+			return v, off == s.Len()
+		}
+		if off >= s.Len() {
+			return 0, false
+		}
+		v = t.tree.Child(v, int(s.Bit(off)))
+		off++
+	}
+}
+
+// findPrefixNode locates the highest node whose path covers prefix p.
+func (t *Trie) findPrefixNode(p bitstr.BitString) (int, bool) {
+	if t.tree == nil {
+		return 0, false
+	}
+	v := t.tree.Root()
+	off := 0
+	for {
+		label := t.label(t.tree.Preorder(v))
+		l := label.Len()
+		take := l
+		if rem := p.Len() - off; rem < take {
+			take = rem
+		}
+		if bitstr.LCP(p.Suffix(off), label) < take {
+			return 0, false
+		}
+		off += l
+		if off >= p.Len() {
+			return v, true
+		}
+		if t.tree.IsLeaf(v) {
+			return 0, false
+		}
+		v = t.tree.Child(v, int(p.Bit(off)))
+		off++
+	}
+}
+
+// nodeSeqLen returns the subsequence length of node v.
+func (t *Trie) nodeSeqLen(v int) int {
+	id := t.tree.Preorder(v)
+	if !t.tree.IsLeaf(v) {
+		return t.segLen(id)
+	}
+	if v == t.tree.Root() {
+		return t.n
+	}
+	parent := t.tree.Parent(v)
+	pid := t.tree.Preorder(parent)
+	if t.tree.ChildIndex(v) == 1 {
+		return t.segOnes(pid)
+	}
+	return t.segLen(pid) - t.segOnes(pid)
+}
+
+// climb maps a position in v's subsequence to a global position.
+func (t *Trie) climb(v, pos int) int {
+	for v != t.tree.Root() {
+		parent := t.tree.Parent(v)
+		bit := byte(t.tree.ChildIndex(v))
+		pos = t.segSelect(t.tree.Preorder(parent), bit, pos)
+		v = parent
+	}
+	return pos
+}
+
+// SizeBits returns the total footprint of the succinct encoding: DFUDS
+// tree, labels + directory, concatenated RRR + directories, and the
+// internal-rank map.
+func (t *Trie) SizeBits() int {
+	if t.tree == nil {
+		return 64
+	}
+	return t.tree.SizeBits() +
+		t.labels.Len() + t.labelDir.SizeBits() +
+		t.bits.SizeBits() + t.bvOffsets.SizeBits() + t.bvOnes.SizeBits() +
+		t.internalID.sizeBits()
+}
+
+// ComponentBits itemizes the encoding for the space experiments.
+func (t *Trie) ComponentBits() map[string]int {
+	if t.tree == nil {
+		return map[string]int{}
+	}
+	return map[string]int{
+		"dfuds":        t.tree.SizeBits(),
+		"labels":       t.labels.Len(),
+		"labelDir":     t.labelDir.SizeBits(),
+		"bitvectors":   t.bits.SizeBits(),
+		"bvDirs":       t.bvOffsets.SizeBits() + t.bvOnes.SizeBits(),
+		"internalRank": t.internalID.sizeBits(),
+	}
+}

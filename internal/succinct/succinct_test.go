@@ -1,0 +1,159 @@
+package succinct
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitstr"
+	"repro/internal/core"
+	"repro/internal/entropy"
+	"repro/internal/workload"
+)
+
+func encodeSeq(seq []string) []bitstr.BitString {
+	out := make([]bitstr.BitString, len(seq))
+	for i, s := range seq {
+		out[i] = bitstr.EncodeString(s)
+	}
+	return out
+}
+
+// TestMatchesPointerStatic drives the frozen trie against the pointer
+// implementation over the full query surface.
+func TestMatchesPointerStatic(t *testing.T) {
+	r := rand.New(rand.NewSource(160))
+	for _, n := range []int{1, 2, 50, 2000} {
+		seq := workload.URLLog(n, 9, workload.DefaultURLConfig())
+		st := core.NewStaticFromBits(encodeSeq(seq))
+		fz := Freeze(st)
+		if fz.Len() != st.Len() || fz.AlphabetSize() != st.AlphabetSize() {
+			t.Fatalf("n=%d: totals differ", n)
+		}
+		for i := 0; i < n; i++ {
+			if !bitstr.Equal(fz.AccessBits(i), st.AccessBits(i)) {
+				t.Fatalf("n=%d: Access(%d) differs", n, i)
+			}
+		}
+		dist := workload.Distinct(seq)
+		probes := dist
+		if len(probes) > 20 {
+			probes = probes[:20]
+		}
+		probes = append(probes, "absent", "")
+		for _, p := range probes {
+			enc := bitstr.EncodeString(p)
+			encP := bitstr.EncodePrefixString(p)
+			for trial := 0; trial < 6; trial++ {
+				pos := r.Intn(n + 1)
+				if fz.RankBits(enc, pos) != st.RankBits(enc, pos) {
+					t.Fatalf("Rank(%q,%d) differs", p, pos)
+				}
+				if fz.RankPrefixBits(encP, pos) != st.RankPrefixBits(encP, pos) {
+					t.Fatalf("RankPrefix(%q,%d) differs", p, pos)
+				}
+			}
+			total := st.RankBits(enc, n)
+			for idx := 0; idx <= total; idx += 1 + total/5 {
+				gp, gok := fz.SelectBits(enc, idx)
+				wp, wok := st.SelectBits(enc, idx)
+				if gok != wok || (gok && gp != wp) {
+					t.Fatalf("Select(%q,%d): (%d,%v) vs (%d,%v)", p, idx, gp, gok, wp, wok)
+				}
+			}
+			totalP := st.RankPrefixBits(encP, n)
+			for idx := 0; idx <= totalP; idx += 1 + totalP/5 {
+				gp, gok := fz.SelectPrefixBits(encP, idx)
+				wp, wok := st.SelectPrefixBits(encP, idx)
+				if gok != wok || (gok && gp != wp) {
+					t.Fatalf("SelectPrefix(%q,%d)", p, idx)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure2Frozen(t *testing.T) {
+	raw := []string{"0001", "0011", "0100", "00100", "0100", "00100", "0100"}
+	seq := make([]bitstr.BitString, len(raw))
+	for i, s := range raw {
+		seq[i] = bitstr.MustParse(s)
+	}
+	fz := Freeze(core.NewStaticFromBits(seq))
+	for i, s := range raw {
+		if got := fz.AccessBits(i).String(); got != s {
+			t.Fatalf("Access(%d) = %q want %q", i, got, s)
+		}
+	}
+	if fz.AlphabetSize() != 4 {
+		t.Fatalf("AlphabetSize=%d", fz.AlphabetSize())
+	}
+	// Label bitvector L in DFS order: 0, ε, 1, ε, 0, ε, 00 → "0" "1" "0" "00".
+	if got := fz.labels.String(); got != "01000" {
+		t.Fatalf("concatenated labels L = %q want %q", got, "01000")
+	}
+}
+
+func TestNoPointerOverhead(t *testing.T) {
+	// The succinct encoding must beat the pointer representation by a wide
+	// margin on alphabets with many distinct strings, where per-node
+	// pointers dominate.
+	seq := workload.URLLog(1<<14, 10, workload.DefaultURLConfig())
+	st := core.NewStaticFromBits(encodeSeq(seq))
+	fz := Freeze(st)
+	if fz.SizeBits() >= st.SizeBits()/2 {
+		t.Fatalf("succinct %d bits vs pointer %d bits: expected >2x saving",
+			fz.SizeBits(), st.SizeBits())
+	}
+	// And it must sit within a reasonable factor of the lower bound:
+	// LB + o(h~n) with practical-RRR constants.
+	lb := entropy.LB(seq)
+	hn := float64(st.TotalBitvectorBits())
+	if got := float64(fz.SizeBits()); got > lb+0.75*hn+64 {
+		t.Fatalf("succinct %d bits vs LB %.0f + h~n %.0f", fz.SizeBits(), lb, hn)
+	}
+}
+
+func TestComponentBreakdown(t *testing.T) {
+	seq := workload.URLLog(4096, 11, workload.DefaultURLConfig())
+	fz := Freeze(core.NewStaticFromBits(encodeSeq(seq)))
+	comp := fz.ComponentBits()
+	sum := 0
+	for _, v := range comp {
+		if v < 0 {
+			t.Fatalf("negative component: %v", comp)
+		}
+		sum += v
+	}
+	if sum != fz.SizeBits() {
+		t.Fatalf("components sum %d != SizeBits %d", sum, fz.SizeBits())
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	empty := Freeze(core.NewStaticFromBits(nil))
+	if empty.Len() != 0 || empty.AlphabetSize() != 0 {
+		t.Fatal("empty freeze")
+	}
+	if empty.RankBits(bitstr.EncodeString("x"), 0) != 0 {
+		t.Fatal("rank on empty")
+	}
+	one := Freeze(core.NewStaticFromBits(encodeSeq([]string{"solo", "solo"})))
+	if one.Len() != 2 || one.AlphabetSize() != 1 {
+		t.Fatal("singleton freeze")
+	}
+	if got, _ := bitstr.DecodeString(one.AccessBits(1)); got != "solo" {
+		t.Fatal("singleton access")
+	}
+	if pos, ok := one.SelectBits(bitstr.EncodeString("solo"), 1); !ok || pos != 1 {
+		t.Fatal("singleton select")
+	}
+}
+
+func BenchmarkFrozenAccess(b *testing.B) {
+	seq := workload.URLLog(1<<16, 12, workload.DefaultURLConfig())
+	fz := Freeze(core.NewStaticFromBits(encodeSeq(seq)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fz.AccessBits(i & (1<<16 - 1))
+	}
+}

@@ -1,0 +1,191 @@
+// Package wire implements the tiny binary container format used to
+// persist the static (frozen) Wavelet Trie and its succinct components:
+// little-endian, length-prefixed fields, a magic/version header per
+// top-level object, no reflection and no allocation surprises. Readers
+// validate lengths before allocating.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Writer accumulates a serialized object.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer starting with the given magic and version.
+func NewWriter(magic uint32, version uint16) *Writer {
+	w := &Writer{}
+	w.U32(magic)
+	w.U16(version)
+	return w
+}
+
+// Bytes returns the accumulated encoding.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// U16 appends a uint16.
+func (w *Writer) U16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+
+// U32 appends a uint32.
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+// U64 appends a uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// Int appends an int (as uint64; negative values are invalid).
+func (w *Writer) Int(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("wire: negative int %d", v))
+	}
+	w.U64(uint64(v))
+}
+
+// Words appends a length-prefixed []uint64.
+func (w *Writer) Words(ws []uint64) {
+	w.Int(len(ws))
+	for _, x := range ws {
+		w.U64(x)
+	}
+}
+
+// Int32s appends a length-prefixed []int32 (values must be non-negative).
+func (w *Writer) Int32s(vs []int32) {
+	w.Int(len(vs))
+	for _, x := range vs {
+		if x < 0 {
+			panic("wire: negative int32")
+		}
+		w.U32(uint32(x))
+	}
+}
+
+// Reader decodes a serialized object.
+type Reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+// NewReader validates the magic/version header and returns a Reader.
+func NewReader(buf []byte, magic uint32, version uint16) (*Reader, error) {
+	r := &Reader{buf: buf}
+	if got := r.U32(); r.err == nil && got != magic {
+		return nil, fmt.Errorf("wire: bad magic %#x, want %#x", got, magic)
+	}
+	if got := r.U16(); r.err == nil && got != version {
+		return nil, fmt.Errorf("wire: unsupported version %d, want %d", got, version)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return r, nil
+}
+
+// Err returns the first decoding error encountered.
+func (r *Reader) Err() error { return r.err }
+
+// Fail records a decoding error (first one wins); component decoders call
+// it when structural validation fails.
+func (r *Reader) Fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+// Done reports an error unless the buffer is fully consumed and clean.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.pos != len(r.buf) {
+		return fmt.Errorf("wire: %d trailing bytes", len(r.buf)-r.pos)
+	}
+	return nil
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.pos+n > len(r.buf) {
+		r.err = fmt.Errorf("wire: truncated input at byte %d", r.pos)
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+// U16 reads a uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Int reads an int, rejecting values that cannot be lengths.
+func (r *Reader) Int() int {
+	v := r.U64()
+	if r.err == nil && v > 1<<56 {
+		r.err = fmt.Errorf("wire: implausible length %d", v)
+		return 0
+	}
+	return int(v)
+}
+
+// Words reads a length-prefixed []uint64.
+func (r *Reader) Words() []uint64 {
+	n := r.Int()
+	if r.err != nil {
+		return nil
+	}
+	if r.pos+8*n > len(r.buf) {
+		r.err = fmt.Errorf("wire: word slice of %d exceeds input", n)
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.U64()
+	}
+	return out
+}
+
+// Int32s reads a length-prefixed []int32.
+func (r *Reader) Int32s() []int32 {
+	n := r.Int()
+	if r.err != nil {
+		return nil
+	}
+	if r.pos+4*n > len(r.buf) {
+		r.err = fmt.Errorf("wire: int32 slice of %d exceeds input", n)
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(r.U32())
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package wire
+
+import (
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter(0xABCD1234, 3)
+	w.U16(7)
+	w.U32(1 << 30)
+	w.U64(1 << 60)
+	w.Int(42)
+	w.Words([]uint64{1, 2, 3})
+	w.Words(nil)
+	w.Int32s([]int32{9, 8})
+	r, err := NewReader(w.Bytes(), 0xABCD1234, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.U16() != 7 || r.U32() != 1<<30 || r.U64() != 1<<60 || r.Int() != 42 {
+		t.Fatal("scalar round trip")
+	}
+	ws := r.Words()
+	if len(ws) != 3 || ws[2] != 3 {
+		t.Fatal("words round trip")
+	}
+	if len(r.Words()) != 0 {
+		t.Fatal("empty words")
+	}
+	is := r.Int32s()
+	if len(is) != 2 || is[0] != 9 {
+		t.Fatal("int32s round trip")
+	}
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderValidation(t *testing.T) {
+	w := NewWriter(0x1111, 1)
+	if _, err := NewReader(w.Bytes(), 0x2222, 1); err == nil {
+		t.Error("magic mismatch accepted")
+	}
+	if _, err := NewReader(w.Bytes(), 0x1111, 2); err == nil {
+		t.Error("version mismatch accepted")
+	}
+	if _, err := NewReader([]byte{1, 2}, 0x1111, 1); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestTruncationAndTrailing(t *testing.T) {
+	w := NewWriter(1, 1)
+	w.Words(make([]uint64, 10))
+	buf := w.Bytes()
+	r, _ := NewReader(buf[:len(buf)-4], 1, 1)
+	r.Words()
+	if r.Err() == nil {
+		t.Error("truncated words accepted")
+	}
+	// Implausible length must not allocate.
+	w2 := NewWriter(1, 1)
+	w2.U64(1 << 60) // as a length prefix
+	r2, _ := NewReader(w2.Bytes(), 1, 1)
+	r2.Words()
+	if r2.Err() == nil {
+		t.Error("implausible length accepted")
+	}
+	// Trailing bytes detected by Done.
+	w3 := NewWriter(1, 1)
+	w3.U16(5)
+	r3, _ := NewReader(append(w3.Bytes(), 0), 1, 1)
+	r3.U16()
+	if err := r3.Done(); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestFailFirstWins(t *testing.T) {
+	r, _ := NewReader(NewWriter(1, 1).Bytes(), 1, 1)
+	r.Fail("first %d", 1)
+	r.Fail("second")
+	if r.Err() == nil || r.Err().Error() != "wire: first 1" {
+		t.Errorf("err = %v", r.Err())
+	}
+}
+
+func TestNegativePanics(t *testing.T) {
+	w := NewWriter(1, 1)
+	for _, f := range []func(){
+		func() { w.Int(-1) },
+		func() { w.Int32s([]int32{-5}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,57 @@
+package wavelettrie
+
+import "repro/internal/hashwt"
+
+// Numeric is the probabilistically-balanced dynamic Wavelet Tree of §6:
+// a dynamic sequence of integers from a universe {0,…,2^w-1} whose
+// operations cost O(log u + h·log n) where the trie height h is
+// O(log|Σ|) with high probability over the structure's own random
+// multiplicative hash — |Σ| being the set of values actually present, not
+// the universe. Use it for numeric columns where prefix queries are not
+// meaningful (Theorem 6.2).
+type Numeric struct {
+	t *hashwt.Tree
+}
+
+// NewNumeric returns an empty Numeric over a universe of universeBits
+// bits (1..64). The hash multiplier derives deterministically from seed.
+func NewNumeric(universeBits int, seed int64) *Numeric {
+	return &Numeric{t: hashwt.New(universeBits, seed)}
+}
+
+// Len returns the number of elements.
+func (nq *Numeric) Len() int { return nq.t.Len() }
+
+// AlphabetSize returns |Σ|, the number of distinct values present.
+func (nq *Numeric) AlphabetSize() int { return nq.t.AlphabetSize() }
+
+// Height returns the current trie height, bounded by (α+2)·log|Σ| with
+// probability 1-|Σ|^-α (Theorem 6.2).
+func (nq *Numeric) Height() int { return nq.t.Height() }
+
+// Access returns the value at position pos.
+func (nq *Numeric) Access(pos int) uint64 { return nq.t.Access(pos) }
+
+// Rank counts occurrences of x in positions [0, pos).
+func (nq *Numeric) Rank(x uint64, pos int) int { return nq.t.Rank(x, pos) }
+
+// Select returns the position of the idx-th (0-based) occurrence of x.
+func (nq *Numeric) Select(x uint64, idx int) (int, bool) { return nq.t.Select(x, idx) }
+
+// Insert inserts x before position pos.
+func (nq *Numeric) Insert(x uint64, pos int) { nq.t.Insert(x, pos) }
+
+// Append appends x at the end.
+func (nq *Numeric) Append(x uint64) { nq.t.Append(x) }
+
+// Delete removes and returns the value at position pos.
+func (nq *Numeric) Delete(pos int) uint64 { return nq.t.Delete(pos) }
+
+// DistinctInRange returns the distinct values of [l, r) with counts.
+func (nq *Numeric) DistinctInRange(l, r int) map[uint64]int { return nq.t.DistinctInRange(l, r) }
+
+// RangeMajority returns the strict majority value of [l, r), if any.
+func (nq *Numeric) RangeMajority(l, r int) (uint64, bool) { return nq.t.RangeMajority(l, r) }
+
+// SizeBits returns the measured in-memory footprint in bits.
+func (nq *Numeric) SizeBits() int { return nq.t.SizeBits() }

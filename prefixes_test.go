@@ -1,0 +1,91 @@
+package wavelettrie
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// refPrefixGroups computes the DistinctPrefixes result by brute force.
+func refPrefixGroups(seq []string, l, r, k int) []Distinct {
+	m := map[string]int{}
+	for _, s := range seq[l:r] {
+		key := s
+		if len(key) > k {
+			key = key[:k]
+		}
+		m[key]++
+	}
+	keys := make([]string, 0, len(m))
+	for kk := range m {
+		keys = append(keys, kk)
+	}
+	sort.Strings(keys)
+	out := make([]Distinct, len(keys))
+	for i, kk := range keys {
+		out[i] = Distinct{Value: kk, Count: m[kk]}
+	}
+	return out
+}
+
+func TestDistinctPrefixesAgainstReference(t *testing.T) {
+	r := rand.New(rand.NewSource(170))
+	seq := workload.URLLog(800, 13, workload.DefaultURLConfig())
+	// Mix in short strings to exercise the short-string grouping path.
+	for i := 0; i < 50; i++ {
+		seq = append(seq, []string{"a", "ab", "h", "host"}[r.Intn(4)])
+	}
+	for name, w := range map[string]interface {
+		DistinctPrefixes(int, int, int) []Distinct
+	}{
+		"static":     NewStatic(seq),
+		"appendonly": NewAppendOnlyFrom(seq),
+		"dynamic":    NewDynamicFrom(seq),
+	} {
+		for _, k := range []int{0, 1, 4, 14, 100} {
+			for trial := 0; trial < 10; trial++ {
+				l := r.Intn(len(seq) + 1)
+				rr := l + r.Intn(len(seq)-l+1)
+				got := w.DistinctPrefixes(l, rr, k)
+				want := refPrefixGroups(seq, l, rr, k)
+				if len(got) != len(want) {
+					t.Fatalf("%s k=%d [%d,%d): %d groups want %d\ngot %v\nwant %v",
+						name, k, l, rr, len(got), len(want), got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s k=%d group %d: %v want %v", name, k, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDistinctPrefixesHostGrouping(t *testing.T) {
+	// The motivating query: distinct hostnames in a window. Hostnames here
+	// are fixed-width ("hostNN.example" = 14 bytes), so prefixLen 14
+	// groups by host.
+	seq := workload.URLLog(2000, 14, workload.DefaultURLConfig())
+	w := NewAppendOnlyFrom(seq)
+	groups := w.DistinctPrefixes(500, 1500, 14)
+	total := 0
+	seen := map[string]bool{}
+	for _, g := range groups {
+		if seen[g.Value] {
+			t.Fatalf("duplicate group %q", g.Value)
+		}
+		seen[g.Value] = true
+		total += g.Count
+	}
+	if total != 1000 {
+		t.Fatalf("groups cover %d of 1000 positions", total)
+	}
+	// Cross-check one group against CountPrefix.
+	g := groups[0]
+	if want := w.RankPrefix(g.Value, 1500) - w.RankPrefix(g.Value, 500); g.Count != want {
+		t.Fatalf("group %q count %d, RankPrefix window says %d", g.Value, g.Count, want)
+	}
+}

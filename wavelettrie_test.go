@@ -1,0 +1,205 @@
+package wavelettrie
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/seqstore/flat"
+	"repro/internal/workload"
+)
+
+func TestPublicAPIAgainstOracle(t *testing.T) {
+	seq := workload.URLLog(400, 1, workload.DefaultURLConfig())
+	o := flat.FromSlice(seq)
+	r := rand.New(rand.NewSource(140))
+	apis := map[string]interface {
+		Len() int
+		Access(int) string
+		Rank(string, int) int
+		Select(string, int) (int, bool)
+		RankPrefix(string, int) int
+		SelectPrefix(string, int) (int, bool)
+		Count(string) int
+		CountPrefix(string) int
+	}{
+		"static":     NewStatic(seq),
+		"appendonly": NewAppendOnlyFrom(seq),
+		"dynamic":    NewDynamicFrom(seq),
+	}
+	probes := append(workload.Distinct(seq)[:8],
+		"host00.example", "host00", "absent", "", "host01.example/a0")
+	for name, w := range apis {
+		if w.Len() != len(seq) {
+			t.Fatalf("%s: Len", name)
+		}
+		for i := 0; i < len(seq); i += 3 {
+			if w.Access(i) != o.Access(i) {
+				t.Fatalf("%s: Access(%d)", name, i)
+			}
+		}
+		for _, p := range probes {
+			pos := r.Intn(len(seq) + 1)
+			if got, want := w.Rank(p, pos), o.Rank(p, pos); got != want {
+				t.Fatalf("%s: Rank(%q,%d)=%d want %d", name, p, pos, got, want)
+			}
+			if got, want := w.RankPrefix(p, pos), o.RankPrefix(p, pos); got != want {
+				t.Fatalf("%s: RankPrefix(%q,%d)=%d want %d", name, p, pos, got, want)
+			}
+			if got, want := w.Count(p), o.Rank(p, len(seq)); got != want {
+				t.Fatalf("%s: Count(%q)=%d want %d", name, p, got, want)
+			}
+			if got, want := w.CountPrefix(p), o.RankPrefix(p, len(seq)); got != want {
+				t.Fatalf("%s: CountPrefix(%q)=%d want %d", name, p, got, want)
+			}
+			total := o.Rank(p, len(seq))
+			for idx := 0; idx <= total; idx += 1 + total/4 {
+				gp, gok := w.Select(p, idx)
+				wp, wok := o.Select(p, idx)
+				if gok != wok || (gok && gp != wp) {
+					t.Fatalf("%s: Select(%q,%d)", name, p, idx)
+				}
+			}
+			totalP := o.RankPrefix(p, len(seq))
+			for idx := 0; idx <= totalP; idx += 1 + totalP/4 {
+				gp, gok := w.SelectPrefix(p, idx)
+				wp, wok := o.SelectPrefix(p, idx)
+				if gok != wok || (gok && gp != wp) {
+					t.Fatalf("%s: SelectPrefix(%q,%d)=(%d,%v) want (%d,%v)", name, p, idx, gp, gok, wp, wok)
+				}
+			}
+		}
+	}
+}
+
+func TestDynamicLifecycle(t *testing.T) {
+	d := NewDynamic()
+	d.Append("b")
+	d.Insert("a", 0)
+	d.Insert("c", 2)
+	d.Insert("b", 1)
+	// Sequence: a b b c
+	if got := d.Slice(0, 4); got[0] != "a" || got[1] != "b" || got[2] != "b" || got[3] != "c" {
+		t.Fatalf("Slice: %v", got)
+	}
+	if s := d.Delete(2); s != "b" {
+		t.Fatalf("Delete(2)=%q", s)
+	}
+	if d.Len() != 3 || d.AlphabetSize() != 3 {
+		t.Fatalf("Len=%d sigma=%d", d.Len(), d.AlphabetSize())
+	}
+	if s := d.Delete(2); s != "c" {
+		t.Fatalf("Delete(2)=%q", s)
+	}
+	if d.AlphabetSize() != 2 {
+		t.Fatalf("alphabet should shrink, got %d", d.AlphabetSize())
+	}
+}
+
+func TestRangeAnalytics(t *testing.T) {
+	seq := []string{"x", "y", "x", "x", "z", "x", "y"}
+	for name, w := range map[string]*queries{
+		"static":  &NewStatic(seq).queries,
+		"dynamic": &NewDynamicFrom(seq).queries,
+	} {
+		d := w.DistinctInRange(0, 7)
+		if len(d) != 3 {
+			t.Fatalf("%s: distinct %v", name, d)
+		}
+		// Lexicographic: x, y, z.
+		if d[0].Value != "x" || d[0].Count != 4 || d[2].Value != "z" {
+			t.Fatalf("%s: distinct %v", name, d)
+		}
+		if m, ok := w.RangeMajority(0, 7); !ok || m != "x" {
+			t.Fatalf("%s: majority %q %v", name, m, ok)
+		}
+		if _, ok := w.RangeMajority(0, 2); ok {
+			t.Fatalf("%s: no majority expected", name)
+		}
+		th := w.RangeThreshold(0, 7, 2)
+		if len(th) != 2 { // x(4), y(2)
+			t.Fatalf("%s: threshold %v", name, th)
+		}
+		top := w.TopK(0, 7, 2)
+		if len(top) != 2 || top[0].Value != "x" || top[1].Value != "y" {
+			t.Fatalf("%s: topk %v", name, top)
+		}
+		var seen []string
+		w.Enumerate(1, 4, func(pos int, s string) bool {
+			seen = append(seen, s)
+			return true
+		})
+		if len(seen) != 3 || seen[0] != "y" || seen[1] != "x" || seen[2] != "x" {
+			t.Fatalf("%s: enumerate %v", name, seen)
+		}
+	}
+}
+
+func TestBinaryContent(t *testing.T) {
+	// Strings with NUL and 0xFF bytes must work (the binarization is
+	// byte-transparent).
+	seq := []string{"\x00", "\x00\xff", "a\x00b", "", "\xff"}
+	d := NewDynamicFrom(seq)
+	for i, s := range seq {
+		if d.Access(i) != s {
+			t.Fatalf("Access(%d) mismatch for binary content", i)
+		}
+	}
+	if d.Count("\x00") != 1 || d.CountPrefix("\x00") != 2 {
+		t.Fatal("binary prefix counting broken")
+	}
+}
+
+func TestSpaceAccessors(t *testing.T) {
+	seq := workload.ZipfStrings(5000, 64, 1.4, 2)
+	st := NewStatic(seq)
+	if st.SizeBits() <= 0 || st.SuccinctSizeBits() <= 0 {
+		t.Fatal("size accessors must be positive")
+	}
+	if st.SuccinctSizeBits() >= st.SizeBits() {
+		t.Fatalf("succinct %d should be below pointer-based %d",
+			st.SuccinctSizeBits(), st.SizeBits())
+	}
+	if st.AvgHeight() <= 0 || st.Height() < int(st.AvgHeight()) {
+		t.Fatal("height accessors inconsistent")
+	}
+	d := NewDynamicFrom(seq)
+	if d.EncodedBitvectorBits() <= 0 || d.SizeBits() <= d.EncodedBitvectorBits() {
+		t.Fatal("dynamic size accessors inconsistent")
+	}
+}
+
+func TestNumericPublic(t *testing.T) {
+	nq := NewNumeric(64, 11)
+	vals := workload.NumericColumn(800, 32, 3)
+	for _, v := range vals {
+		nq.Append(v)
+	}
+	if nq.Len() != 800 {
+		t.Fatal("Len")
+	}
+	for i := 0; i < 800; i += 7 {
+		if nq.Access(i) != vals[i] {
+			t.Fatalf("Access(%d)", i)
+		}
+	}
+	x := vals[0]
+	count := 0
+	for _, v := range vals {
+		if v == x {
+			count++
+		}
+	}
+	if nq.Rank(x, 800) != count {
+		t.Fatal("Rank")
+	}
+	if pos, ok := nq.Select(x, count-1); !ok || vals[pos] != x {
+		t.Fatal("Select")
+	}
+	if nq.Height() > 64 {
+		t.Fatal("height exceeds universe")
+	}
+	got := nq.Delete(0)
+	if got != vals[0] || nq.Len() != 799 {
+		t.Fatal("Delete")
+	}
+}
