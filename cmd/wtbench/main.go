@@ -9,8 +9,10 @@
 //	wtbench -exp all            # run everything
 //	wtbench -exp t1a            # one experiment
 //	wtbench -exp t3a -quick     # smaller sizes for a fast smoke run
+//	wtbench -json               # machine-readable build/query/serialize suite
 //
-// Experiments: figs, t1a, t1b, t2a, t2b, t2c, t3a, t3b, t4, t5, t6, q5, cmp.
+// Experiments: figs, t1a, t1b, t2a, t2b, t2c, t3a, t3b, t4, t5, t6, q5,
+// cmp, abl, ser.
 package main
 
 import (
@@ -42,12 +44,23 @@ var experiments = []experiment{
 	{"q5", "Sec. 5 range algorithms: iterator vs Access, distinct, majority", runQ5},
 	{"cmp", "Sec. 1 comparison: wavelet trie vs wavelet tree vs B-tree index", runCMP},
 	{"abl", "Ablation: RRR-compressed vs plain node bitvectors", runABL},
+	{"ser", "Persistence: marshal/load round trip, on-disk size, load vs rebuild", runSER},
 }
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id or 'all'")
 	quick := flag.Bool("quick", false, "smaller sizes for a fast run")
+	jsonOut := flag.Bool("json", false, "emit the build/query/serialize suite as JSON (for BENCH_*.json trajectories); not combinable with -exp")
 	flag.Parse()
+
+	if *jsonOut {
+		if *exp != "all" {
+			fmt.Fprintln(os.Stderr, "wtbench: -json runs its own build/query/serialize suite and cannot be combined with -exp")
+			os.Exit(2)
+		}
+		emitJSON(*quick)
+		return
+	}
 
 	ids := map[string]experiment{}
 	var order []string

@@ -6,6 +6,7 @@ import (
 
 	wavelettrie "repro"
 	"repro/internal/entropy"
+	"repro/internal/seqstore"
 	"repro/internal/workload"
 )
 
@@ -34,18 +35,10 @@ func makeProbes(seq []string, r *rand.Rand) probes {
 	return p
 }
 
-// queryable is the shared query surface of the three variants.
-type queryable interface {
-	Len() int
-	Access(int) string
-	Rank(string, int) int
-	Select(string, int) (int, bool)
-	RankPrefix(string, int) int
-	SelectPrefix(string, int) (int, bool)
-}
-
-// benchQueries measures ns/op for the five Table-1 query operations.
-func benchQueries(w queryable, p probes, iters int) (access, rank, sel, rankP, selP float64) {
+// benchQueries measures ns/op for the five Table-1 query operations on
+// any seqstore.Sequence — a Wavelet Trie variant, a baseline, or an
+// index reopened from a snapshot.
+func benchQueries(w seqstore.Sequence, p probes, iters int) (access, rank, sel, rankP, selP float64) {
 	n := w.Len()
 	access = measure(iters, func(i int) { w.Access(p.pos[i&1023] % n) })
 	rank = measure(iters, func(i int) { w.Rank(p.strings[i&63], p.pos[i&1023]) })

@@ -1,12 +1,15 @@
 // Command wtquery loads a line-oriented log (one string per line) into a
 // Wavelet Trie and answers queries interactively — a REPL over the full
-// indexed-sequence operation set of the paper.
+// indexed-sequence operation set of the paper, programmed against the
+// wavelettrie.Index interface family so any variant (including one
+// loaded from a snapshot file) can serve it.
 //
 // Usage:
 //
 //	wtquery -file access.log          # index a file (append-only trie)
 //	wtquery -gen 100000               # or a generated URL log
 //	wtquery -dynamic -gen 10000       # fully-dynamic variant (ins/del)
+//	wtquery -load index.wt            # reopen a snapshot saved with 'save'
 //
 // Commands (positions 0-based, ranges half-open):
 //
@@ -18,6 +21,7 @@
 //	distinct L R          | majority L R | topk L R K | threshold L R T
 //	slice L R
 //	append STR            | insert POS STR | delete POS   (dynamic/append)
+//	save FILE             | load FILE
 //	stats                 | help | quit
 package main
 
@@ -33,33 +37,10 @@ import (
 	"repro/internal/workload"
 )
 
-// store unifies the two mutable variants for the REPL.
-type store interface {
-	Len() int
-	AlphabetSize() int
-	Height() int
-	AvgHeight() float64
-	Access(int) string
-	Rank(string, int) int
-	Count(string) int
-	Select(string, int) (int, bool)
-	RankPrefix(string, int) int
-	CountPrefix(string) int
-	SelectPrefix(string, int) (int, bool)
-	DistinctInRange(int, int) []wavelettrie.Distinct
-	RangeMajority(int, int) (string, bool)
-	RangeThreshold(int, int, int) []wavelettrie.Distinct
-	TopK(int, int, int) []wavelettrie.Distinct
-	Slice(int, int) []string
-	Append(string)
-	SizeBits() int
-}
-
-// dynStore adds the dynamic-only operations.
-type dynStore interface {
-	store
-	Insert(string, int)
-	Delete(int) string
+// dynamicIndex is the Dynamic-only mutation capability.
+type dynamicIndex interface {
+	Insert(s string, pos int)
+	Delete(pos int) string
 }
 
 func main() {
@@ -67,38 +48,42 @@ func main() {
 	gen := flag.Int("gen", 0, "generate a URL log of this length instead")
 	seed := flag.Int64("seed", 1, "generator seed")
 	dynamic := flag.Bool("dynamic", false, "use the fully-dynamic variant")
+	load := flag.String("load", "", "reopen a snapshot file instead of indexing")
 	flag.Parse()
 
-	var lines []string
+	var st wavelettrie.StringIndex
 	switch {
-	case *file != "":
-		f, err := os.Open(*file)
+	case *load != "":
+		if *file != "" || *gen > 0 || *dynamic {
+			fmt.Fprintln(os.Stderr, "wtquery: -load reopens a snapshot as its saved variant; it cannot be combined with -file, -gen or -dynamic")
+			os.Exit(2)
+		}
+		ix, err := loadSnapshot(*load)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wtquery:", err)
 			os.Exit(1)
 		}
-		sc := bufio.NewScanner(f)
-		sc.Buffer(make([]byte, 1<<20), 1<<20)
-		for sc.Scan() {
-			lines = append(lines, sc.Text())
-		}
-		f.Close()
-		if err := sc.Err(); err != nil {
-			fmt.Fprintln(os.Stderr, "wtquery:", err)
-			os.Exit(1)
-		}
-	case *gen > 0:
-		lines = workload.URLLog(*gen, *seed, workload.DefaultURLConfig())
+		st = ix
 	default:
-		fmt.Fprintln(os.Stderr, "wtquery: need -file or -gen; see -h")
-		os.Exit(2)
-	}
-
-	var st store
-	if *dynamic {
-		st = wavelettrie.NewDynamicFrom(lines)
-	} else {
-		st = wavelettrie.NewAppendOnlyFrom(lines)
+		var lines []string
+		switch {
+		case *file != "":
+			var err error
+			if lines, err = readLines(*file); err != nil {
+				fmt.Fprintln(os.Stderr, "wtquery:", err)
+				os.Exit(1)
+			}
+		case *gen > 0:
+			lines = workload.URLLog(*gen, *seed, workload.DefaultURLConfig())
+		default:
+			fmt.Fprintln(os.Stderr, "wtquery: need -file, -gen or -load; see -h")
+			os.Exit(2)
+		}
+		if *dynamic {
+			st = wavelettrie.NewDynamicFrom(lines)
+		} else {
+			st = wavelettrie.NewAppendOnlyFrom(lines)
+		}
 	}
 	fmt.Printf("indexed %d elements, %d distinct, %.1f bits/elem; type 'help'\n",
 		st.Len(), st.AlphabetSize(), float64(st.SizeBits())/float64(max(1, st.Len())))
@@ -106,7 +91,39 @@ func main() {
 	repl(st)
 }
 
-func repl(st store) {
+func readLines(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	return lines, sc.Err()
+}
+
+// loadSnapshot reopens any marshaled index that can serve string queries.
+func loadSnapshot(path string) (wavelettrie.StringIndex, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := wavelettrie.Load(data)
+	if err != nil {
+		return nil, err
+	}
+	st, ok := ix.(wavelettrie.StringIndex)
+	if !ok {
+		return nil, fmt.Errorf("%s holds a %T, which has no string query surface", path, ix)
+	}
+	return st, nil
+}
+
+func repl(st wavelettrie.StringIndex) {
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("wt> ")
@@ -118,15 +135,18 @@ func repl(st store) {
 		if line == "" {
 			continue
 		}
-		args := strings.Fields(line)
-		if done := execute(st, args); done {
+		next, done := execute(st, strings.Fields(line))
+		if done {
 			return
 		}
+		st = next
 	}
 }
 
-// execute runs one command; it returns true on quit.
-func execute(st store, args []string) bool {
+// execute runs one command; it returns the (possibly replaced, after
+// 'load') current index and whether the REPL should exit.
+func execute(st wavelettrie.StringIndex, args []string) (cur wavelettrie.StringIndex, done bool) {
+	cur = st
 	defer func() {
 		if r := recover(); r != nil {
 			fmt.Println("error:", r)
@@ -144,14 +164,25 @@ func execute(st store, args []string) bool {
 			panic(fmt.Sprintf("%s needs %d argument(s)", args[0], k))
 		}
 	}
+	// The analytics and mutation commands are capability-gated: a Frozen
+	// snapshot serves only the primitives, a Static adds analytics, the
+	// mutable variants everything.
+	ranger := func() wavelettrie.RangeIndex {
+		r, ok := st.(wavelettrie.RangeIndex)
+		if !ok {
+			panic(fmt.Sprintf("%s: not supported by %T (frozen snapshots serve primitives only)", args[0], st))
+		}
+		return r
+	}
 	switch args[0] {
 	case "quit", "exit", "q":
-		return true
+		return cur, true
 	case "help":
 		fmt.Println("access POS | rank STR POS | count STR | select STR IDX")
 		fmt.Println("rankprefix PREF POS | countprefix PREF | selectprefix PREF IDX")
 		fmt.Println("distinct L R | majority L R | topk L R K | threshold L R T | slice L R")
-		fmt.Println("append STR | insert POS STR | delete POS | stats | quit")
+		fmt.Println("append STR | insert POS STR | delete POS")
+		fmt.Println("save FILE | load FILE | stats | quit")
 	case "access":
 		need(1)
 		fmt.Println(st.Access(atoi(args[1])))
@@ -183,38 +214,42 @@ func execute(st store, args []string) bool {
 		}
 	case "distinct":
 		need(2)
-		for _, d := range st.DistinctInRange(atoi(args[1]), atoi(args[2])) {
+		for _, d := range ranger().DistinctInRange(atoi(args[1]), atoi(args[2])) {
 			fmt.Printf("%8d  %s\n", d.Count, d.Value)
 		}
 	case "majority":
 		need(2)
-		if m, ok := st.RangeMajority(atoi(args[1]), atoi(args[2])); ok {
+		if m, ok := ranger().RangeMajority(atoi(args[1]), atoi(args[2])); ok {
 			fmt.Println(m)
 		} else {
 			fmt.Println("no majority")
 		}
 	case "topk":
 		need(3)
-		for _, d := range st.TopK(atoi(args[1]), atoi(args[2]), atoi(args[3])) {
+		for _, d := range ranger().TopK(atoi(args[1]), atoi(args[2]), atoi(args[3])) {
 			fmt.Printf("%8d  %s\n", d.Count, d.Value)
 		}
 	case "threshold":
 		need(3)
-		for _, d := range st.RangeThreshold(atoi(args[1]), atoi(args[2]), atoi(args[3])) {
+		for _, d := range ranger().RangeThreshold(atoi(args[1]), atoi(args[2]), atoi(args[3])) {
 			fmt.Printf("%8d  %s\n", d.Count, d.Value)
 		}
 	case "slice":
 		need(2)
-		for i, s := range st.Slice(atoi(args[1]), atoi(args[2])) {
+		for i, s := range ranger().Slice(atoi(args[1]), atoi(args[2])) {
 			fmt.Printf("%8d  %s\n", atoi(args[1])+i, s)
 		}
 	case "append":
 		need(1)
-		st.Append(strings.Join(args[1:], " "))
+		a, ok := st.(wavelettrie.Appender)
+		if !ok {
+			panic(fmt.Sprintf("append: not supported by %T", st))
+		}
+		a.Append(strings.Join(args[1:], " "))
 		fmt.Println("ok, n =", st.Len())
 	case "insert":
 		need(2)
-		d, ok := st.(dynStore)
+		d, ok := st.(dynamicIndex)
 		if !ok {
 			panic("insert requires -dynamic")
 		}
@@ -222,24 +257,39 @@ func execute(st store, args []string) bool {
 		fmt.Println("ok, n =", st.Len())
 	case "delete":
 		need(1)
-		d, ok := st.(dynStore)
+		d, ok := st.(dynamicIndex)
 		if !ok {
 			panic("delete requires -dynamic")
 		}
 		fmt.Printf("deleted %q, n = %d\n", d.Delete(atoi(args[1])), st.Len())
+	case "save":
+		need(1)
+		data, err := st.MarshalBinary()
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(args[1], data, 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Printf("saved %d bytes (%.1f bits/elem on disk)\n",
+			len(data), float64(len(data)*8)/float64(max(1, st.Len())))
+	case "load":
+		need(1)
+		ix, err := loadSnapshot(args[1])
+		if err != nil {
+			panic(err)
+		}
+		cur = ix
+		fmt.Printf("loaded %T: n=%d, |Sset|=%d\n", ix, ix.Len(), ix.AlphabetSize())
 	case "stats":
-		fmt.Printf("n=%d  |Sset|=%d  height=%d  h~=%.2f  %.1f bits/elem (%d total)\n",
-			st.Len(), st.AlphabetSize(), st.Height(), st.AvgHeight(),
+		line := fmt.Sprintf("n=%d  |Sset|=%d  height=%d", st.Len(), st.AlphabetSize(), st.Height())
+		if r, ok := st.(wavelettrie.RangeIndex); ok {
+			line += fmt.Sprintf("  h~=%.2f", r.AvgHeight())
+		}
+		fmt.Printf("%s  %.1f bits/elem (%d total)\n", line,
 			float64(st.SizeBits())/float64(max(1, st.Len())), st.SizeBits())
 	default:
 		fmt.Printf("unknown command %q; try 'help'\n", args[0])
 	}
-	return false
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+	return cur, false
 }

@@ -34,7 +34,39 @@
 //
 // Numeric sequences over a bounded universe are served by Numeric, the §6
 // randomized Wavelet Tree, whose height depends only on the working
-// alphabet (w.h.p.), not the universe.
+// alphabet (w.h.p.), not the universe. The Frozen type is the §3
+// fully-succinct encoding of a Static — the smallest representation,
+// serving the five primitive operations with no pointers at all.
+//
+// # The Index interface and persistence
+//
+// Every variant — Static, AppendOnly, Dynamic, Numeric, Frozen —
+// satisfies the Index interface: the structural accessors plus
+// MarshalBinary. The string-serving variants additionally satisfy
+// StringIndex (the primitive operations), and Static, AppendOnly and
+// Dynamic satisfy RangeIndex (the full §5 analytics surface). Tools
+// program against these interfaces, so an index can be swapped for
+// another variant — or for one reopened from a snapshot — without code
+// changes.
+//
+// MarshalBinary produces a self-contained, versioned binary snapshot
+// (see DESIGN.md §4 for the wire formats); Load reopens any snapshot,
+// and LoadStatic/LoadAppendOnly/LoadDynamic/LoadNumeric/LoadFrozen
+// enforce a concrete variant. Loading performs no O(n·|s|) rebuild —
+// only rank-directory reconstruction — so a process restart costs
+// milliseconds instead of a full re-index, and mutations resume on the
+// loaded index:
+//
+//	data, _ := wt.MarshalBinary()          // checkpoint a live index
+//	os.WriteFile("index.wt", data, 0o644)  // ship it to disk or peers
+//	...
+//	data, _ = os.ReadFile("index.wt")
+//	wt, _ = wavelettrie.LoadAppendOnly(data)
+//	wt.Append("resumes/immediately")
+//
+// Snapshots are validated on load: corrupt or truncated input returns
+// an error (never panics), and a successfully loaded index is safe
+// across its whole query surface.
 //
 // # Example
 //
@@ -54,6 +86,7 @@
 // substrate from scratch: RRR bitvectors, the §4.1 append-only bitvector,
 // the §4.2 dynamic RLE+γ bitvector, dynamic Patricia tries, Elias-Fano
 // partial sums, Elias γ/δ codes, and DFUDS succinct trees. See DESIGN.md
-// for the inventory and EXPERIMENTS.md for the reproduction of every
-// bound in the paper's Table 1.
+// for the substrate inventory, the substitution table, the wire-format
+// reference, and the index of the cmd/wtbench experiments that reproduce
+// every bound in the paper's Table 1.
 package wavelettrie

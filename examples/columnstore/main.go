@@ -55,6 +55,30 @@ func main() {
 	fmt.Printf("Applied %d mixed inserts/deletes in %v; now %d rows, %d distinct\n\n",
 		churn, time.Since(start).Round(time.Millisecond), col.Len(), col.AlphabetSize())
 
+	// The read-side query mix is programmed against the Index interface,
+	// so it serves equally from the live column or a reopened checkpoint.
+	queryMix(col)
+
+	// Checkpoint the column (e.g. at segment-flush time) and reopen it —
+	// the same query mix answers identically, and OLTP churn resumes.
+	data, err := col.MarshalBinary()
+	if err != nil {
+		panic(err)
+	}
+	start = time.Now()
+	reopened, err := wavelettrie.LoadDynamic(data)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nCheckpoint: %d KiB; reopened in %v; same query mix:\n",
+		len(data)/1024, time.Since(start).Round(time.Millisecond))
+	queryMix(reopened)
+	reopened.Insert("post-restore", 0)
+	fmt.Printf("churn resumed after restore: row 0 = %q\n", reopened.Access(0))
+}
+
+// queryMix runs the column-engine query shapes against any variant.
+func queryMix(col wavelettrie.RangeIndex) {
 	// Point lookup: SELECT value WHERE rowid = N/2.
 	rowid := col.Len() / 2
 	fmt.Printf("row %d = %q\n", rowid, col.Access(rowid))
@@ -81,6 +105,6 @@ func main() {
 
 	// Snapshot extraction of a row range uses the sequential iterator —
 	// one Rank per trie node for the whole range, not per row.
-	snap := col.Slice(lo, lo+5)
-	fmt.Printf("rows [%d,%d): %v\n", lo, lo+5, snap)
+	rows := col.Slice(lo, lo+5)
+	fmt.Printf("rows [%d,%d): %v\n", lo, lo+5, rows)
 }

@@ -70,4 +70,19 @@ func main() {
 	}
 	counts := nq.DistinctInRange(0, 200)
 	fmt.Printf("distinct values in [0,200): %d\n", len(counts))
+
+	// Snapshot lifecycle: the hash multiplier travels with the snapshot,
+	// so a reopened tree keeps answering (and mutating) identically.
+	data, err := nq.MarshalBinary()
+	if err != nil {
+		panic(err)
+	}
+	start = time.Now()
+	reopened, err := wavelettrie.LoadNumeric(data)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("snapshot: %d KiB, reopened in %v; Rank(%d) = %d (unchanged)\n",
+		len(data)/1024, time.Since(start).Round(time.Millisecond),
+		x, reopened.Rank(x, reopened.Len()))
 }

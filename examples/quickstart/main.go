@@ -1,10 +1,13 @@
 // Quickstart: the one-screen tour of the Wavelet Trie public API —
-// building a sequence, positional and occurrence queries, prefix queries,
-// and the live space accounting.
+// building a sequence, positional and occurrence queries, prefix
+// queries, the live space accounting, and the snapshot lifecycle
+// (MarshalBinary → file → LoadAppendOnly).
 package main
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
 	wavelettrie "repro"
 )
@@ -58,4 +61,29 @@ func main() {
 	// Space accounting: the structure is compressed.
 	fmt.Printf("Footprint: %d bits (%.1f bits/element), h̃ = %.2f\n",
 		wt.SizeBits(), float64(wt.SizeBits())/float64(wt.Len()), wt.AvgHeight())
+
+	// Snapshot lifecycle: checkpoint the live index to disk, reopen it in
+	// milliseconds (no O(n·|s|) rebuild), and keep appending. Every
+	// variant serializes the same way; wavelettrie.Load sniffs the kind.
+	path := filepath.Join(os.TempDir(), "quickstart.wt")
+	data, err := wt.MarshalBinary()
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		panic(err)
+	}
+	data, err = os.ReadFile(path) // a later process picks the snapshot up
+	if err != nil {
+		panic(err)
+	}
+	reopened, err := wavelettrie.LoadAppendOnly(data)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Snapshot: %d bytes on disk; reopened with n = %d\n", len(data), reopened.Len())
+	reopened.Append("site.example/checkout") // appends resume seamlessly
+	fmt.Printf("After resumed append: n = %d, CountPrefix(site.example/) = %d\n",
+		reopened.Len(), reopened.CountPrefix("site.example/"))
+	os.Remove(path)
 }

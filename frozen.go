@@ -20,22 +20,22 @@ type Frozen struct {
 func (s *Static) Frozen() *Frozen { return &Frozen{t: s.freeze()} }
 
 // LoadFrozen reconstructs a Frozen from MarshalBinary output.
-func LoadFrozen(data []byte) (*Frozen, error) {
-	t, err := succinct.UnmarshalBinary(data)
-	if err != nil {
-		return nil, err
-	}
-	return &Frozen{t: t}, nil
-}
+func LoadFrozen(data []byte) (*Frozen, error) { return loadAs[*Frozen](data, kindFrozen) }
 
-// MarshalBinary serializes the succinct encoding.
-func (f *Frozen) MarshalBinary() ([]byte, error) { return f.t.MarshalBinary() }
+// MarshalBinary serializes the succinct encoding into the unified
+// container. The payload is the succinct representation itself minus
+// its derived rank directories (rebuilt on load), so the on-disk size
+// is slightly below SizeBits.
+func (f *Frozen) MarshalBinary() ([]byte, error) { return marshal(kindFrozen, f.t.EncodeTo) }
 
 // Len returns the number of elements.
 func (f *Frozen) Len() int { return f.t.Len() }
 
 // AlphabetSize returns the number of distinct strings.
 func (f *Frozen) AlphabetSize() int { return f.t.AlphabetSize() }
+
+// Height returns the maximum trie depth h.
+func (f *Frozen) Height() int { return f.t.Height() }
 
 // SizeBits returns the size of the succinct encoding in bits.
 func (f *Frozen) SizeBits() int { return f.t.SizeBits() }

@@ -1,0 +1,66 @@
+package appendbv
+
+import (
+	"repro/internal/rrr"
+	"repro/internal/wire"
+)
+
+// EncodeTo serializes the append-only bitvector into w: the Init run
+// descriptor, the sealed RRR segments, and the raw mutable tail. The
+// cumulative-ones directory and the tail rank samples are derived data
+// and are rebuilt on decode.
+func (v *Vector) EncodeTo(w *wire.Writer) {
+	w.Byte(v.initBit)
+	w.Int(v.initLen)
+	w.Int(len(v.segs))
+	for _, seg := range v.segs {
+		seg.EncodeTo(w)
+	}
+	w.Int(v.tailLen)
+	w.Words(v.tail[:(v.tailLen+63)/64])
+}
+
+// DecodeFrom reads a vector serialized by EncodeTo; errors are recorded
+// on r. Every sealed segment must be exactly SegmentBits long and the
+// tail strictly shorter than a segment, mirroring the invariants Append
+// maintains, so a decoded vector behaves identically to one built live.
+func DecodeFrom(r *wire.Reader) *Vector {
+	initBit := r.Byte()
+	initLen := r.Int()
+	nsegs := r.Int()
+	if r.Err() == nil && initBit > 1 {
+		r.Fail("appendbv: init bit %d", initBit)
+	}
+	if r.Err() != nil {
+		return New()
+	}
+	v := NewInit(initBit, initLen)
+	for i := 0; i < nsegs; i++ {
+		seg := rrr.DecodeFrom(r)
+		if r.Err() != nil {
+			return New()
+		}
+		if seg.Len() != SegmentBits {
+			r.Fail("appendbv: sealed segment %d has %d bits, want %d", i, seg.Len(), SegmentBits)
+			return New()
+		}
+		v.segs = append(v.segs, seg)
+		v.cumOnes = append(v.cumOnes, v.cumOnes[len(v.cumOnes)-1]+seg.Ones())
+	}
+	tailLen := r.Int()
+	words := r.Words()
+	if r.Err() != nil {
+		return New()
+	}
+	if tailLen < 0 || tailLen >= SegmentBits || len(words) != (tailLen+63)/64 {
+		r.Fail("appendbv: tail of %d bits in %d words", tailLen, len(words))
+		return New()
+	}
+	// Replay the tail bits through Append so the rank samples are rebuilt
+	// exactly as a live vector would have them (tailLen < SegmentBits, so
+	// no seal can trigger).
+	for i := 0; i < tailLen; i++ {
+		v.Append(byte(words[i>>6]>>(uint(i)&63)) & 1)
+	}
+	return v
+}

@@ -267,6 +267,13 @@ func (w *wtrie) nodeSeqLen(nd *node) int {
 	if !nd.IsLeaf() {
 		return nd.Payload.Len()
 	}
+	return w.parentSeqLen(nd)
+}
+
+// parentSeqLen derives nd's subsequence length from its parent's
+// bitvector (or n at the root) — the Definition 3.1 invariant value,
+// independent of nd's own payload.
+func (w *wtrie) parentSeqLen(nd *node) int {
 	parent := nd.Parent()
 	if parent == nil {
 		return w.n
@@ -291,10 +298,12 @@ func (w *wtrie) checkConsistency() error {
 		if err != nil {
 			return
 		}
-		want := w.nodeSeqLen(nd)
 		if nd.IsLeaf() {
-			if nd.Parent() == nil && want != w.n {
-				err = fmt.Errorf("root leaf count %d != n %d", want, w.n)
+			// Every stored string occurs at least once (Dynamic removes
+			// leaves whose last occurrence is deleted), so an empty leaf
+			// marks a corrupt structure.
+			if nd.Parent() != nil && w.parentSeqLen(nd) == 0 {
+				err = fmt.Errorf("leaf with empty subsequence")
 			}
 			return
 		}
@@ -302,7 +311,7 @@ func (w *wtrie) checkConsistency() error {
 			err = fmt.Errorf("internal node without bitvector")
 			return
 		}
-		if got := nd.Payload.Len(); got != want {
+		if got, want := nd.Payload.Len(), w.parentSeqLen(nd); got != want {
 			err = fmt.Errorf("bitvector length %d != expected subsequence length %d", got, want)
 		}
 	})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/elias"
+	"repro/internal/wire"
 )
 
 // Run is one maximal block of equal bits in the normalized RLE view.
@@ -138,6 +139,35 @@ func DecodeRLE(words []uint64, nbits int) (v *Vector, err error) {
 		return nil, fmt.Errorf("dynbv: DecodeRLE: runs sum to %d, header says %d", got, total)
 	}
 	return v, nil
+}
+
+// EncodeTo serializes the bitvector into w as its Elias-γ RLE stream —
+// the exact encoding Theorem 4.9's space bound is stated in. The
+// balanced-tree directory is rebuilt on decode.
+func (v *Vector) EncodeTo(w *wire.Writer) {
+	words, nbits := v.EncodeRLE()
+	w.Int(nbits)
+	w.Words(words)
+}
+
+// DecodeFrom reads a vector serialized by EncodeTo; errors are recorded
+// on r. A malformed γ stream is rejected, never panics.
+func DecodeFrom(r *wire.Reader) *Vector {
+	nbits := r.Int()
+	words := r.Words()
+	if r.Err() != nil {
+		return New()
+	}
+	if nbits < 0 || nbits > len(words)*64 {
+		r.Fail("dynbv: RLE stream of %d bits in %d words", nbits, len(words))
+		return New()
+	}
+	v, err := DecodeRLE(words, nbits)
+	if err != nil {
+		r.Fail("%v", err)
+		return New()
+	}
+	return v
 }
 
 // Iter returns a sequential bit cursor positioned at pos with O(1)

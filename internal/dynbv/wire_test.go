@@ -1,0 +1,54 @@
+package dynbv
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	cases := []*Vector{New(), NewInit(0, 1), NewInit(1, 1<<20)}
+	mixed := New()
+	for i := 0; i < 5000; i++ {
+		mixed.Insert(r.Intn(mixed.Len()+1), byte(r.Intn(2)))
+	}
+	cases = append(cases, mixed)
+
+	for ci, v := range cases {
+		w := wire.NewWriter(1, 1)
+		v.EncodeTo(w)
+		rd, _ := wire.NewReader(w.Bytes(), 1, 1)
+		got := DecodeFrom(rd)
+		if err := rd.Done(); err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		if got.Len() != v.Len() || got.Ones() != v.Ones() {
+			t.Fatalf("case %d: totals differ", ci)
+		}
+		for pos := 0; pos < v.Len(); pos += 1 + v.Len()/301 {
+			if got.Access(pos) != v.Access(pos) || got.Rank1(pos) != v.Rank1(pos) {
+				t.Fatalf("case %d: content differs at %d", ci, pos)
+			}
+		}
+	}
+}
+
+func TestWireDecodeRejectsCorrupt(t *testing.T) {
+	v := NewInit(1, 500)
+	v.Insert(250, 0)
+	w := wire.NewWriter(1, 1)
+	v.EncodeTo(w)
+	data := w.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		rd, err := wire.NewReader(data[:cut], 1, 1)
+		if err != nil {
+			continue // header truncation already rejected
+		}
+		DecodeFrom(rd)
+		if rd.Done() == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}

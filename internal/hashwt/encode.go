@@ -1,0 +1,57 @@
+package hashwt
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// EncodeTo serializes the tree into w: the universe width, the hash
+// multiplier a (its inverse is recomputed on decode), and the underlying
+// fully-dynamic Wavelet Trie of hashed fixed-width strings.
+func (t *Tree) EncodeTo(w *wire.Writer) {
+	w.Int(t.universeBits)
+	w.U64(t.a)
+	t.wt.EncodeTo(w)
+}
+
+// DecodeFrom reads a tree serialized by EncodeTo. Beyond the structural
+// checks of the core decoder it validates the hashwt invariants: the
+// multiplier must be odd (else it has no inverse mod 2^64) and every
+// stored string must be exactly universeBits wide, so decode/Access can
+// never fail on a loaded tree.
+func DecodeFrom(r *wire.Reader) (*Tree, error) {
+	universeBits := r.Int()
+	a := r.U64()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if universeBits < 1 || universeBits > 64 {
+		return nil, fmt.Errorf("hashwt: universe bits %d out of range [1,64]", universeBits)
+	}
+	if a&1 == 0 {
+		return nil, fmt.Errorf("hashwt: even hash multiplier %#x", a)
+	}
+	wt, err := core.DecodeDynamic(r)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range wt.StoredBits() {
+		if s.Len() != universeBits {
+			return nil, fmt.Errorf("hashwt: stored string has %d bits, want %d", s.Len(), universeBits)
+		}
+	}
+	t := &Tree{
+		wt:           wt,
+		a:            a,
+		aInv:         invOdd(a),
+		universeBits: universeBits,
+	}
+	if universeBits == 64 {
+		t.mask = ^uint64(0)
+	} else {
+		t.mask = 1<<uint(universeBits) - 1
+	}
+	return t, nil
+}

@@ -1,0 +1,75 @@
+package hashwt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func TestEncodeRoundTrip(t *testing.T) {
+	for _, ub := range []int{1, 16, 64} {
+		tr := New(ub, 77)
+		r := rand.New(rand.NewSource(int64(ub)))
+		var mask uint64 = ^uint64(0)
+		if ub < 64 {
+			mask = 1<<uint(ub) - 1
+		}
+		for i := 0; i < 400; i++ {
+			tr.Append(r.Uint64() & mask & 127)
+		}
+		w := wire.NewWriter(1, 1)
+		tr.EncodeTo(w)
+		rd, _ := wire.NewReader(w.Bytes(), 1, 1)
+		got, err := DecodeFrom(rd)
+		if err != nil {
+			t.Fatalf("ub=%d: %v", ub, err)
+		}
+		if err := rd.Done(); err != nil {
+			t.Fatalf("ub=%d: %v", ub, err)
+		}
+		if got.Len() != tr.Len() || got.AlphabetSize() != tr.AlphabetSize() || got.Height() != tr.Height() {
+			t.Fatalf("ub=%d: totals differ", ub)
+		}
+		for pos := 0; pos < tr.Len(); pos++ {
+			if got.Access(pos) != tr.Access(pos) {
+				t.Fatalf("ub=%d: Access(%d) differs", ub, pos)
+			}
+		}
+		// The hash multiplier must travel with the snapshot: inserting the
+		// same value must land in the same leaf on both sides.
+		tr.Insert(5&mask, 0)
+		got.Insert(5&mask, 0)
+		if got.Rank(5&mask, got.Len()) != tr.Rank(5&mask, tr.Len()) {
+			t.Fatalf("ub=%d: post-decode Insert diverges", ub)
+		}
+	}
+}
+
+func TestDecodeRejectsBadHeader(t *testing.T) {
+	tr := New(8, 1)
+	tr.Append(3)
+	w := wire.NewWriter(1, 1)
+	tr.EncodeTo(w)
+	good := w.Bytes()
+
+	corrupt := func(mut func(b []byte)) error {
+		b := append([]byte(nil), good...)
+		mut(b)
+		r, _ := wire.NewReader(b, 1, 1)
+		_, err := DecodeFrom(r)
+		if err == nil {
+			err = r.Done()
+		}
+		return err
+	}
+	if err := corrupt(func(b []byte) { b[6] = 200 }); err == nil {
+		t.Fatal("universe bits 200 accepted")
+	}
+	if err := corrupt(func(b []byte) { b[14] &^= 1 }); err == nil {
+		t.Fatal("even multiplier accepted")
+	}
+	if err := corrupt(func(b []byte) { b[6] = 9 }); err == nil {
+		t.Fatal("stored strings wider than the universe accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package patricia
+
+import (
+	"repro/internal/bitstr"
+	"repro/internal/wire"
+)
+
+// EncodeTo serializes the trie into w in depth-first preorder: per node
+// its label and a leaf/internal flag; for internal nodes the payload
+// callback writes the node's payload before the two children follow.
+// Since every internal node has exactly two children, the preorder flags
+// fully determine the shape — no child pointers are written.
+func (t *Trie[P]) EncodeTo(w *wire.Writer, payload func(n *Node[P], w *wire.Writer)) {
+	w.Int(t.size)
+	var rec func(n *Node[P])
+	rec = func(n *Node[P]) {
+		w.Int(n.label.Len())
+		w.Words(n.label.Words())
+		if n.IsLeaf() {
+			w.Byte(0)
+			return
+		}
+		w.Byte(1)
+		payload(n, w)
+		rec(n.kids[0])
+		rec(n.kids[1])
+	}
+	if t.root != nil {
+		rec(t.root)
+	}
+}
+
+// DecodeTrie reads a trie serialized by EncodeTo; payload decodes one
+// internal node's payload. Errors (truncation, label shape, node counts
+// disagreeing with the stored size) are recorded on r and yield an empty
+// trie. Structural shape is fully validated; semantic invariants of the
+// stored string set (prefix-freeness of the labels) are the caller's to
+// check. The walk keeps its own stack on the heap, so a crafted
+// arbitrarily-deep input cannot exhaust the goroutine stack — it either
+// decodes or errors.
+func DecodeTrie[P any](r *wire.Reader, payload func(r *wire.Reader) P) *Trie[P] {
+	t := New[P]()
+	size := r.Int()
+	if r.Err() != nil || size == 0 {
+		return t
+	}
+	leaves, internals := 0, 0
+	var root *Node[P]
+	// stack holds the internal nodes on the current path that still have
+	// an unfilled child, shallowest first (preorder: node, 0-child,
+	// 1-child).
+	var stack []*Node[P]
+	for {
+		labelLen := r.Int()
+		words := r.Words()
+		if r.Err() != nil {
+			return New[P]()
+		}
+		if len(words) != (labelLen+63)/64 {
+			r.Fail("patricia: label of %d bits in %d words", labelLen, len(words))
+			return New[P]()
+		}
+		var parent *Node[P]
+		if len(stack) > 0 {
+			parent = stack[len(stack)-1]
+		}
+		n := &Node[P]{label: bitstr.FromWords(words, labelLen), parent: parent}
+		switch {
+		case parent == nil:
+			root = n
+		case parent.kids[0] == nil:
+			parent.kids[0] = n
+		default:
+			parent.kids[1] = n
+		}
+		switch r.Byte() {
+		case 0:
+			leaves++
+			if leaves > size {
+				r.Fail("patricia: more leaves than the stored size %d", size)
+				return New[P]()
+			}
+			// This subtree is complete; pop every ancestor whose second
+			// child just finished.
+			for len(stack) > 0 && stack[len(stack)-1].kids[1] != nil {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) == 0 {
+				if leaves != size {
+					r.Fail("patricia: %d leaves, header says %d", leaves, size)
+					return New[P]()
+				}
+				if r.Err() != nil {
+					return New[P]()
+				}
+				t.root = root
+				t.size = size
+				return t
+			}
+		case 1:
+			internals++
+			if internals >= size {
+				r.Fail("patricia: more internal nodes than %d strings allow", size)
+				return New[P]()
+			}
+			n.Payload = payload(r)
+			stack = append(stack, n)
+		default:
+			r.Fail("patricia: invalid node flag")
+			return New[P]()
+		}
+	}
+}

@@ -280,37 +280,53 @@ func (t *Trie[P]) Delete(leaf *Node[P]) DeleteResult[P] {
 }
 
 // Walk visits every node in depth-first order (node, then 0-child, then
-// 1-child), calling visit with the node and its depth in nodes.
+// 1-child), calling visit with the node and its depth in nodes. The
+// traversal stack lives on the heap so arbitrarily deep tries (e.g.
+// freshly decoded, not yet validated) cannot exhaust the goroutine
+// stack.
 func (t *Trie[P]) Walk(visit func(n *Node[P], depth int)) {
-	var rec func(n *Node[P], d int)
-	rec = func(n *Node[P], d int) {
-		if n == nil {
-			return
-		}
-		visit(n, d)
-		rec(n.kids[0], d+1)
-		rec(n.kids[1], d+1)
+	if t.root == nil {
+		return
 	}
-	rec(t.root, 0)
+	type entry struct {
+		n *Node[P]
+		d int
+	}
+	stack := []entry{{t.root, 0}}
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		visit(e.n, e.d)
+		if !e.n.IsLeaf() {
+			// Push the 1-child first so the 0-child pops first.
+			stack = append(stack, entry{e.n.kids[1], e.d + 1}, entry{e.n.kids[0], e.d + 1})
+		}
+	}
 }
 
 // Strings returns all stored strings in lexicographic order.
 func (t *Trie[P]) Strings() []bitstr.BitString {
-	var out []bitstr.BitString
-	var rec func(n *Node[P], prefix bitstr.BitString)
-	rec = func(n *Node[P], prefix bitstr.BitString) {
-		if n == nil {
-			return
-		}
-		path := bitstr.Concat(prefix, n.label)
-		if n.IsLeaf() {
-			out = append(out, path)
-			return
-		}
-		rec(n.kids[0], path.AppendBit(0))
-		rec(n.kids[1], path.AppendBit(1))
+	if t.root == nil {
+		return nil
 	}
-	rec(t.root, bitstr.Empty)
+	type entry struct {
+		n      *Node[P]
+		prefix bitstr.BitString
+	}
+	var out []bitstr.BitString
+	stack := []entry{{t.root, bitstr.Empty}}
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		path := bitstr.Concat(e.prefix, e.n.label)
+		if e.n.IsLeaf() {
+			out = append(out, path)
+			continue
+		}
+		stack = append(stack,
+			entry{e.n.kids[1], path.AppendBit(1)},
+			entry{e.n.kids[0], path.AppendBit(0)})
+	}
 	return out
 }
 

@@ -2,40 +2,67 @@ package rrr
 
 import "repro/internal/wire"
 
-// EncodeTo serializes the compressed vector into w. All components are
-// stored verbatim; decode performs no recompression.
+// EncodeTo serializes the compressed vector into w. Only the payload is
+// written — the bit count, the packed class fields and the packed offset
+// stream; the superblock directory and the ones count are derived data
+// and are rebuilt on decode, so a decoded vector can never carry a
+// directory inconsistent with its payload.
 func (v *Vector) EncodeTo(w *wire.Writer) {
 	w.Int(v.n)
-	w.Int(v.ones)
 	w.Words(v.classes)
 	w.Words(v.offsets)
-	w.Words(v.rankSample)
-	w.Words(v.posSample)
 }
 
-// DecodeFrom reads a vector serialized by EncodeTo. Structural shape is
-// validated (errors are recorded on r); bit-level corruption surfaces as
-// wrong query answers, so callers wanting integrity must checksum the
-// enclosing container.
+// DecodeFrom reads a vector serialized by EncodeTo, rebuilding the
+// superblock directory from the class fields. Structural shape is fully
+// validated (errors are recorded on r): the class and offset streams must
+// have exactly the lengths the class fields imply, and the last block's
+// class cannot exceed its valid bits — so Rank/Select on a decoded vector
+// always stay in range. Bit-level corruption inside a block offset still
+// surfaces as wrong query answers, not panics; callers wanting integrity
+// must checksum the enclosing container.
 func DecodeFrom(r *wire.Reader) *Vector {
 	v := &Vector{
-		n:          r.Int(),
-		ones:       r.Int(),
-		classes:    r.Words(),
-		offsets:    r.Words(),
-		rankSample: r.Words(),
-		posSample:  r.Words(),
-	}
-	if r.Err() == nil {
-		nb := v.numBlocks()
-		ns := (nb + blocksPerSuper - 1) / blocksPerSuper
-		if len(v.rankSample) != ns+1 || len(v.posSample) != ns+1 ||
-			len(v.classes) != (nb*classBits+63)/64 {
-			r.Fail("rrr: directory shape inconsistent with n=%d", v.n)
-		}
+		n:       r.Int(),
+		classes: r.Words(),
+		offsets: r.Words(),
 	}
 	if r.Err() != nil {
 		return FromWords(nil, 0)
+	}
+	nb := v.numBlocks()
+	ns := (nb + blocksPerSuper - 1) / blocksPerSuper
+	if len(v.classes) != (nb*classBits+63)/64 {
+		r.Fail("rrr: %d class words for n=%d, want %d", len(v.classes), v.n, (nb*classBits+63)/64)
+		return FromWords(nil, 0)
+	}
+	// Rebuild the directory exactly as FromWords does, summing classes and
+	// offset widths per superblock.
+	v.rankSample = make([]uint64, ns+1)
+	v.posSample = make([]uint64, ns+1)
+	ones, offPos := 0, 0
+	for b := 0; b < nb; b++ {
+		if b%blocksPerSuper == 0 {
+			s := b / blocksPerSuper
+			v.rankSample[s] = uint64(ones)
+			v.posSample[s] = uint64(offPos)
+		}
+		c := v.class(b)
+		ones += c
+		offPos += offsetWidth[c]
+	}
+	v.rankSample[ns] = uint64(ones)
+	v.posSample[ns] = uint64(offPos)
+	v.ones = ones
+	if len(v.offsets) != (offPos+63)/64 {
+		r.Fail("rrr: %d offset words, classes imply %d", len(v.offsets), (offPos+63)/64)
+		return FromWords(nil, 0)
+	}
+	if nb > 0 {
+		if last := v.n - (nb-1)*blockBits; v.class(nb-1) > last {
+			r.Fail("rrr: last block class %d exceeds its %d valid bits", v.class(nb-1), last)
+			return FromWords(nil, 0)
+		}
 	}
 	return v
 }

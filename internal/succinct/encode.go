@@ -12,30 +12,20 @@ import (
 )
 
 const (
-	wireMagic   = 0x57545249 // "WTRI"
-	wireVersion = 1
+	wireMagic = 0x57545249 // "WTRI"
+	// wireVersion 2: the embedded RRR vectors serialize payload-only (the
+	// superblock directory is rebuilt on decode).
+	wireVersion = 2
 )
 
 // MarshalBinary serializes the frozen Wavelet Trie into a self-contained
 // byte buffer (little-endian, versioned). The encoding is the succinct
 // representation itself — labels, parens, RRR streams and directories —
-// so the on-disk size matches SizeBits up to padding.
+// minus the derived rank samples, which are rebuilt on decode, so the
+// on-disk size lands slightly below SizeBits.
 func (t *Trie) MarshalBinary() ([]byte, error) {
 	w := wire.NewWriter(wireMagic, wireVersion)
-	w.Int(t.n)
-	if t.tree == nil {
-		w.Int(0) // node count 0 marks the empty trie
-		return w.Bytes(), nil
-	}
-	w.Int(t.tree.NumNodes())
-	t.tree.EncodeTo(w)
-	w.Int(t.labels.Len())
-	w.Words(t.labels.Words())
-	t.labelDir.EncodeTo(w)
-	t.internalID.bv.EncodeTo(w)
-	t.bits.EncodeTo(w)
-	t.bvOffsets.EncodeTo(w)
-	t.bvOnes.EncodeTo(w)
+	t.EncodeTo(w)
 	return w.Bytes(), nil
 }
 
@@ -46,6 +36,41 @@ func UnmarshalBinary(data []byte) (*Trie, error) {
 	if err != nil {
 		return nil, err
 	}
+	t, err := DecodeFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// EncodeTo serializes the trie body (no magic header) into w, so it can
+// be embedded in an enclosing container.
+func (t *Trie) EncodeTo(w *wire.Writer) {
+	w.Int(t.n)
+	if t.tree == nil {
+		w.Int(0) // node count 0 marks the empty trie
+		return
+	}
+	w.Int(t.tree.NumNodes())
+	t.tree.EncodeTo(w)
+	w.Int(t.labels.Len())
+	w.Words(t.labels.Words())
+	t.labelDir.EncodeTo(w)
+	t.internalID.bv.EncodeTo(w)
+	t.bits.EncodeTo(w)
+	t.bvOffsets.EncodeTo(w)
+	t.bvOnes.EncodeTo(w)
+}
+
+// DecodeFrom reads a trie body written by EncodeTo and validates it
+// deeply enough that every query on the result stays in range: component
+// shapes, directory monotonicity against the concatenated streams, and a
+// full structural walk of the DFUDS tree. Corrupt input yields an error,
+// never a panic — here or later at query time.
+func DecodeFrom(r *wire.Reader) (*Trie, error) {
 	t := &Trie{n: r.Int()}
 	nodes := r.Int()
 	if err := r.Err(); err != nil {
@@ -55,16 +80,13 @@ func UnmarshalBinary(data []byte) (*Trie, error) {
 		if t.n != 0 {
 			return nil, fmt.Errorf("succinct: %d elements but empty trie", t.n)
 		}
-		if err := r.Done(); err != nil {
-			return nil, err
-		}
 		return t, nil
 	}
 	t.tree = dfuds.DecodeTree(r)
 	labelLen := r.Int()
 	labelWords := r.Words()
 	if r.Err() == nil {
-		if labelLen < 0 || labelLen > len(labelWords)*64 {
+		if labelLen < 0 || len(labelWords) != (labelLen+63)/64 {
 			r.Fail("succinct: label stream shape")
 		} else {
 			t.labels = bitstr.FromWords(labelWords, labelLen)
@@ -75,28 +97,122 @@ func UnmarshalBinary(data []byte) (*Trie, error) {
 	t.bits = rrr.DecodeFrom(r)
 	t.bvOffsets = eliasfano.DecodeMonotone(r)
 	t.bvOnes = eliasfano.DecodeMonotone(r)
-	if err := r.Done(); err != nil {
+	if err := r.Err(); err != nil {
 		return nil, err
 	}
-	// Cross-component validation.
+	if err := t.validate(nodes); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// validate cross-checks every component of a decoded trie. Navigation
+// over a malformed DFUDS encoding can panic deep inside the parentheses
+// index; the recover converts any such panic into a decode error.
+func (t *Trie) validate(nodes int) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("succinct: malformed structure: %v", rec)
+		}
+	}()
 	if t.tree.NumNodes() != nodes {
-		return nil, fmt.Errorf("succinct: tree has %d nodes, header says %d", t.tree.NumNodes(), nodes)
+		return fmt.Errorf("succinct: tree has %d nodes, header says %d", t.tree.NumNodes(), nodes)
+	}
+	if t.n < 1 {
+		return fmt.Errorf("succinct: non-empty trie with %d elements", t.n)
 	}
 	if t.labelDir.Count() != nodes {
-		return nil, fmt.Errorf("succinct: label directory covers %d nodes, want %d", t.labelDir.Count(), nodes)
+		return fmt.Errorf("succinct: label directory covers %d nodes, want %d", t.labelDir.Count(), nodes)
 	}
 	if int(t.labelDir.Total()) != t.labels.Len() {
-		return nil, fmt.Errorf("succinct: labels %d bits, directory says %d", t.labels.Len(), t.labelDir.Total())
+		return fmt.Errorf("succinct: labels %d bits, directory says %d", t.labels.Len(), t.labelDir.Total())
+	}
+	// Decoded Elias-Fano sequences are not necessarily monotone (corrupt
+	// low bits can reorder values within a high bucket); check explicitly
+	// so label extraction can never slice out of range.
+	prev := uint64(0)
+	for i := 0; i <= nodes; i++ {
+		off := t.labelDir.Offset(i)
+		if off < prev || off > uint64(t.labels.Len()) {
+			return fmt.Errorf("succinct: label directory not monotone at %d", i)
+		}
+		prev = off
 	}
 	internals := t.internalID.bv.Ones()
 	if t.internalID.bv.Len() != nodes || internals != (nodes-1)/2 {
-		return nil, fmt.Errorf("succinct: internal-rank map inconsistent (%d nodes, %d internals)", t.internalID.bv.Len(), internals)
+		return fmt.Errorf("succinct: internal-rank map inconsistent (%d nodes, %d internals)", t.internalID.bv.Len(), internals)
 	}
 	if t.bvOffsets.Len() != internals+1 || t.bvOnes.Len() != internals+1 {
-		return nil, fmt.Errorf("succinct: bitvector directories cover %d segments, want %d", t.bvOffsets.Len()-1, internals)
+		return fmt.Errorf("succinct: bitvector directories cover %d segments, want %d", t.bvOffsets.Len()-1, internals)
+	}
+	// Segment offsets must be monotone within the concatenated bitvector,
+	// and the ones directory must agree with the actual stream ranks —
+	// then every segRank/segSelect stays within the RRR vector's bounds.
+	prev = 0
+	for i := 0; i <= internals; i++ {
+		off := t.bvOffsets.Get(i)
+		if off < prev || off > uint64(t.bits.Len()) {
+			return fmt.Errorf("succinct: bitvector directory not monotone at %d", i)
+		}
+		prev = off
+		if got := t.bits.Rank1(int(off)); got != int(t.bvOnes.Get(i)) {
+			return fmt.Errorf("succinct: segment %d claims %d preceding ones, stream has %d", i, t.bvOnes.Get(i), got)
+		}
 	}
 	if int(t.bvOffsets.Get(internals)) != t.bits.Len() {
-		return nil, fmt.Errorf("succinct: bitvector stream %d bits, directory says %d", t.bits.Len(), t.bvOffsets.Get(internals))
+		return fmt.Errorf("succinct: bitvector stream %d bits, directory says %d", t.bits.Len(), t.bvOffsets.Get(internals))
 	}
-	return t, nil
+	// Structural walk: the reachable tree must be binary (degree 0 or 2),
+	// have exactly the advertised node count, consistent up-links and
+	// in-range preorder ids, every internal node's bitvector segment must
+	// be exactly as long as its subsequence (the Definition 3.1
+	// invariant), and no leaf may be empty — the properties query
+	// navigation relies on. The traversal stack lives on the heap so a
+	// crafted deep tree cannot exhaust the goroutine stack.
+	type entry struct{ v, want int }
+	stack := []entry{{t.tree.Root(), t.n}}
+	seen := 0
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		seen++
+		if seen > nodes {
+			return fmt.Errorf("succinct: tree walk exceeds %d nodes", nodes)
+		}
+		id := t.tree.Preorder(e.v)
+		if id < 0 || id >= nodes {
+			return fmt.Errorf("succinct: preorder id %d out of range", id)
+		}
+		if t.tree.IsLeaf(e.v) {
+			if e.want == 0 {
+				return fmt.Errorf("succinct: leaf %d with empty subsequence", id)
+			}
+			continue
+		}
+		if deg := t.tree.Degree(e.v); deg != 2 {
+			return fmt.Errorf("succinct: internal node with degree %d", deg)
+		}
+		if t.internalID.bv.Access(id) != 1 {
+			return fmt.Errorf("succinct: internal node %d not marked internal", id)
+		}
+		if got := t.segLen(id); got != e.want {
+			return fmt.Errorf("succinct: node %d segment %d bits, subsequence has %d", id, got, e.want)
+		}
+		ones := t.segOnes(id)
+		for i := 0; i < 2; i++ {
+			c := t.tree.Child(e.v, i)
+			if t.tree.Parent(c) != e.v || t.tree.ChildIndex(c) != i {
+				return fmt.Errorf("succinct: child/parent links inconsistent at node %d", id)
+			}
+			childWant := e.want - ones
+			if i == 1 {
+				childWant = ones
+			}
+			stack = append(stack, entry{c, childWant})
+		}
+	}
+	if seen != nodes {
+		return fmt.Errorf("succinct: %d reachable nodes, header says %d", seen, nodes)
+	}
+	return nil
 }

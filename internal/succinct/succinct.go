@@ -125,6 +125,62 @@ func (t *Trie) AlphabetSize() int {
 	return (t.tree.NumNodes() + 1) / 2
 }
 
+// Height returns the maximum number of internal nodes on any
+// root-to-leaf path, matching core's definition. The traversal keeps
+// its stack on the heap (deep tries must not exhaust the goroutine
+// stack).
+func (t *Trie) Height() int {
+	if t.tree == nil {
+		return 0
+	}
+	type entry struct{ v, depth int }
+	stack := []entry{{t.tree.Root(), 0}}
+	max := 0
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if t.tree.IsLeaf(e.v) {
+			if e.depth > max {
+				max = e.depth
+			}
+			continue
+		}
+		stack = append(stack,
+			entry{t.tree.Child(e.v, 0), e.depth + 1},
+			entry{t.tree.Child(e.v, 1), e.depth + 1})
+	}
+	return max
+}
+
+// StoredBits returns the distinct stored bit strings in lexicographic
+// order; loaders use it to validate the binarization contract.
+func (t *Trie) StoredBits() []bitstr.BitString {
+	if t.tree == nil {
+		return nil
+	}
+	type entry struct {
+		v      int
+		prefix bitstr.BitString
+	}
+	var out []bitstr.BitString
+	stack := []entry{{t.tree.Root(), bitstr.Empty}}
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		path := bitstr.Concat(e.prefix, t.label(t.tree.Preorder(e.v)))
+		if t.tree.IsLeaf(e.v) {
+			out = append(out, path)
+			continue
+		}
+		// Push the 1-child first so the 0-child pops first (lexicographic
+		// output order).
+		stack = append(stack,
+			entry{t.tree.Child(e.v, 1), path.AppendBit(1)},
+			entry{t.tree.Child(e.v, 0), path.AppendBit(0)})
+	}
+	return out
+}
+
 // label returns the label of the node with the given preorder id.
 func (t *Trie) label(id int) bitstr.BitString {
 	off := int(t.labelDir.Offset(id))

@@ -26,6 +26,9 @@ func NewWriter(magic uint32, version uint16) *Writer {
 // Bytes returns the accumulated encoding.
 func (w *Writer) Bytes() []byte { return w.buf }
 
+// Byte appends a single byte (kind tags, bit values).
+func (w *Writer) Byte(v byte) { w.buf = append(w.buf, v) }
+
 // U16 appends a uint16.
 func (w *Writer) U16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
 
@@ -117,6 +120,15 @@ func (r *Reader) take(n int) []byte {
 	b := r.buf[r.pos : r.pos+n]
 	r.pos += n
 	return b
+}
+
+// Byte reads a single byte.
+func (r *Reader) Byte() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
 }
 
 // U16 reads a uint16.
