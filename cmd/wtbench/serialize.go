@@ -131,13 +131,17 @@ func runSER(quick bool) {
 	t.flush()
 }
 
-// emitJSON writes the machine-readable benchmark suite to stdout.
+// emitJSON writes the machine-readable benchmark suite to stdout: the
+// per-variant build/query/serialize records plus the log-structured
+// store experiment.
 func emitJSON(quick bool) {
 	out := struct {
-		Suite   string        `json:"suite"`
-		Quick   bool          `json:"quick"`
-		Records []benchRecord `json:"records"`
-	}{Suite: "wavelettrie-serialize", Quick: quick, Records: serRecords(quick)}
+		Suite        string             `json:"suite"`
+		Quick        bool               `json:"quick"`
+		Records      []benchRecord      `json:"records"`
+		StoreRecords []storeBenchRecord `json:"store_records"`
+	}{Suite: "wavelettrie-serialize", Quick: quick,
+		Records: serRecords(quick), StoreRecords: storeBenchRecords(quick)}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {

@@ -10,6 +10,8 @@
 //	wtquery -gen 100000               # or a generated URL log
 //	wtquery -dynamic -gen 10000       # fully-dynamic variant (ins/del)
 //	wtquery -load index.wt            # reopen a snapshot saved with 'save'
+//	wtquery -store dir/               # open a durable log-structured store
+//	wtquery -store dir/ -file a.log   # ...bulk-loading the file into it
 //
 // Commands (positions 0-based, ranges half-open):
 //
@@ -22,6 +24,7 @@
 //	slice L R
 //	append STR            | insert POS STR | delete POS   (dynamic/append)
 //	save FILE             | load FILE
+//	flush                 | compact | gens                 (-store only)
 //	stats                 | help | quit
 package main
 
@@ -35,6 +38,7 @@ import (
 
 	wavelettrie "repro"
 	"repro/internal/workload"
+	"repro/store"
 )
 
 // dynamicIndex is the Dynamic-only mutation capability.
@@ -43,16 +47,51 @@ type dynamicIndex interface {
 	Delete(pos int) string
 }
 
+// storeIndex is the durable-store capability: appends can fail (I/O),
+// and the generation lifecycle is steerable from the REPL.
+type storeIndex interface {
+	Append(s string) error
+	Flush() error
+	Compact() error
+	Generations() []store.GenInfo
+	MemLen() int
+}
+
 func main() {
 	file := flag.String("file", "", "log file to index (one string per line)")
 	gen := flag.Int("gen", 0, "generate a URL log of this length instead")
 	seed := flag.Int64("seed", 1, "generator seed")
 	dynamic := flag.Bool("dynamic", false, "use the fully-dynamic variant")
 	load := flag.String("load", "", "reopen a snapshot file instead of indexing")
+	storeDir := flag.String("store", "", "open a durable log-structured store in this directory")
+	sync := flag.Bool("sync", false, "with -store: fsync the WAL on every append")
 	flag.Parse()
 
 	var st wavelettrie.StringIndex
 	switch {
+	case *storeDir != "":
+		if *load != "" || *dynamic {
+			fmt.Fprintln(os.Stderr, "wtquery: -store cannot be combined with -load or -dynamic")
+			os.Exit(2)
+		}
+		db, err := store.Open(*storeDir, &store.Options{Sync: *sync})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wtquery:", err)
+			os.Exit(1)
+		}
+		defer db.Close()
+		if lines, err := seedLines(*file, *gen, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "wtquery:", err)
+			os.Exit(1)
+		} else {
+			for _, s := range lines {
+				if err := db.Append(s); err != nil {
+					fmt.Fprintln(os.Stderr, "wtquery:", err)
+					os.Exit(1)
+				}
+			}
+		}
+		st = db
 	case *load != "":
 		if *file != "" || *gen > 0 || *dynamic {
 			fmt.Fprintln(os.Stderr, "wtquery: -load reopens a snapshot as its saved variant; it cannot be combined with -file, -gen or -dynamic")
@@ -65,19 +104,14 @@ func main() {
 		}
 		st = ix
 	default:
-		var lines []string
-		switch {
-		case *file != "":
-			var err error
-			if lines, err = readLines(*file); err != nil {
-				fmt.Fprintln(os.Stderr, "wtquery:", err)
-				os.Exit(1)
-			}
-		case *gen > 0:
-			lines = workload.URLLog(*gen, *seed, workload.DefaultURLConfig())
-		default:
-			fmt.Fprintln(os.Stderr, "wtquery: need -file, -gen or -load; see -h")
+		if *file == "" && *gen <= 0 {
+			fmt.Fprintln(os.Stderr, "wtquery: need -file, -gen, -load or -store; see -h")
 			os.Exit(2)
+		}
+		lines, err := seedLines(*file, *gen, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wtquery:", err)
+			os.Exit(1)
 		}
 		if *dynamic {
 			st = wavelettrie.NewDynamicFrom(lines)
@@ -89,6 +123,18 @@ func main() {
 		st.Len(), st.AlphabetSize(), float64(st.SizeBits())/float64(max(1, st.Len())))
 
 	repl(st)
+}
+
+// seedLines returns the optional bulk-load sequence for a store: the
+// file's lines, a generated log, or nothing.
+func seedLines(file string, gen int, seed int64) ([]string, error) {
+	switch {
+	case file != "":
+		return readLines(file)
+	case gen > 0:
+		return workload.URLLog(gen, seed, workload.DefaultURLConfig()), nil
+	}
+	return nil, nil
 }
 
 func readLines(path string) ([]string, error) {
@@ -182,6 +228,7 @@ func execute(st wavelettrie.StringIndex, args []string) (cur wavelettrie.StringI
 		fmt.Println("rankprefix PREF POS | countprefix PREF | selectprefix PREF IDX")
 		fmt.Println("distinct L R | majority L R | topk L R K | threshold L R T | slice L R")
 		fmt.Println("append STR | insert POS STR | delete POS")
+		fmt.Println("flush | compact | gens   (durable store only)")
 		fmt.Println("save FILE | load FILE | stats | quit")
 	case "access":
 		need(1)
@@ -241,12 +288,43 @@ func execute(st wavelettrie.StringIndex, args []string) (cur wavelettrie.StringI
 		}
 	case "append":
 		need(1)
-		a, ok := st.(wavelettrie.Appender)
-		if !ok {
+		v := strings.Join(args[1:], " ")
+		switch a := st.(type) {
+		case storeIndex:
+			if err := a.Append(v); err != nil {
+				panic(err)
+			}
+		case wavelettrie.Appender:
+			a.Append(v)
+		default:
 			panic(fmt.Sprintf("append: not supported by %T", st))
 		}
-		a.Append(strings.Join(args[1:], " "))
 		fmt.Println("ok, n =", st.Len())
+	case "flush", "compact", "gens":
+		// The generation-lifecycle commands are capability-gated on the
+		// durable store, like analytics on RangeIndex above.
+		db, ok := st.(storeIndex)
+		if !ok {
+			panic(fmt.Sprintf("%s requires -store (not supported by %T)", args[0], st))
+		}
+		switch args[0] {
+		case "flush":
+			if err := db.Flush(); err != nil {
+				panic(err)
+			}
+			fmt.Println("ok,", len(db.Generations()), "generation(s)")
+		case "compact":
+			if err := db.Compact(); err != nil {
+				panic(err)
+			}
+			fmt.Println("ok,", len(db.Generations()), "generation(s)")
+		case "gens":
+			for _, g := range db.Generations() {
+				fmt.Printf("gen %4d  n=%-8d %.1f bits/elem\n",
+					g.ID, g.Len, float64(g.SizeBits)/float64(max(1, g.Len)))
+			}
+			fmt.Printf("memtable  n=%d\n", db.MemLen())
+		}
 	case "insert":
 		need(2)
 		d, ok := st.(dynamicIndex)

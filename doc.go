@@ -68,6 +68,18 @@
 // an error (never panics), and a successfully loaded index is safe
 // across its whole query surface.
 //
+// # The durable store
+//
+// The store subpackage (repro/store) turns the persistence layer into a
+// full storage engine: a log-structured, crash-recoverable store whose
+// writes go through a checksummed write-ahead log into an AppendOnly
+// memtable, whose flushed runs are Frozen generations recorded in an
+// atomically-rewritten manifest, and whose reads are snapshot-isolated —
+// lock-free across generations, concurrent with appends and compaction.
+// store.Store satisfies StringIndex, so it drops into anything
+// programmed against the interface family (wtquery serves one with
+// -store). See DESIGN.md §5 for the on-disk formats and crash matrix.
+//
 // # Example
 //
 //	wt := wavelettrie.NewAppendOnly()

@@ -1,0 +1,110 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+)
+
+// Compaction keeps the generation count bounded so merged reads stay
+// cheap: each query op costs one probe per segment, so the read
+// amplification is the generation count. The policy is size-tiered over
+// adjacent pairs — order must be preserved, so only neighbors may merge —
+// always picking the pair with the smallest combined element count,
+// which pushes small flush-sized generations together before touching
+// big ones. The background compactor enforces Options.MaxGenerations
+// after every flush; Compact merges everything into one.
+
+// Compact merges all frozen generations into a single one. Readers
+// holding snapshots keep their old generation list (the loaded tries
+// stay in memory even after their files are deleted); new snapshots see
+// the merged generation.
+func (s *Store) Compact() error { return s.CompactTo(1) }
+
+// CompactTo merges adjacent generations until at most target remain —
+// the same policy the background compactor applies with
+// Options.MaxGenerations as the target.
+func (s *Store) CompactTo(target int) error {
+	if err := s.err(); err != nil {
+		return err
+	}
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	if s.closed.Load() {
+		return errors.New("store: closed")
+	}
+	if err := s.compactTo(target); err != nil {
+		s.fail(err)
+		return err
+	}
+	return nil
+}
+
+// compactTo merges smallest adjacent pairs until at most target
+// generations remain. Caller holds adminMu.
+func (s *Store) compactTo(target int) error {
+	if target < 1 {
+		target = 1
+	}
+	for {
+		st := s.state.Load()
+		if len(st.gens) <= target {
+			return nil
+		}
+		if err := s.mergeSmallestPair(st); err != nil {
+			return err
+		}
+	}
+}
+
+// mergeSmallestPair replaces the adjacent generation pair with the
+// smallest combined count by one merged generation: materialize both in
+// order, freeze the concatenation, persist it, commit the manifest, then
+// publish and delete the old files.
+//
+// The merge runs under adminMu, so a merge of two large generations
+// stalls Flush (appends continue, but the memtable grows past its
+// threshold until the merge commits). Smallest-pair selection keeps the
+// common background merges cheap; see ROADMAP for moving the heavy
+// materialize/freeze work outside the lock.
+func (s *Store) mergeSmallestPair(st *storeState) error {
+	best, bestN := 0, -1
+	for i := 0; i+1 < len(st.gens); i++ {
+		if n := st.gens[i].ix.Len() + st.gens[i+1].ix.Len(); bestN < 0 || n < bestN {
+			best, bestN = i, n
+		}
+	}
+	left, right := st.gens[best], st.gens[best+1]
+
+	seq := append(left.materialize(), right.materialize()...)
+	gid := s.nextID
+	s.nextID++
+	merged, err := writeGeneration(s.dir, gid, seq)
+	if err != nil {
+		return err
+	}
+
+	gens := make([]*generation, 0, len(st.gens)-1)
+	gens = append(gens, st.gens[:best]...)
+	gens = append(gens, merged)
+	gens = append(gens, st.gens[best+2:]...)
+
+	metas := make([]genMeta, len(gens))
+	for i, g := range gens {
+		metas[i] = genMeta{id: g.id, n: g.ix.Len()}
+	}
+	m := manifest{nextID: s.nextID, walID: s.walID, distinct: s.genDistinct, gens: metas}
+	if err := writeManifest(s.dir, m); err != nil {
+		return err
+	}
+
+	// The memtable pointer is stable while adminMu is held (only a flush
+	// swaps it), so republishing around it is safe under concurrent
+	// appends.
+	cur := s.state.Load()
+	s.state.Store(&storeState{gens: gens, sealed: cur.sealed, mem: cur.mem})
+
+	os.Remove(filepath.Join(s.dir, genFileName(left.id)))
+	os.Remove(filepath.Join(s.dir, genFileName(right.id)))
+	return nil
+}

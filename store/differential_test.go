@@ -1,0 +1,218 @@
+package store_test
+
+import (
+	"testing"
+
+	wavelettrie "repro"
+	"repro/internal/seqstore"
+	"repro/internal/seqstore/flat"
+	"repro/internal/workload"
+	"repro/store"
+)
+
+// The ISSUE acceptance contract: a store — through flushes, compactions
+// and a reopen — serves the same answers as a freshly built AppendOnly
+// index over the same sequence. Both are compared through the shared
+// seqstore surface against the flat-scan oracle.
+var (
+	_ seqstore.Sequence = (*store.Store)(nil)
+	_ seqstore.Sequence = (*store.Snapshot)(nil)
+)
+
+func TestDifferentialVsAppendOnly(t *testing.T) {
+	dir := t.TempDir()
+	seq := workload.URLLog(500, 11, workload.DefaultURLConfig())
+
+	s, err := store.Open(dir, &store.Options{FlushThreshold: 1 << 20, DisableAutoFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave appends with flushes and a compaction so the sequence
+	// ends up spread over several generations plus a memtable tail.
+	for i, v := range seq {
+		if err := s.Append(v); err != nil {
+			t.Fatal(err)
+		}
+		switch i {
+		case 99, 199, 299, 399:
+			if err := s.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		case 349:
+			if err := s.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: generations load, the memtable tail replays from the WAL.
+	s, err = store.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	oracle := flat.FromSlice(seq)
+	ao := wavelettrie.NewAppendOnlyFrom(seq)
+	diffSequences(t, seq, map[string]seqstore.Sequence{
+		"store":      s,
+		"snapshot":   s.Snapshot(),
+		"appendonly": ao,
+	}, oracle)
+
+	// The richer count surface agrees too.
+	for _, v := range append(seq[:10:10], "absent", "host") {
+		if g, w := s.Count(v), ao.Count(v); g != w {
+			t.Fatalf("Count(%q) = %d, want %d", v, g, w)
+		}
+		if g, w := s.CountPrefix(v), ao.CountPrefix(v); g != w {
+			t.Fatalf("CountPrefix(%q) = %d, want %d", v, g, w)
+		}
+	}
+	if g, w := s.AlphabetSize(), ao.AlphabetSize(); g != w {
+		t.Fatalf("AlphabetSize = %d, want %d", g, w)
+	}
+
+	// The export snapshot is a loadable Frozen with the same answers.
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen, err := wavelettrie.LoadFrozen(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSequences(t, seq, map[string]seqstore.Sequence{"export": frozen}, oracle)
+}
+
+func diffSequences(t *testing.T, seq []string, stores map[string]seqstore.Sequence, oracle *flat.Store) {
+	t.Helper()
+	probes := append([]string(nil), seq[:8]...)
+	probes = append(probes, "absent", "host")
+	for name, st := range stores {
+		if st.Len() != oracle.Len() {
+			t.Fatalf("%s: Len = %d, want %d", name, st.Len(), oracle.Len())
+		}
+		for pos := 0; pos < oracle.Len(); pos += 3 {
+			if g, w := st.Access(pos), oracle.Access(pos); g != w {
+				t.Fatalf("%s: Access(%d) = %q, want %q", name, pos, g, w)
+			}
+		}
+		for _, s := range probes {
+			for _, pos := range []int{0, 1, 99, 100, 250, oracle.Len()} {
+				if g, w := st.Rank(s, pos), oracle.Rank(s, pos); g != w {
+					t.Fatalf("%s: Rank(%q,%d) = %d, want %d", name, s, pos, g, w)
+				}
+				if g, w := st.RankPrefix(s, pos), oracle.RankPrefix(s, pos); g != w {
+					t.Fatalf("%s: RankPrefix(%q,%d) = %d, want %d", name, s, pos, g, w)
+				}
+			}
+			for _, idx := range []int{0, 1, 5, 50} {
+				gp, gok := st.Select(s, idx)
+				wp, wok := oracle.Select(s, idx)
+				if gok != wok || (gok && gp != wp) {
+					t.Fatalf("%s: Select(%q,%d) = %d,%v want %d,%v", name, s, idx, gp, gok, wp, wok)
+				}
+				gp, gok = st.SelectPrefix(s, idx)
+				wp, wok = oracle.SelectPrefix(s, idx)
+				if gok != wok || (gok && gp != wp) {
+					t.Fatalf("%s: SelectPrefix(%q,%d) = %d,%v want %d,%v", name, s, idx, gp, gok, wp, wok)
+				}
+			}
+		}
+	}
+}
+
+// TestAutoFlushAndCompaction drives the background flusher/compactor
+// through the public API and checks the generation count stays bounded
+// while answers stay exact.
+func TestAutoFlushAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	seq := workload.URLLog(2000, 7, workload.DefaultURLConfig())
+	s, err := store.Open(dir, &store.Options{FlushThreshold: 128, MaxGenerations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range seq {
+		if err := s.Append(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Force the tail out and the generation count down deterministically.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Generations()); got != 1 {
+		t.Fatalf("generations = %d, want 1", got)
+	}
+	oracle := flat.FromSlice(seq)
+	diffSequences(t, seq, map[string]seqstore.Sequence{"store": s}, oracle)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotIsolation: a snapshot taken mid-stream keeps answering for
+// its prefix while appends, a flush and a compaction rewrite the store
+// underneath it.
+func TestSnapshotIsolation(t *testing.T) {
+	dir := t.TempDir()
+	seq := workload.URLLog(600, 23, workload.DefaultURLConfig())
+	s, err := store.Open(dir, &store.Options{FlushThreshold: 1 << 20, DisableAutoFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for _, v := range seq[:150] {
+		if err := s.Append(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range seq[150:250] {
+		if err := s.Append(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := s.Snapshot()
+	if snap.Len() != 250 {
+		t.Fatalf("snapshot Len = %d, want 250", snap.Len())
+	}
+	probe := seq[0]
+	wantRank := snap.Rank(probe, 250)
+
+	// Mutate heavily after the snapshot.
+	for _, v := range seq[250:] {
+		if err := s.Append(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	if snap.Len() != 250 {
+		t.Fatalf("snapshot Len drifted to %d", snap.Len())
+	}
+	oracle := flat.FromSlice(seq[:250])
+	diffSequences(t, seq[:250], map[string]seqstore.Sequence{"snapshot": snap}, oracle)
+	if got := snap.Rank(probe, 250); got != wantRank {
+		t.Fatalf("snapshot Rank drifted: %d -> %d", wantRank, got)
+	}
+	// The store itself sees everything.
+	if s.Len() != len(seq) {
+		t.Fatalf("store Len = %d, want %d", s.Len(), len(seq))
+	}
+}

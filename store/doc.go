@@ -1,0 +1,37 @@
+// Package store is the durability and concurrency layer over the
+// Wavelet Trie: a log-structured, crash-recoverable string store in the
+// LSM mold, built from the pieces the rest of the repository provides.
+//
+// # Architecture
+//
+// Writes are acknowledged only after they are appended to a
+// length-prefixed, CRC-checksummed write-ahead log and applied to an
+// in-memory append-only Wavelet Trie (the memtable). When the memtable
+// crosses Options.FlushThreshold it is sealed and persisted as an
+// immutable frozen generation — the §3 fully-succinct encoding written
+// through the unified persistence container — and recorded in an
+// atomically-rewritten manifest; the WAL that covered it is then
+// deleted. A background compactor merges adjacent small generations so
+// the generation count stays bounded.
+//
+// Reads never block writes and writes never block reads across
+// generations: a Snapshot is an atomic pointer load of an immutable
+// generation list plus a bounded view of the live memtable, and the five
+// primitive operations (Access, Rank, Select, RankPrefix, SelectPrefix
+// and the Count forms) are answered by stitching per-generation answers
+// together with offset and rank arithmetic. A snapshot observes a fixed
+// prefix of the logical sequence no matter how many appends, flushes or
+// compactions happen after it was taken. Only the memtable tail is
+// guarded by a read-write mutex — and the WAL fsync happens outside it,
+// so even synchronous appends do not stall readers.
+//
+// Open replays the WAL tail on boot: torn or corrupt trailing records
+// are truncated cleanly (never a panic), so a store killed mid-append
+// reopens with every acknowledged write intact and serves exactly the
+// answers a freshly built AppendOnly index over the same sequence would.
+//
+// The Store satisfies the root package's StringIndex interface, so
+// everything programmed against wavelettrie.StringIndex — including the
+// wtquery REPL — can serve from a durable store unchanged. See DESIGN.md
+// §5 for the on-disk formats and the crash matrix.
+package store

@@ -1,0 +1,80 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	wavelettrie "repro"
+)
+
+// generation is one immutable slab of the sequence: a Frozen Wavelet
+// Trie (the §3 fully-succinct encoding) persisted through the unified
+// container, plus the id naming its file. Generations are read lock-free
+// by any number of goroutines; they are replaced, never mutated.
+type generation struct {
+	id uint64
+	ix *wavelettrie.Frozen
+}
+
+// loadGeneration reopens a generation file and cross-checks it against
+// its manifest entry.
+func loadGeneration(dir string, meta genMeta) (*generation, error) {
+	name := genFileName(meta.id)
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return nil, err
+	}
+	ix, err := wavelettrie.LoadFrozen(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", name, err)
+	}
+	if ix.Len() != meta.n {
+		return nil, fmt.Errorf("store: %s holds %d elements, manifest says %d", name, ix.Len(), meta.n)
+	}
+	return &generation{id: meta.id, ix: ix}, nil
+}
+
+// writeGeneration persists seq as generation id: build the Frozen
+// encoding, write to a temp file, fsync, rename into place. The rename
+// is atomic, so a crash leaves either no file or a complete one — and an
+// orphan only becomes reachable once a manifest references it.
+func writeGeneration(dir string, id uint64, seq []string) (*generation, error) {
+	ix := wavelettrie.NewStatic(seq).Frozen()
+	data, err := ix.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	name := genFileName(id)
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return nil, err
+	}
+	syncDir(dir)
+	return &generation{id: id, ix: ix}, nil
+}
+
+// materialize returns the generation's sequence in order (for merges and
+// exports; Frozen serves primitives only, so this is an Access sweep).
+func (g *generation) materialize() []string {
+	out := make([]string, g.ix.Len())
+	for i := range out {
+		out[i] = g.ix.Access(i)
+	}
+	return out
+}

@@ -1,0 +1,8 @@
+//go:build !unix
+
+package store
+
+// lockDir is advisory-only where flock is unavailable: opening the same
+// directory from two stores is then unprotected, as on most embedded
+// stores on such platforms.
+func lockDir(dir string) (func(), error) { return func() {}, nil }

@@ -1,0 +1,138 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/wire"
+)
+
+// The manifest is the store's root pointer: which generation files make
+// up the sequence (in order), which WAL is current, and the bookkeeping
+// needed to resume (next file id, distinct count of the generation
+// contents). It is rewritten atomically — encode to MANIFEST.tmp, fsync,
+// rename over MANIFEST — so a crash leaves either the old or the new
+// manifest, never a partial one.
+const (
+	manifestMagic   = 0x4E414D57 // "WMAN" little-endian
+	manifestVersion = 1
+
+	manifestName    = "MANIFEST"
+	manifestTmpName = "MANIFEST.tmp"
+
+	maxManifestGens = 1 << 16
+)
+
+// genMeta is one generation as recorded in the manifest.
+type genMeta struct {
+	id uint64 // names the file gen-<id>.wt
+	n  int    // element count, cross-checked against the loaded file
+}
+
+// manifest is the decoded root pointer.
+type manifest struct {
+	nextID   uint64 // next unallocated file id (> every gen and WAL id)
+	walID    uint64 // the current WAL; ids >= walID may hold live records
+	distinct int    // distinct strings across the generation contents
+	gens     []genMeta
+}
+
+func genFileName(id uint64) string { return fmt.Sprintf("gen-%08d.wt", id) }
+func walFileName(id uint64) string { return fmt.Sprintf("wal-%08d.log", id) }
+
+func encodeManifest(m manifest) []byte {
+	w := wire.NewWriter(manifestMagic, manifestVersion)
+	w.U64(m.nextID)
+	w.U64(m.walID)
+	w.Int(m.distinct)
+	w.Int(len(m.gens))
+	for _, g := range m.gens {
+		w.U64(g.id)
+		w.Int(g.n)
+	}
+	return w.Bytes()
+}
+
+// parseManifest decodes and validates a manifest image. Arbitrary input
+// must error, never panic — this function is fuzzed.
+func parseManifest(data []byte) (manifest, error) {
+	var m manifest
+	r, err := wire.NewReader(data, manifestMagic, manifestVersion)
+	if err != nil {
+		return m, err
+	}
+	m.nextID = r.U64()
+	m.walID = r.U64()
+	m.distinct = r.Int()
+	count := r.Int()
+	if err := r.Err(); err != nil {
+		return m, err
+	}
+	if count > maxManifestGens {
+		return m, fmt.Errorf("store: manifest lists %d generations (limit %d)", count, maxManifestGens)
+	}
+	seen := make(map[uint64]bool, count)
+	var total int64
+	for i := 0; i < count; i++ {
+		g := genMeta{id: r.U64(), n: r.Int()}
+		if err := r.Err(); err != nil {
+			return m, err
+		}
+		if g.id == 0 || g.id >= m.nextID {
+			return m, fmt.Errorf("store: manifest generation id %d outside (0, nextID=%d)", g.id, m.nextID)
+		}
+		if seen[g.id] {
+			return m, fmt.Errorf("store: manifest repeats generation id %d", g.id)
+		}
+		seen[g.id] = true
+		if total += int64(g.n); total > 1<<56 {
+			return m, fmt.Errorf("store: manifest element count overflows")
+		}
+		m.gens = append(m.gens, g)
+	}
+	if m.walID == 0 || m.walID >= m.nextID {
+		return m, fmt.Errorf("store: manifest WAL id %d outside (0, nextID=%d)", m.walID, m.nextID)
+	}
+	if int64(m.distinct) > total {
+		return m, fmt.Errorf("store: manifest distinct %d exceeds element count %d", m.distinct, total)
+	}
+	if err := r.Done(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// writeManifest atomically replaces dir/MANIFEST with the encoding of m.
+func writeManifest(dir string, m manifest) error {
+	tmp := filepath.Join(dir, manifestTmpName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(encodeManifest(m)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power loss;
+// best effort — some platforms reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,105 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+
+	wavelettrie "repro"
+)
+
+// memtable is the mutable head of the sequence: an append-only Wavelet
+// Trie fed by exactly one WAL. The trie is guarded by a read-write
+// mutex; n publishes the count of fully applied appends, so a reader
+// that captured n sees a stable prefix no matter how far the writer has
+// advanced since. Once sealed (by a flush) the memtable is never written
+// again and the mutex is uncontended.
+type memtable struct {
+	mu   sync.RWMutex
+	trie *wavelettrie.AppendOnly
+	n    atomic.Int64
+	wal  *wal
+}
+
+func newMemtable(w *wal) *memtable {
+	return &memtable{trie: wavelettrie.NewAppendOnly(), wal: w}
+}
+
+// apply inserts s into the trie and publishes the new length. The WAL
+// write happens in the caller, outside the trie lock, so fsync latency
+// never stalls readers.
+func (m *memtable) apply(s string) {
+	m.mu.Lock()
+	m.trie.Append(s)
+	m.mu.Unlock()
+	m.n.Add(1)
+}
+
+// contents returns the sealed memtable's sequence in order. Only valid
+// once no writer can touch the trie again.
+func (m *memtable) contents() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.trie.Slice(0, int(m.n.Load()))
+}
+
+// memView is a snapshot-bounded read view of a memtable: every
+// operation takes the read lock and clamps to the captured length, so
+// answers are those of the first n elements regardless of concurrent
+// appends.
+type memView struct {
+	m *memtable
+	n int
+}
+
+func (v memView) Len() int { return v.n }
+
+func (v memView) Access(pos int) string {
+	v.m.mu.RLock()
+	defer v.m.mu.RUnlock()
+	return v.m.trie.Access(pos)
+}
+
+func (v memView) Rank(s string, pos int) int {
+	v.m.mu.RLock()
+	defer v.m.mu.RUnlock()
+	return v.m.trie.Rank(s, pos)
+}
+
+func (v memView) Select(s string, idx int) (int, bool) {
+	v.m.mu.RLock()
+	defer v.m.mu.RUnlock()
+	// Occurrences at positions >= n are invisible to this view: idx is
+	// valid only below the clamped rank, and then the global Select
+	// necessarily lands inside the prefix.
+	if idx < 0 || idx >= v.m.trie.Rank(s, v.n) {
+		return 0, false
+	}
+	return v.m.trie.Select(s, idx)
+}
+
+func (v memView) RankPrefix(p string, pos int) int {
+	v.m.mu.RLock()
+	defer v.m.mu.RUnlock()
+	return v.m.trie.RankPrefix(p, pos)
+}
+
+func (v memView) SelectPrefix(p string, idx int) (int, bool) {
+	v.m.mu.RLock()
+	defer v.m.mu.RUnlock()
+	if idx < 0 || idx >= v.m.trie.RankPrefix(p, v.n) {
+		return 0, false
+	}
+	return v.m.trie.SelectPrefix(p, idx)
+}
+
+func (v memView) Height() int {
+	v.m.mu.RLock()
+	defer v.m.mu.RUnlock()
+	return v.m.trie.Height()
+}
+
+func (v memView) SizeBits() int {
+	v.m.mu.RLock()
+	defer v.m.mu.RUnlock()
+	return v.m.trie.SizeBits()
+}

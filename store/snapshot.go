@@ -1,0 +1,182 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+)
+
+// segment is one contiguous slab of the logical sequence — a frozen
+// generation or a bounded memtable view. The merged-read planner below
+// stitches per-segment answers with offset and rank arithmetic.
+type segment interface {
+	Len() int
+	Access(pos int) string
+	Rank(s string, pos int) int
+	Select(s string, idx int) (int, bool)
+	RankPrefix(p string, pos int) int
+	SelectPrefix(p string, idx int) (int, bool)
+	Height() int
+	SizeBits() int
+}
+
+// Snapshot is an immutable, consistent view of the store at the moment
+// Snapshot() was called: the generation list (including any memtable
+// sealed but not yet persisted) plus the live memtable clamped to its
+// length at capture time. All operations are safe for concurrent use and
+// keep answering the same way during later appends, flushes and
+// compactions — readers are isolated from writers.
+type Snapshot struct {
+	segs     []segment
+	offs     []int // offs[i] = start of segs[i]; offs[len(segs)] = Len
+	distinct int
+}
+
+func newSnapshot(segs []segment, distinct int) *Snapshot {
+	offs := make([]int, len(segs)+1)
+	for i, seg := range segs {
+		offs[i+1] = offs[i] + seg.Len()
+	}
+	return &Snapshot{segs: segs, offs: offs, distinct: distinct}
+}
+
+// Len returns the number of elements visible in this snapshot.
+func (sn *Snapshot) Len() int { return sn.offs[len(sn.segs)] }
+
+// AlphabetSize returns the number of distinct strings in the store when
+// the snapshot was taken. Under concurrent appends the count is captured
+// with the snapshot but not retroactively clamped to its prefix, so it
+// may lead the visible sequence by in-flight appends; it is exact when
+// quiescent.
+func (sn *Snapshot) AlphabetSize() int { return sn.distinct }
+
+// Height returns the maximum trie height over the snapshot's segments —
+// a lower bound on the height of a single trie over the merged sequence.
+func (sn *Snapshot) Height() int {
+	h := 0
+	for _, seg := range sn.segs {
+		if sh := seg.Height(); sh > h {
+			h = sh
+		}
+	}
+	return h
+}
+
+// SizeBits returns the summed in-memory footprint of the snapshot's
+// segments.
+func (sn *Snapshot) SizeBits() int {
+	total := 0
+	for _, seg := range sn.segs {
+		total += seg.SizeBits()
+	}
+	return total
+}
+
+// Generations returns how many segments (frozen generations plus the
+// memtable view) serve this snapshot.
+func (sn *Snapshot) Generations() int { return len(sn.segs) }
+
+// locate returns the segment containing position pos and pos relative to
+// its start.
+func (sn *Snapshot) locate(pos int) (int, int) {
+	i := sort.SearchInts(sn.offs, pos+1) - 1
+	return i, pos - sn.offs[i]
+}
+
+// Access returns the string at position pos. It panics if pos is out of
+// range, like a slice access.
+func (sn *Snapshot) Access(pos int) string {
+	if pos < 0 || pos >= sn.Len() {
+		panic(fmt.Sprintf("store: Access(%d) out of range [0,%d)", pos, sn.Len()))
+	}
+	i, rel := sn.locate(pos)
+	return sn.segs[i].Access(rel)
+}
+
+func (sn *Snapshot) checkPos(op string, pos int) {
+	if pos < 0 || pos > sn.Len() {
+		panic(fmt.Sprintf("store: %s position %d out of range [0,%d]", op, pos, sn.Len()))
+	}
+}
+
+// Rank counts occurrences of s in positions [0, pos); pos may equal
+// Len(). The answer is the sum of full-segment ranks before pos plus a
+// partial rank in the segment containing it.
+func (sn *Snapshot) Rank(s string, pos int) int {
+	sn.checkPos("Rank", pos)
+	return sn.rank(pos, func(seg segment, p int) int { return seg.Rank(s, p) })
+}
+
+// RankPrefix counts elements in [0, pos) having byte prefix p.
+func (sn *Snapshot) RankPrefix(p string, pos int) int {
+	sn.checkPos("RankPrefix", pos)
+	return sn.rank(pos, func(seg segment, q int) int { return seg.RankPrefix(p, q) })
+}
+
+func (sn *Snapshot) rank(pos int, segRank func(seg segment, pos int) int) int {
+	total := 0
+	for i, seg := range sn.segs {
+		if pos >= sn.offs[i+1] {
+			total += segRank(seg, seg.Len())
+			continue
+		}
+		if pos > sn.offs[i] {
+			total += segRank(seg, pos-sn.offs[i])
+		}
+		break
+	}
+	return total
+}
+
+// Count returns the total number of occurrences of s.
+func (sn *Snapshot) Count(s string) int { return sn.Rank(s, sn.Len()) }
+
+// CountPrefix returns the total number of elements with byte prefix p.
+func (sn *Snapshot) CountPrefix(p string) int { return sn.RankPrefix(p, sn.Len()) }
+
+// Select returns the position of the idx-th (0-based) occurrence of s,
+// with ok=false when s occurs fewer than idx+1 times: walk the segments
+// accumulating their counts until the one holding the idx-th occurrence.
+func (sn *Snapshot) Select(s string, idx int) (int, bool) {
+	return sn.sel(idx,
+		func(seg segment) int { return seg.Rank(s, seg.Len()) },
+		func(seg segment, i int) (int, bool) { return seg.Select(s, i) })
+}
+
+// SelectPrefix returns the position of the idx-th (0-based) element with
+// byte prefix p, with ok=false when there are not that many.
+func (sn *Snapshot) SelectPrefix(p string, idx int) (int, bool) {
+	return sn.sel(idx,
+		func(seg segment) int { return seg.RankPrefix(p, seg.Len()) },
+		func(seg segment, i int) (int, bool) { return seg.SelectPrefix(p, i) })
+}
+
+func (sn *Snapshot) sel(idx int, segCount func(segment) int, segSelect func(segment, int) (int, bool)) (int, bool) {
+	if idx < 0 {
+		return 0, false
+	}
+	cum := 0
+	for i, seg := range sn.segs {
+		c := segCount(seg)
+		if idx < cum+c {
+			pos, ok := segSelect(seg, idx-cum)
+			if !ok {
+				return 0, false
+			}
+			return sn.offs[i] + pos, true
+		}
+		cum += c
+	}
+	return 0, false
+}
+
+// Slice returns the elements of positions [l, r) as a fresh slice.
+func (sn *Snapshot) Slice(l, r int) []string {
+	if l < 0 || r < l || r > sn.Len() {
+		panic(fmt.Sprintf("store: Slice(%d,%d) out of range [0,%d]", l, r, sn.Len()))
+	}
+	out := make([]string, 0, r-l)
+	for pos := l; pos < r; pos++ {
+		out = append(out, sn.Access(pos))
+	}
+	return out
+}

@@ -1,0 +1,582 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	wavelettrie "repro"
+)
+
+// Options tune a Store. The zero value (or a nil pointer) selects the
+// defaults below.
+type Options struct {
+	// FlushThreshold is the memtable element count that triggers an
+	// automatic flush into a frozen generation. Default 1 << 14.
+	FlushThreshold int
+	// MaxGenerations is the generation count above which the background
+	// compactor merges adjacent generations. Default 8.
+	MaxGenerations int
+	// Sync makes every Append fsync the WAL record before acknowledging;
+	// with it off, durability of the last few appends is up to the OS
+	// (Close and Flush always sync). Default off.
+	Sync bool
+	// DisableAutoFlush turns the background flusher/compactor off; the
+	// memtable then grows until Flush or Compact is called explicitly.
+	// Mostly for tests and benchmarks.
+	DisableAutoFlush bool
+}
+
+func (o *Options) withDefaults() Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.FlushThreshold <= 0 {
+		out.FlushThreshold = 1 << 14
+	}
+	if out.MaxGenerations <= 0 {
+		out.MaxGenerations = 8
+	}
+	return out
+}
+
+// storeState is the immutable root the readers load atomically: the
+// persisted generations, at most one sealed-but-not-yet-persisted
+// memtable (mid-flush), and the live memtable. State values are replaced
+// wholesale, never mutated.
+type storeState struct {
+	gens   []*generation
+	sealed *memtable
+	mem    *memtable
+}
+
+// Store is a durable, concurrently readable string sequence: WAL +
+// memtable in front, frozen Wavelet Trie generations behind, stitched
+// together by Snapshot. All methods are safe for concurrent use. The
+// query methods satisfy wavelettrie.StringIndex by delegating to a fresh
+// Snapshot per call; take an explicit Snapshot to hold a stable view
+// across several queries.
+type Store struct {
+	dir  string
+	opts Options
+
+	appendMu sync.Mutex // serializes appenders and the memtable swap
+	adminMu  sync.Mutex // serializes flush, compaction, close
+
+	state    atomic.Pointer[storeState]
+	distinct atomic.Int64 // distinct strings across the whole store
+
+	// Guarded by adminMu.
+	nextID      uint64 // next unallocated file id
+	walID       uint64 // id of the live memtable's WAL
+	genDistinct int    // distinct count of the generation contents only
+
+	failure atomic.Pointer[error] // sticky write-path failure
+
+	flushCh chan struct{}
+	stopCh  chan struct{}
+	bg      sync.WaitGroup
+	closed  atomic.Bool
+	unlock  func() // releases the directory lock
+}
+
+// Store serves the whole read surface of the root package's string
+// interface (plus Append, Flush, Compact); keep that contract honest.
+var _ wavelettrie.StringIndex = (*Store)(nil)
+
+// Open opens the store in dir, creating it if empty, and replays the WAL
+// tail: torn or corrupt trailing records are truncated, every complete
+// acknowledged record is reapplied. If a crash interrupted a flush,
+// recovery folds the affected WALs into a fresh generation before
+// returning, so the on-disk layout is always the steady-state one.
+func Open(dir string, opts *Options) (*Store, error) {
+	s := &Store{
+		dir:     dir,
+		opts:    opts.withDefaults(),
+		flushCh: make(chan struct{}, 1),
+		stopCh:  make(chan struct{}),
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	unlock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	s.unlock = unlock
+	ok := false
+	defer func() {
+		if ok {
+			return
+		}
+		if st := s.state.Load(); st != nil && st.mem.wal != nil {
+			st.mem.wal.close()
+		}
+		unlock()
+	}()
+	os.Remove(filepath.Join(dir, manifestTmpName)) // stray from a crashed rewrite
+
+	m, fresh, err := s.loadManifest()
+	if err != nil {
+		return nil, err
+	}
+	// Generations are independent files; load them in parallel (recovery
+	// time is dominated by snapshot validation, which is CPU-bound).
+	gens := make([]*generation, len(m.gens))
+	errs := make([]error, len(m.gens))
+	var wg sync.WaitGroup
+	for i, meta := range m.gens {
+		wg.Add(1)
+		go func(i int, meta genMeta) {
+			defer wg.Done()
+			gens[i], errs[i] = loadGeneration(dir, meta)
+		}(i, meta)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.nextID, s.walID, s.genDistinct = m.nextID, m.walID, m.distinct
+	s.distinct.Store(int64(m.distinct))
+	s.removeOrphanGens(m.gens)
+
+	walIDs, err := s.findWALs(m.walID)
+	if err != nil {
+		return nil, err
+	}
+	if fresh || len(walIDs) == 0 {
+		walIDs = []uint64{m.walID}
+	}
+
+	// Replay every WAL at or after the manifest's: more than one exists
+	// only when a crash interrupted a flush between the WAL rotation and
+	// the old log's deletion.
+	mem := newMemtable(nil)
+	s.state.Store(&storeState{gens: gens, mem: mem})
+	var lastWAL *wal
+	for i, id := range walIDs {
+		records, w, err := recoverWAL(filepath.Join(dir, walFileName(id)), s.opts.Sync)
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range records {
+			v, isNew := walRecord(rec)
+			if isNew {
+				s.distinct.Add(1)
+			}
+			mem.apply(v)
+		}
+		if i == len(walIDs)-1 {
+			lastWAL = w
+		} else {
+			w.close()
+		}
+	}
+	mem.wal = lastWAL
+	if id := walIDs[len(walIDs)-1]; id != s.walID {
+		s.walID = id
+	}
+	if s.nextID <= s.walID {
+		s.nextID = s.walID + 1
+	}
+
+	if len(walIDs) > 1 {
+		// Interrupted flush: checkpoint the combined replay into a
+		// generation so the stale WALs can go away.
+		if err := s.flushLocked(walIDs); err != nil {
+			return nil, err
+		}
+	}
+
+	if !s.opts.DisableAutoFlush {
+		s.bg.Add(1)
+		go s.background()
+	}
+	ok = true
+	return s, nil
+}
+
+// loadManifest reads dir/MANIFEST, writing a fresh one for a new store.
+func (s *Store) loadManifest() (manifest, bool, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, manifestName))
+	if os.IsNotExist(err) {
+		m := manifest{nextID: 2, walID: 1}
+		if err := writeManifest(s.dir, m); err != nil {
+			return m, false, err
+		}
+		return m, true, nil
+	}
+	if err != nil {
+		return manifest{}, false, err
+	}
+	m, err := parseManifest(data)
+	if err != nil {
+		return m, false, err
+	}
+	return m, false, nil
+}
+
+// removeOrphanGens deletes generation files the manifest does not
+// reference — leftovers of a crash between a generation write and its
+// manifest commit (or between a compaction commit and the old files'
+// deletion) — so repeated crashes cannot leak disk space. Safe because
+// the manifest is the sole root: an unreferenced file can never become
+// reachable again.
+func (s *Store) removeOrphanGens(metas []genMeta) {
+	live := make(map[string]bool, len(metas))
+	for _, meta := range metas {
+		live[genFileName(meta.id)] = true
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "gen-") || live[name] {
+			continue
+		}
+		if strings.HasSuffix(name, ".wt") || strings.HasSuffix(name, ".wt.tmp") {
+			os.Remove(filepath.Join(s.dir, name))
+		}
+	}
+}
+
+// findWALs lists the WAL ids present in dir that are at or after from,
+// ascending, and deletes stale ones from before it.
+func (s *Store) findWALs(from uint64) ([]uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		var id uint64
+		if _, err := fmt.Sscanf(name, "wal-%d.log", &id); err != nil {
+			continue
+		}
+		if id < from {
+			os.Remove(filepath.Join(s.dir, name)) // superseded by the manifest
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// isNew reports whether v has never been stored — the AlphabetSize
+// bookkeeping on the append path. Probes run cheapest-first: on skewed
+// workloads a repeated value is usually already in the memtable, so the
+// per-generation probes are rarely reached.
+func (s *Store) isNew(st *storeState, v string) bool {
+	if n := int(st.mem.n.Load()); n > 0 && (memView{m: st.mem, n: n}).Rank(v, n) > 0 {
+		return false
+	}
+	if st.sealed != nil {
+		if n := int(st.sealed.n.Load()); n > 0 && (memView{m: st.sealed, n: n}).Rank(v, n) > 0 {
+			return false
+		}
+	}
+	for i := len(st.gens) - 1; i >= 0; i-- {
+		if st.gens[i].ix.Count(v) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Append adds v at the end of the sequence: WAL first (fsynced when
+// Options.Sync is set), then the memtable. It returns only after the
+// write is visible to new snapshots.
+func (s *Store) Append(v string) error {
+	if err := s.err(); err != nil {
+		return err
+	}
+	s.appendMu.Lock()
+	if s.closed.Load() {
+		s.appendMu.Unlock()
+		return errors.New("store: closed")
+	}
+	st := s.state.Load()
+	isNew := s.isNew(st, v)
+	if err := st.mem.wal.append(walPayload(v, isNew)); err != nil {
+		s.appendMu.Unlock()
+		s.fail(err)
+		return err
+	}
+	st.mem.apply(v)
+	if isNew {
+		s.distinct.Add(1)
+	}
+	n := st.mem.n.Load()
+	s.appendMu.Unlock()
+
+	if int(n) >= s.opts.FlushThreshold && !s.opts.DisableAutoFlush {
+		select {
+		case s.flushCh <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// background runs the flusher/compactor until Close.
+func (s *Store) background() {
+	defer s.bg.Done()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-s.flushCh:
+			s.adminMu.Lock()
+			if !s.closed.Load() && s.err() == nil {
+				st := s.state.Load()
+				if int(st.mem.n.Load()) >= s.opts.FlushThreshold {
+					if err := s.flushLocked([]uint64{s.walID}); err != nil {
+						s.fail(err)
+					}
+				}
+				// Never compact after a failed flush: a manifest written
+				// then would carry the advanced walID while the sealed
+				// memtable's records are in no generation, and the next
+				// Open would delete the WAL that still holds them.
+				if s.err() == nil {
+					if err := s.compactTo(s.opts.MaxGenerations); err != nil {
+						s.fail(err)
+					}
+				}
+			}
+			s.adminMu.Unlock()
+		}
+	}
+}
+
+// Flush seals the current memtable into a frozen generation, rotates the
+// WAL, rewrites the manifest and deletes the superseded log. A reader
+// holding a snapshot from before the flush keeps its view; new snapshots
+// see the same sequence served from the new generation. Flushing an
+// empty memtable is a no-op.
+func (s *Store) Flush() error {
+	if err := s.err(); err != nil {
+		return err
+	}
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	if s.closed.Load() {
+		return errors.New("store: closed")
+	}
+	if s.state.Load().mem.n.Load() == 0 {
+		return nil
+	}
+	if err := s.flushLocked([]uint64{s.walID}); err != nil {
+		s.fail(err)
+		return err
+	}
+	return nil
+}
+
+// flushLocked does the real flush work; the caller holds adminMu.
+// oldWALs are the log files whose contents end up covered by the new
+// generation and manifest, deleted last.
+func (s *Store) flushLocked(oldWALs []uint64) error {
+	newWALID := s.nextID
+	s.nextID++
+	w, err := createWAL(filepath.Join(s.dir, walFileName(newWALID)), s.opts.Sync)
+	if err != nil {
+		return err
+	}
+
+	// Rotate: seal the current memtable, install a fresh one bound to the
+	// new WAL. Appenders are held off only for this pointer swap.
+	s.appendMu.Lock()
+	st := s.state.Load()
+	sealed := st.mem
+	distinctAtSeal := int(s.distinct.Load())
+	s.state.Store(&storeState{gens: st.gens, sealed: sealed, mem: newMemtable(w)})
+	s.appendMu.Unlock()
+	if sealed.wal != nil {
+		if err := sealed.wal.close(); err != nil {
+			return err
+		}
+	}
+	s.walID = newWALID
+
+	// Persist the sealed memtable as a frozen generation (skipped when it
+	// is empty — recovery checkpoints can be).
+	gens := st.gens
+	if sealed.n.Load() > 0 {
+		gid := s.nextID
+		s.nextID++
+		g, err := writeGeneration(s.dir, gid, sealed.contents())
+		if err != nil {
+			return err
+		}
+		gens = append(append([]*generation(nil), st.gens...), g)
+	}
+
+	// Commit: the manifest now covers the sealed contents, so the old
+	// WALs are dead.
+	metas := make([]genMeta, len(gens))
+	for i, g := range gens {
+		metas[i] = genMeta{id: g.id, n: g.ix.Len()}
+	}
+	m := manifest{nextID: s.nextID, walID: newWALID, distinct: distinctAtSeal, gens: metas}
+	if err := writeManifest(s.dir, m); err != nil {
+		return err
+	}
+	s.genDistinct = distinctAtSeal
+
+	cur := s.state.Load()
+	s.state.Store(&storeState{gens: gens, mem: cur.mem})
+	for _, id := range oldWALs {
+		if id != newWALID {
+			os.Remove(filepath.Join(s.dir, walFileName(id)))
+		}
+	}
+	return nil
+}
+
+// err returns the sticky write-path failure, if any.
+func (s *Store) err() error {
+	if p := s.failure.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// fail records the first write-path failure. Reads keep serving the last
+// consistent state; writes keep returning the error. On-disk state stays
+// crash-consistent, so reopening the store recovers.
+func (s *Store) fail(err error) {
+	wrapped := fmt.Errorf("store: write path failed: %w", err)
+	s.failure.CompareAndSwap(nil, &wrapped)
+}
+
+// Close stops the background work, syncs and closes the WAL, and
+// releases the directory lock. The memtable is not flushed — its
+// contents are already durable in the WAL and replay on the next Open.
+// Appends concurrent with Close either complete first or fail closed.
+func (s *Store) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	if !s.opts.DisableAutoFlush {
+		close(s.stopCh)
+		s.bg.Wait()
+	}
+	// Same order as a flush (adminMu then appendMu), so the WAL handle
+	// is closed with no appender mid-write and no rotation in flight.
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+	var err error
+	if st := s.state.Load(); st.mem.wal != nil {
+		err = st.mem.wal.close()
+	}
+	if s.unlock != nil {
+		s.unlock()
+	}
+	return err
+}
+
+// Snapshot returns an immutable, consistent view of the current
+// sequence; it stays valid (and unchanged) for the life of the process,
+// regardless of concurrent appends, flushes and compactions.
+func (s *Store) Snapshot() *Snapshot { return s.snapshotOf(s.state.Load()) }
+
+func (s *Store) snapshotOf(st *storeState) *Snapshot {
+	segs := make([]segment, 0, len(st.gens)+2)
+	for _, g := range st.gens {
+		segs = append(segs, g.ix)
+	}
+	if st.sealed != nil {
+		segs = append(segs, memView{m: st.sealed, n: int(st.sealed.n.Load())})
+	}
+	segs = append(segs, memView{m: st.mem, n: int(st.mem.n.Load())})
+	return newSnapshot(segs, int(s.distinct.Load()))
+}
+
+// GenInfo describes one frozen generation of the store.
+type GenInfo struct {
+	ID       uint64 // names the file gen-<id>.wt
+	Len      int    // element count
+	SizeBits int    // in-memory footprint of the loaded generation
+}
+
+// Generations lists the persisted generations in sequence order.
+func (s *Store) Generations() []GenInfo {
+	st := s.state.Load()
+	out := make([]GenInfo, len(st.gens))
+	for i, g := range st.gens {
+		out[i] = GenInfo{ID: g.id, Len: g.ix.Len(), SizeBits: g.ix.SizeBits()}
+	}
+	return out
+}
+
+// MemLen returns the element count currently in the memtable (appended
+// but not yet flushed into a generation).
+func (s *Store) MemLen() int { return int(s.state.Load().mem.n.Load()) }
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// The wavelettrie.StringIndex surface, each call served by a fresh
+// snapshot.
+
+// Len returns the number of elements in the sequence.
+func (s *Store) Len() int { return s.Snapshot().Len() }
+
+// AlphabetSize returns the number of distinct strings stored.
+func (s *Store) AlphabetSize() int { return s.Snapshot().AlphabetSize() }
+
+// Height returns the maximum trie height over the store's segments.
+func (s *Store) Height() int { return s.Snapshot().Height() }
+
+// SizeBits returns the summed in-memory footprint of the store's
+// segments in bits.
+func (s *Store) SizeBits() int { return s.Snapshot().SizeBits() }
+
+// Access returns the string at position pos.
+func (s *Store) Access(pos int) string { return s.Snapshot().Access(pos) }
+
+// Rank counts occurrences of v in positions [0, pos).
+func (s *Store) Rank(v string, pos int) int { return s.Snapshot().Rank(v, pos) }
+
+// Count returns the total number of occurrences of v.
+func (s *Store) Count(v string) int { return s.Snapshot().Count(v) }
+
+// Select returns the position of the idx-th (0-based) occurrence of v.
+func (s *Store) Select(v string, idx int) (int, bool) { return s.Snapshot().Select(v, idx) }
+
+// RankPrefix counts elements in [0, pos) having byte prefix p.
+func (s *Store) RankPrefix(p string, pos int) int { return s.Snapshot().RankPrefix(p, pos) }
+
+// CountPrefix returns the total number of elements with byte prefix p.
+func (s *Store) CountPrefix(p string) int { return s.Snapshot().CountPrefix(p) }
+
+// SelectPrefix returns the position of the idx-th element with prefix p.
+func (s *Store) SelectPrefix(p string, idx int) (int, bool) { return s.Snapshot().SelectPrefix(p, idx) }
+
+// MarshalBinary exports a point-in-time snapshot of the whole sequence
+// as a single Frozen index in the unified persistence container —
+// loadable with wavelettrie.LoadFrozen (or Load) anywhere, independent
+// of the store directory. Cost is O(n): the sequence is materialized and
+// re-frozen.
+func (s *Store) MarshalBinary() ([]byte, error) {
+	sn := s.Snapshot()
+	return wavelettrie.NewStatic(sn.Slice(0, sn.Len())).Frozen().MarshalBinary()
+}

@@ -1,0 +1,499 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func testOpts() *Options {
+	return &Options{FlushThreshold: 1 << 20, DisableAutoFlush: true}
+}
+
+func mustOpen(t *testing.T, dir string, opts *Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustAppend(t *testing.T, s *Store, vs ...string) {
+	t.Helper()
+	for _, v := range vs {
+		if err := s.Append(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func checkSeq(t *testing.T, s *Store, want []string) {
+	t.Helper()
+	if s.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(want))
+	}
+	for i, w := range want {
+		if g := s.Access(i); g != w {
+			t.Fatalf("Access(%d) = %q, want %q", i, g, w)
+		}
+	}
+}
+
+func TestLifecycleFlushCompactReopen(t *testing.T) {
+	dir := t.TempDir()
+	seq := workload.URLLog(300, 3, workload.DefaultURLConfig())
+
+	s := mustOpen(t, dir, testOpts())
+	mustAppend(t, s, seq[:100]...)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, seq[100:200]...)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, seq[200:]...)
+	if got := len(s.Generations()); got != 2 {
+		t.Fatalf("generations = %d, want 2", got)
+	}
+	if got := s.MemLen(); got != 100 {
+		t.Fatalf("MemLen = %d, want 100", got)
+	}
+	checkSeq(t, s, seq)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Generations()); got != 1 {
+		t.Fatalf("generations after Compact = %d, want 1", got)
+	}
+	checkSeq(t, s, seq)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the generation loads from disk, the memtable replays from
+	// the WAL.
+	s2 := mustOpen(t, dir, testOpts())
+	defer s2.Close()
+	checkSeq(t, s2, seq)
+	if got := s2.MemLen(); got != 100 {
+		t.Fatalf("reopened MemLen = %d, want 100", got)
+	}
+	// And appending resumes.
+	mustAppend(t, s2, "tail/0")
+	if g := s2.Access(s2.Len() - 1); g != "tail/0" {
+		t.Fatalf("resumed append: got %q", g)
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	if s.Len() != 0 || s.AlphabetSize() != 0 {
+		t.Fatalf("empty store: Len=%d alphabet=%d", s.Len(), s.AlphabetSize())
+	}
+	if s.Count("x") != 0 || s.CountPrefix("x") != 0 || s.Rank("x", 0) != 0 {
+		t.Fatal("empty store: nonzero counts")
+	}
+	if _, ok := s.Select("x", 0); ok {
+		t.Fatal("empty store: Select found something")
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, testOpts())
+	defer s2.Close()
+	if s2.Len() != 0 {
+		t.Fatalf("reopened empty store: Len=%d", s2.Len())
+	}
+}
+
+func TestAlphabetSizeSurvivesFlushAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	mustAppend(t, s, "a", "b", "a", "c", "b", "a")
+	if got := s.AlphabetSize(); got != 3 {
+		t.Fatalf("alphabet = %d, want 3", got)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, "c", "d")
+	if got := s.AlphabetSize(); got != 4 {
+		t.Fatalf("alphabet after flush = %d, want 4", got)
+	}
+	s.Close()
+	s2 := mustOpen(t, dir, testOpts())
+	defer s2.Close()
+	if got := s2.AlphabetSize(); got != 4 {
+		t.Fatalf("alphabet after reopen = %d, want 4", got)
+	}
+}
+
+// walRecords parses the store's current WAL from disk.
+func walRecords(t *testing.T, dir string, id uint64) int {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, walFileName(id)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := parseWAL(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(recs)
+}
+
+// TestCrashTruncatedWAL simulates a kill mid-append: for every possible
+// torn-tail length, the store must reopen cleanly with exactly the
+// complete records.
+func TestCrashTruncatedWAL(t *testing.T) {
+	base := t.TempDir()
+	seq := []string{"host/a", "host/b", "host/a", "api/v1", "host/c"}
+
+	srcDir := filepath.Join(base, "src")
+	s := mustOpen(t, srcDir, testOpts())
+	mustAppend(t, s, seq...)
+	s.Close()
+	walPath := filepath.Join(srcDir, walFileName(1))
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 1; cut < len(full); cut++ {
+		dir := filepath.Join(base, "crash")
+		os.RemoveAll(dir)
+		os.MkdirAll(dir, 0o755)
+		// Recreate the directory as the crash left it: manifest + torn WAL.
+		src, err := os.ReadFile(filepath.Join(srcDir, manifestName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.WriteFile(filepath.Join(dir, manifestName), src, 0o644)
+		os.WriteFile(filepath.Join(dir, walFileName(1)), full[:len(full)-cut], 0o644)
+
+		wantRecs, _, err := parseWAL(full[:len(full)-cut])
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		s2, err := Open(dir, testOpts())
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		want := make([]string, len(wantRecs))
+		for i, r := range wantRecs {
+			want[i], _ = walRecord(r)
+		}
+		checkSeq(t, s2, want)
+		// The torn tail must be gone: appends after recovery land on a
+		// clean offset and survive another reopen.
+		mustAppend(t, s2, "post/crash")
+		s2.Close()
+		s3 := mustOpen(t, dir, testOpts())
+		checkSeq(t, s3, append(want, "post/crash"))
+		s3.Close()
+	}
+}
+
+// TestCrashCorruptWALRecord flips a payload byte mid-log: replay must
+// keep the records before the corruption and drop the rest, never panic.
+func TestCrashCorruptWALRecord(t *testing.T) {
+	dir := t.TempDir()
+	seq := []string{"aaaa", "bbbb", "cccc", "dddd"}
+	s := mustOpen(t, dir, testOpts())
+	mustAppend(t, s, seq...)
+	s.Close()
+
+	walPath := filepath.Join(dir, walFileName(1))
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the third record's payload ("cccc").
+	idx := bytes.Index(data, []byte("cccc"))
+	if idx < 0 {
+		t.Fatal("payload not found")
+	}
+	data[idx] ^= 0xFF
+	os.WriteFile(walPath, data, 0o644)
+
+	s2 := mustOpen(t, dir, testOpts())
+	defer s2.Close()
+	checkSeq(t, s2, seq[:2])
+}
+
+// TestCrashManifestTmp: a crash mid-manifest-rewrite leaves MANIFEST.tmp
+// next to an intact MANIFEST; Open must use the real one and clean up.
+func TestCrashManifestTmp(t *testing.T) {
+	dir := t.TempDir()
+	seq := []string{"x/1", "x/2", "y/1"}
+	s := mustOpen(t, dir, testOpts())
+	mustAppend(t, s, seq...)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	tmp := filepath.Join(dir, manifestTmpName)
+	os.WriteFile(tmp, []byte("garbage from a crashed rewrite"), 0o644)
+	s2 := mustOpen(t, dir, testOpts())
+	defer s2.Close()
+	checkSeq(t, s2, seq)
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("MANIFEST.tmp not cleaned up")
+	}
+}
+
+// TestCrashInterruptedFlush reconstructs the on-disk layout of a crash
+// between the WAL rotation and the manifest commit: the old manifest,
+// the old WAL, and a newer WAL that already took appends. Recovery must
+// replay both in order and checkpoint them into a generation.
+func TestCrashInterruptedFlush(t *testing.T) {
+	dir := t.TempDir()
+	old := []string{"pre/1", "pre/2", "pre/3"}
+	s := mustOpen(t, dir, testOpts())
+	mustAppend(t, s, old...)
+	s.Close()
+
+	// The flush that died had allocated WAL id 2 and redirected appends.
+	w, err := createWAL(filepath.Join(dir, walFileName(2)), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := []string{"post/1", "post/2"}
+	for _, v := range post {
+		if err := w.append(walPayload(v, true)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.close()
+
+	s2 := mustOpen(t, dir, testOpts())
+	want := append(append([]string(nil), old...), post...)
+	checkSeq(t, s2, want)
+	if got := len(s2.Generations()); got != 1 {
+		t.Fatalf("recovery checkpoint: generations = %d, want 1", got)
+	}
+	if got := s2.MemLen(); got != 0 {
+		t.Fatalf("recovery checkpoint: MemLen = %d, want 0", got)
+	}
+	// The stale WALs are gone; another crash-free reopen agrees.
+	if _, err := os.Stat(filepath.Join(dir, walFileName(1))); !os.IsNotExist(err) {
+		t.Fatal("stale wal-1 survived recovery")
+	}
+	s2.Close()
+	s3 := mustOpen(t, dir, testOpts())
+	defer s3.Close()
+	checkSeq(t, s3, want)
+}
+
+// TestOpenErrors: unrecoverable corruption must error, never panic and
+// never silently lose committed generations.
+func TestOpenErrors(t *testing.T) {
+	t.Run("corrupt manifest", func(t *testing.T) {
+		dir := t.TempDir()
+		s := mustOpen(t, dir, testOpts())
+		mustAppend(t, s, "a")
+		s.Close()
+		os.WriteFile(filepath.Join(dir, manifestName), []byte("not a manifest"), 0o644)
+		if _, err := Open(dir, testOpts()); err == nil {
+			t.Fatal("corrupt manifest accepted")
+		}
+	})
+	t.Run("truncated gen file", func(t *testing.T) {
+		dir := t.TempDir()
+		s := mustOpen(t, dir, testOpts())
+		mustAppend(t, s, "a", "b", "c")
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		gid := s.Generations()[0].ID
+		s.Close()
+		path := filepath.Join(dir, genFileName(gid))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.WriteFile(path, data[:len(data)/2], 0o644)
+		if _, err := Open(dir, testOpts()); err == nil {
+			t.Fatal("truncated generation accepted")
+		}
+	})
+	t.Run("wrong wal magic", func(t *testing.T) {
+		dir := t.TempDir()
+		s := mustOpen(t, dir, testOpts())
+		mustAppend(t, s, "a")
+		s.Close()
+		os.WriteFile(filepath.Join(dir, walFileName(1)), []byte("XXXXXXXXXXXX"), 0o644)
+		if _, err := Open(dir, testOpts()); err == nil {
+			t.Fatal("non-WAL file accepted as WAL")
+		}
+	})
+}
+
+// TestCrashCorruptFlagByte: a CRC-valid record whose payload is not
+// writer-shaped must truncate there — and the truncation must persist,
+// so appends after recovery are never lost to a later replay.
+func TestCrashCorruptFlagByte(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	mustAppend(t, s, "aaaa", "bbbb")
+	s.Close()
+
+	w := &wal{}
+	f, err := os.OpenFile(filepath.Join(dir, walFileName(1)), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.f = f
+	if err := w.append([]byte{9, 'z', 'z'}); err != nil { // flag byte 9: not ours
+		t.Fatal(err)
+	}
+	w.close()
+
+	s2 := mustOpen(t, dir, testOpts())
+	checkSeq(t, s2, []string{"aaaa", "bbbb"})
+	mustAppend(t, s2, "cccc")
+	s2.Close()
+	s3 := mustOpen(t, dir, testOpts())
+	defer s3.Close()
+	checkSeq(t, s3, []string{"aaaa", "bbbb", "cccc"})
+}
+
+// TestOrphanGenCleanup: generation files no manifest references (a crash
+// between generation write and manifest commit, or between a compaction
+// commit and the old files' deletion) are reclaimed on Open.
+func TestOrphanGenCleanup(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	mustAppend(t, s, "a", "b")
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	live := s.Generations()[0].ID
+	s.Close()
+
+	orphan := filepath.Join(dir, genFileName(live+40))
+	tmp := filepath.Join(dir, genFileName(live+41)+".tmp")
+	os.WriteFile(orphan, []byte("dead generation"), 0o644)
+	os.WriteFile(tmp, []byte("half-written"), 0o644)
+
+	s2 := mustOpen(t, dir, testOpts())
+	defer s2.Close()
+	checkSeq(t, s2, []string{"a", "b"})
+	for _, path := range []string{orphan, tmp} {
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s survived Open", path)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, genFileName(live))); err != nil {
+		t.Fatalf("live generation removed: %v", err)
+	}
+}
+
+// TestDirectoryLock: a store directory can be open in one Store at a
+// time; the lock is released by Close (and by the kernel on crash).
+func TestDirectoryLock(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	if _, err := Open(dir, testOpts()); err == nil {
+		t.Fatal("second Open of a locked directory succeeded")
+	}
+	mustAppend(t, s, "a")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, testOpts())
+	defer s2.Close()
+	checkSeq(t, s2, []string{"a"})
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	mustAppend(t, s, "a")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("b"); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+	if err := s.Flush(); err == nil {
+		t.Fatal("Flush after Close succeeded")
+	}
+	if err := s.Compact(); err == nil {
+		t.Fatal("Compact after Close succeeded")
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.log")
+	w, err := createWAL(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := []string{"", "a", "hello world", string(make([]byte, 10000))}
+	for i, v := range values {
+		if err := w.append(walPayload(v, i%2 == 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A checksummed record that is not writer-shaped (flag byte > 1) must
+	// read as corruption, not as a value.
+	if err := w.append([]byte{7, 'x'}); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, good, err := parseWAL(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good >= len(data) {
+		t.Fatalf("good = %d includes the malformed record (len %d)", good, len(data))
+	}
+	if len(recs) != len(values) {
+		t.Fatalf("records = %d, want %d", len(recs), len(values))
+	}
+	for i, want := range values {
+		v, isNew := walRecord(recs[i])
+		if v != want || isNew != (i%2 == 0) {
+			t.Fatalf("record %d = %q,%v want %q,%v", i, v, isNew, want, i%2 == 0)
+		}
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := manifest{
+		nextID:   9,
+		walID:    7,
+		distinct: 42,
+		gens:     []genMeta{{id: 2, n: 100}, {id: 5, n: 30}},
+	}
+	back, err := parseManifest(encodeManifest(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.nextID != m.nextID || back.walID != m.walID || back.distinct != m.distinct ||
+		len(back.gens) != len(m.gens) || back.gens[0] != m.gens[0] || back.gens[1] != m.gens[1] {
+		t.Fatalf("round trip: got %+v, want %+v", back, m)
+	}
+	// distinct must not exceed the recorded element count.
+	bad := m
+	bad.distinct = 1000
+	if _, err := parseManifest(encodeManifest(bad)); err == nil {
+		t.Fatal("implausible distinct accepted")
+	}
+}

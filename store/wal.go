@@ -1,0 +1,200 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// The write-ahead log is the only mutable file in the store: a 6-byte
+// header (magic + version) followed by self-delimiting records, each a
+// u32 payload length, a u32 CRC-32 (IEEE) of the payload, then the
+// payload bytes — one appended string per record (see walPayload for the
+// payload layout). Appends are a single contiguous write, so a crash
+// leaves at most one torn record at the tail; replay truncates at the
+// first invalid record and never guesses past it.
+const (
+	walMagic   = 0x4C415757 // "WWAL" little-endian
+	walVersion = 1
+
+	walHeaderLen    = 6
+	walRecHeaderLen = 8
+	walMaxRecord    = 1 << 30 // sanity cap on a single payload
+)
+
+// wal is an open write-ahead log positioned for appending.
+type wal struct {
+	f    *os.File
+	path string
+	sync bool
+}
+
+// walPayload encodes one append: a flag byte (1 when v was new to the
+// store's alphabet at append time, 0 otherwise) followed by the value
+// bytes. The flag lets replay restore the distinct count without
+// re-probing every generation per record — the increments are
+// deterministic because replay reapplies the same prefix in the same
+// order.
+func walPayload(v string, isNew bool) []byte {
+	p := make([]byte, 1+len(v))
+	if isNew {
+		p[0] = 1
+	}
+	copy(p[1:], v)
+	return p
+}
+
+// walRecord decodes a payload back into (value, isNew). parseWAL only
+// yields payloads in writer shape, so decoding cannot fail.
+func walRecord(payload []byte) (v string, isNew bool) {
+	return string(payload[1:]), payload[0] == 1
+}
+
+func walHeader() []byte {
+	hdr := make([]byte, 0, walHeaderLen)
+	hdr = binary.LittleEndian.AppendUint32(hdr, walMagic)
+	hdr = binary.LittleEndian.AppendUint16(hdr, walVersion)
+	return hdr
+}
+
+// createWAL creates (or truncates) a fresh log at path, syncs the header
+// and the directory entry, so the file both exists and is well-formed
+// before any record is acknowledged — otherwise a power cut could drop
+// the whole file and recovery would silently open an empty store.
+func createWAL(path string, syncEach bool) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(walHeader()); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	syncDir(filepath.Dir(path))
+	return &wal{f: f, path: path, sync: syncEach}, nil
+}
+
+// append writes one record. With sync enabled the record is fsynced
+// before returning — the write is durable once acknowledged.
+func (w *wal) append(payload []byte) error {
+	if len(payload) > walMaxRecord {
+		return fmt.Errorf("store: WAL record of %d bytes exceeds limit", len(payload))
+	}
+	rec := make([]byte, 0, walRecHeaderLen+len(payload))
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
+	rec = append(rec, payload...)
+	if _, err := w.f.Write(rec); err != nil {
+		return err
+	}
+	if w.sync {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+func (w *wal) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// parseWAL decodes a WAL image. It returns the decoded record payloads
+// and the byte offset up to which the image is valid; everything past
+// good is a torn or corrupt tail to be truncated. A non-nil error means
+// the file is not a WAL at all (bad magic or version) and nothing can be
+// trusted. Arbitrary input must never panic — this function is fuzzed.
+func parseWAL(data []byte) (records [][]byte, good int, err error) {
+	if len(data) < walHeaderLen {
+		// A crash between file creation and the header write; the caller
+		// truncates to zero and rewrites the header.
+		return nil, 0, nil
+	}
+	if m := binary.LittleEndian.Uint32(data); m != walMagic {
+		return nil, 0, fmt.Errorf("store: bad WAL magic %#x, want %#x", m, walMagic)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != walVersion {
+		return nil, 0, fmt.Errorf("store: unsupported WAL version %d, want %d", v, walVersion)
+	}
+	pos := walHeaderLen
+	for {
+		// All bounds checks subtract rather than add: on 32-bit platforms
+		// int(u32) and pos+n sums can overflow and slice-bounds panic.
+		if len(data)-pos < walRecHeaderLen {
+			return records, pos, nil
+		}
+		n32 := binary.LittleEndian.Uint32(data[pos:])
+		sum := binary.LittleEndian.Uint32(data[pos+4:])
+		if n32 > walMaxRecord {
+			return records, pos, nil
+		}
+		n := int(n32)
+		if n > len(data)-pos-walRecHeaderLen {
+			return records, pos, nil
+		}
+		payload := data[pos+walRecHeaderLen : pos+walRecHeaderLen+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return records, pos, nil
+		}
+		// Enforce the walPayload shape too: a checksummed record our
+		// writer cannot have produced is corruption all the same, and the
+		// good offset must stop before it so replay and the on-disk
+		// truncation point never diverge.
+		if n == 0 || payload[0] > 1 {
+			return records, pos, nil
+		}
+		records = append(records, payload)
+		pos += walRecHeaderLen + n
+	}
+}
+
+// recoverWAL reads the log at path, truncates any torn tail, and returns
+// the surviving record payloads plus the log reopened for appending at
+// the recovered offset. A missing file is recovered as a fresh empty log.
+func recoverWAL(path string, syncEach bool) (records [][]byte, w *wal, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	records, good, err := parseWAL(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	if good < walHeaderLen {
+		// Empty, missing, or torn before the header completed: start over.
+		w, err := createWAL(path, syncEach)
+		return nil, w, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if good < len(data) {
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(int64(good), 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// Copy the payloads out: they alias the read buffer.
+	out := make([][]byte, len(records))
+	for i, r := range records {
+		out[i] = append([]byte(nil), r...)
+	}
+	return out, &wal{f: f, path: path, sync: syncEach}, nil
+}
