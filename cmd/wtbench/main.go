@@ -12,7 +12,7 @@
 //	wtbench -json               # machine-readable build/query/serialize suite
 //
 // Experiments: figs, t1a, t1b, t2a, t2b, t2c, t3a, t3b, t4, t5, t6, q5,
-// cmp, abl, ser, store.
+// cmp, abl, ser, store, compact.
 package main
 
 import (
@@ -46,6 +46,7 @@ var experiments = []experiment{
 	{"abl", "Ablation: RRR-compressed vs plain node bitvectors", runABL},
 	{"ser", "Persistence: marshal/load round trip, on-disk size, load vs rebuild", runSER},
 	{"store", "Log-structured store: WAL append, concurrent reads, recovery vs rebuild", runSTORE},
+	{"compact", "Two-phase compaction: streaming merge throughput, Flush latency under merge", runCOMPACT},
 }
 
 func main() {

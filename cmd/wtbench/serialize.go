@@ -136,12 +136,14 @@ func runSER(quick bool) {
 // store experiment.
 func emitJSON(quick bool) {
 	out := struct {
-		Suite        string             `json:"suite"`
-		Quick        bool               `json:"quick"`
-		Records      []benchRecord      `json:"records"`
-		StoreRecords []storeBenchRecord `json:"store_records"`
+		Suite          string               `json:"suite"`
+		Quick          bool                 `json:"quick"`
+		Records        []benchRecord        `json:"records"`
+		StoreRecords   []storeBenchRecord   `json:"store_records"`
+		CompactRecords []compactBenchRecord `json:"compact_records"`
 	}{Suite: "wavelettrie-serialize", Quick: quick,
-		Records: serRecords(quick), StoreRecords: storeBenchRecords(quick)}
+		Records: serRecords(quick), StoreRecords: storeBenchRecords(quick),
+		CompactRecords: compactBenchRecords(quick)}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {

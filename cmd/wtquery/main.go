@@ -320,8 +320,10 @@ func execute(st wavelettrie.StringIndex, args []string) (cur wavelettrie.StringI
 			fmt.Println("ok,", len(db.Generations()), "generation(s)")
 		case "gens":
 			for _, g := range db.Generations() {
-				fmt.Printf("gen %4d  n=%-8d %.1f bits/elem\n",
-					g.ID, g.Len, float64(g.SizeBits)/float64(max(1, g.Len)))
+				fmt.Printf("gen %4d  n=%-8d %.1f bits/elem  filter %.1f b/elem  [%s .. %s]\n",
+					g.ID, g.Len, float64(g.SizeBits)/float64(max(1, g.Len)),
+					float64(g.FilterBits)/float64(max(1, g.Len)),
+					trimValue(g.MinValue), trimValue(g.MaxValue))
 			}
 			fmt.Printf("memtable  n=%d\n", db.MemLen())
 		}
@@ -370,4 +372,17 @@ func execute(st wavelettrie.StringIndex, args []string) (cur wavelettrie.StringI
 		fmt.Printf("unknown command %q; try 'help'\n", args[0])
 	}
 	return cur, false
+}
+
+// trimValue shortens a generation bound for one-line display, backing
+// up to a rune boundary so a multibyte character is never cut in half.
+func trimValue(s string) string {
+	if len(s) <= 24 {
+		return s
+	}
+	cut := 21
+	for cut > 0 && s[cut]&0xC0 == 0x80 { // continuation byte
+		cut--
+	}
+	return s[:cut] + "..."
 }

@@ -1,6 +1,8 @@
 package wavelettrie
 
 import (
+	"fmt"
+
 	"repro/internal/bitstr"
 	"repro/internal/succinct"
 )
@@ -74,3 +76,51 @@ func (f *Frozen) Count(s string) int { return f.Rank(s, f.Len()) }
 
 // CountPrefix returns the total elements with byte prefix p.
 func (f *Frozen) CountPrefix(p string) int { return f.RankPrefix(p, f.Len()) }
+
+// Iterate streams the elements of positions [l, r) in order, stopping
+// early if fn returns false. It walks the trie once with streaming
+// bitvector iterators (one Rank per traversed node for the whole range
+// instead of one Rank per node per element), so a full sweep is far
+// cheaper than repeated Access — this is the enumeration layer that
+// compaction and snapshot exports are built on.
+func (f *Frozen) Iterate(l, r int, fn func(pos int, s string) bool) {
+	if l < 0 || r < l || r > f.Len() {
+		panic(fmt.Sprintf("wavelettrie: Iterate(%d,%d) out of range [0,%d]", l, r, f.Len()))
+	}
+	f.t.EnumerateBits(l, r, func(pos int, bs bitstr.BitString) bool {
+		s, err := bitstr.DecodeString(bs)
+		if err != nil {
+			panic("wavelettrie: internal corruption: " + err.Error())
+		}
+		return fn(pos, s)
+	})
+}
+
+// Slice returns the elements of positions [l, r) as a fresh slice,
+// materialized through Iterate.
+func (f *Frozen) Slice(l, r int) []string {
+	if l < 0 || r < l || r > f.Len() {
+		panic(fmt.Sprintf("wavelettrie: Slice(%d,%d) out of range [0,%d]", l, r, f.Len()))
+	}
+	out := make([]string, 0, r-l)
+	f.Iterate(l, r, func(_ int, s string) bool {
+		out = append(out, s)
+		return true
+	})
+	return out
+}
+
+// Values returns the distinct strings stored, in lexicographic order —
+// the alphabet Sset of the frozen sequence.
+func (f *Frozen) Values() []string {
+	stored := f.t.StoredBits()
+	out := make([]string, len(stored))
+	for i, bs := range stored {
+		s, err := bitstr.DecodeString(bs)
+		if err != nil {
+			panic("wavelettrie: internal corruption: " + err.Error())
+		}
+		out[i] = s
+	}
+	return out
+}

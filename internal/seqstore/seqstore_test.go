@@ -80,6 +80,66 @@ func TestDifferentialEquivalence(t *testing.T) {
 	}
 }
 
+// enumerator / iterator are the two spellings of the streaming
+// sequential-access surface: the mutable trie variants expose Enumerate
+// (with the §5 analytics), Frozen and the store snapshots expose
+// Iterate (the enumeration layer compaction is built on).
+type enumerator interface {
+	Enumerate(l, r int, fn func(pos int, s string) bool)
+}
+
+type iterator interface {
+	Iterate(l, r int, fn func(pos int, s string) bool)
+}
+
+// TestEnumerateMatchesAccess streams every variant that supports
+// sequential enumeration — including reloaded snapshots — and diffs the
+// stream against per-position Access, over the full range and a
+// boundary-crossing subrange.
+func TestEnumerateMatchesAccess(t *testing.T) {
+	seq := workload.URLLog(300, 37, workload.DefaultURLConfig())
+	static := wavelettrie.NewStatic(seq)
+	frozen := static.Frozen()
+	reloadedFrozen, err := wavelettrie.LoadFrozen(mustMarshal(t, frozen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := map[string]seqstore.Sequence{
+		"static":          static,
+		"appendonly":      wavelettrie.NewAppendOnlyFrom(seq),
+		"dynamic":         wavelettrie.NewDynamicFrom(seq),
+		"frozen":          frozen,
+		"frozen.reloaded": reloadedFrozen,
+	}
+	for name, st := range stores {
+		var stream func(l, r int, fn func(pos int, s string) bool)
+		switch e := st.(type) {
+		case enumerator:
+			stream = e.Enumerate
+		case iterator:
+			stream = e.Iterate
+		default:
+			t.Fatalf("%s: no streaming enumerator", name)
+		}
+		for _, lr := range [][2]int{{0, st.Len()}, {37, 203}} {
+			next := lr[0]
+			stream(lr[0], lr[1], func(pos int, s string) bool {
+				if pos != next {
+					t.Fatalf("%s: stream position %d, want %d", name, pos, next)
+				}
+				if want := st.Access(pos); s != want {
+					t.Fatalf("%s: stream(%d) = %q, Access says %q", name, pos, s, want)
+				}
+				next++
+				return true
+			})
+			if next != lr[1] {
+				t.Fatalf("%s: stream [%d,%d) stopped at %d", name, lr[0], lr[1], next)
+			}
+		}
+	}
+}
+
 // TestAppendableResume checks that appendable stores — including a
 // Wavelet Trie reopened from a snapshot — accept further appends and
 // stay equivalent.

@@ -70,7 +70,17 @@ func (t *Trie) EncodeTo(w *wire.Writer) {
 // shapes, directory monotonicity against the concatenated streams, and a
 // full structural walk of the DFUDS tree. Corrupt input yields an error,
 // never a panic — here or later at query time.
-func DecodeFrom(r *wire.Reader) (*Trie, error) {
+func DecodeFrom(r *wire.Reader) (*Trie, error) { return decodeFrom(r, true) }
+
+// DecodeFromTrusted reads a trie body like DecodeFrom but skips the
+// deep structural validation — the O(n) directory-monotonicity loops
+// and the full tree walk that dominate load time. It is only for
+// callers that have independently verified the bytes are exactly what
+// EncodeTo produced (e.g. by checksum against a manifest they wrote);
+// on arbitrary input the returned trie may panic at query time.
+func DecodeFromTrusted(r *wire.Reader) (*Trie, error) { return decodeFrom(r, false) }
+
+func decodeFrom(r *wire.Reader, deep bool) (*Trie, error) {
 	t := &Trie{n: r.Int()}
 	nodes := r.Int()
 	if err := r.Err(); err != nil {
@@ -100,8 +110,10 @@ func DecodeFrom(r *wire.Reader) (*Trie, error) {
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
-	if err := t.validate(nodes); err != nil {
-		return nil, err
+	if deep {
+		if err := t.validate(nodes); err != nil {
+			return nil, err
+		}
 	}
 	return t, nil
 }

@@ -1,0 +1,112 @@
+package succinct
+
+import (
+	"fmt"
+
+	"repro/internal/bitstr"
+	"repro/internal/rrr"
+)
+
+// This file implements the sequential enumeration layer of the frozen
+// trie: the §5 "sequential access" algorithm over the succinct
+// components. Repeated Access costs O(|s| + h·C_rank) per element, each
+// step paying an RRR Rank1 (superblock seek + block decode) per trie
+// level. The enumerator instead walks the trie once: every traversed
+// node is entered with a single segRank to find its start and then
+// advanced with O(1) amortized streaming rrr.Iter reads, so extracting
+// element i costs O(|sᵢ|) plus amortized shared-path work. Compaction,
+// Snapshot.Slice and MarshalBinary exports build on this layer.
+
+// iterNode is the enumeration state of one traversed trie node: a
+// streaming bit iterator positioned at the next unread element of the
+// node's subsequence, plus lazily-opened children.
+type iterNode struct {
+	v     int // dfuds node handle
+	id    int // preorder id
+	leaf  bool
+	label bitstr.BitString
+	it    *rrr.Iter // nil for leaves
+	pos   int       // position in this node's subsequence of the next unread bit
+	kids  [2]*iterNode
+}
+
+func (t *Trie) newIterNode(v, pos int) *iterNode {
+	id := t.tree.Preorder(v)
+	nd := &iterNode{v: v, id: id, leaf: t.tree.IsLeaf(v), label: t.label(id), pos: pos}
+	if !nd.leaf {
+		start, _, _ := t.segment(id)
+		nd.it = t.bits.Iter(start + pos)
+	}
+	return nd
+}
+
+// next appends the current element's remaining suffix (from nd down) to
+// b and advances the iterators along the taken path.
+func (t *Trie) next(nd *iterNode, b *bitstr.Builder) {
+	b.Append(nd.label)
+	if nd.leaf {
+		return
+	}
+	bit := nd.it.Next()
+	cur := nd.pos
+	nd.pos++
+	b.AppendBit(bit)
+	child := nd.kids[bit]
+	if child == nil {
+		// First traversal through this child: one Rank to find its start.
+		child = t.newIterNode(t.tree.Child(nd.v, int(bit)), t.segRank(nd.id, bit, cur))
+		nd.kids[bit] = child
+	}
+	t.next(child, b)
+}
+
+// Iter is a pull-style in-order enumerator over a position range of the
+// trie. It is not safe for concurrent use (the underlying Trie is; each
+// goroutine should take its own Iter).
+type Iter struct {
+	t        *Trie
+	root     *iterNode
+	pos, end int
+}
+
+// Iter returns an enumerator over the elements of positions [l, r).
+func (t *Trie) Iter(l, r int) *Iter {
+	if l < 0 || r > t.n || l > r {
+		panic(fmt.Sprintf("succinct: Iter range [%d,%d) out of range [0,%d)", l, r, t.n))
+	}
+	it := &Iter{t: t, pos: l, end: r}
+	if l < r {
+		it.root = t.newIterNode(t.tree.Root(), l)
+	}
+	return it
+}
+
+// Valid reports whether Next has elements left to return.
+func (it *Iter) Valid() bool { return it.pos < it.end }
+
+// Pos returns the position the next call to Next will yield.
+func (it *Iter) Pos() int { return it.pos }
+
+// Next returns the element at the current position and advances. It
+// panics when the range is exhausted (guard with Valid).
+func (it *Iter) Next() bitstr.BitString {
+	if it.pos >= it.end {
+		panic("succinct: Next past the end of the iterated range")
+	}
+	b := bitstr.NewBuilder(0)
+	it.t.next(it.root, b)
+	it.pos++
+	return b.BitString()
+}
+
+// EnumerateBits calls fn with each element of positions [l, r) in
+// order, stopping early if fn returns false — the ForEach form of Iter.
+func (t *Trie) EnumerateBits(l, r int, fn func(pos int, s bitstr.BitString) bool) {
+	it := t.Iter(l, r)
+	for it.Valid() {
+		pos := it.Pos()
+		if !fn(pos, it.Next()) {
+			return
+		}
+	}
+}

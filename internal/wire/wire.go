@@ -54,6 +54,12 @@ func (w *Writer) Words(ws []uint64) {
 	}
 }
 
+// Blob appends a length-prefixed byte string (filter bounds, raw keys).
+func (w *Writer) Blob(b []byte) {
+	w.Int(len(b))
+	w.buf = append(w.buf, b...)
+}
+
 // Int32s appends a length-prefixed []int32 (values must be non-negative).
 func (w *Writer) Int32s(vs []int32) {
 	w.Int(len(vs))
@@ -70,6 +76,17 @@ type Reader struct {
 	buf []byte
 	pos int
 	err error
+}
+
+// SniffVersion returns the header version of a serialized object whose
+// magic matches, without consuming anything — for callers that accept
+// several versions and must pick a decode path before NewReader's exact
+// check. ok is false when the buffer is too short or the magic differs.
+func SniffVersion(buf []byte, magic uint32) (version uint16, ok bool) {
+	if len(buf) < 6 || binary.LittleEndian.Uint32(buf) != magic {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint16(buf[4:]), true
 }
 
 // NewReader validates the magic/version header and returns a Reader.
@@ -113,7 +130,9 @@ func (r *Reader) take(n int) []byte {
 	if r.err != nil {
 		return nil
 	}
-	if r.pos+n > len(r.buf) {
+	// Bounds by subtraction: r.pos+n could overflow a 32-bit int and
+	// slip past an addition-style check into a slice panic.
+	if n < 0 || n > len(r.buf)-r.pos {
 		r.err = fmt.Errorf("wire: truncated input at byte %d", r.pos)
 		return nil
 	}
@@ -158,10 +177,13 @@ func (r *Reader) U64() uint64 {
 	return binary.LittleEndian.Uint64(b)
 }
 
-// Int reads an int, rejecting values that cannot be lengths.
+// Int reads an int, rejecting values that cannot be lengths — including
+// anything that would truncate (and possibly go negative) in a 32-bit
+// int, where a crafted length could otherwise slip past the bounds
+// checks and panic a slice expression instead of erroring.
 func (r *Reader) Int() int {
 	v := r.U64()
-	if r.err == nil && v > 1<<56 {
+	if r.err == nil && (v > 1<<56 || uint64(int(v)) != v) {
 		r.err = fmt.Errorf("wire: implausible length %d", v)
 		return 0
 	}
@@ -174,7 +196,9 @@ func (r *Reader) Words() []uint64 {
 	if r.err != nil {
 		return nil
 	}
-	if r.pos+8*n > len(r.buf) {
+	// Divide rather than multiply: 8*n can overflow a 32-bit int and
+	// turn a crafted length into a huge allocation or a slice panic.
+	if n > (len(r.buf)-r.pos)/8 {
 		r.err = fmt.Errorf("wire: word slice of %d exceeds input", n)
 		return nil
 	}
@@ -185,13 +209,27 @@ func (r *Reader) Words() []uint64 {
 	return out
 }
 
+// Blob reads a length-prefixed byte string written by Writer.Blob. The
+// returned slice is a copy, safe to retain.
+func (r *Reader) Blob() []byte {
+	n := r.Int()
+	if r.err != nil {
+		return nil
+	}
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
 // Int32s reads a length-prefixed []int32.
 func (r *Reader) Int32s() []int32 {
 	n := r.Int()
 	if r.err != nil {
 		return nil
 	}
-	if r.pos+4*n > len(r.buf) {
+	if n > (len(r.buf)-r.pos)/4 {
 		r.err = fmt.Errorf("wire: int32 slice of %d exceeds input", n)
 		return nil
 	}

@@ -1,19 +1,34 @@
 package store
 
 import (
-	"errors"
-	"os"
-	"path/filepath"
+	"fmt"
 )
 
 // Compaction keeps the generation count bounded so merged reads stay
-// cheap: each query op costs one probe per segment, so the read
+// cheap: each query op costs at most one probe per segment, so the read
 // amplification is the generation count. The policy is size-tiered over
-// adjacent pairs — order must be preserved, so only neighbors may merge —
-// always picking the pair with the smallest combined element count,
-// which pushes small flush-sized generations together before touching
-// big ones. The background compactor enforces Options.MaxGenerations
-// after every flush; Compact merges everything into one.
+// adjacent runs — order must be preserved, so only neighbors may merge —
+// seeded at the pair with the smallest combined element count and
+// extended over neighbors no larger than the accumulated run (pickRun),
+// which folds a backlog of flush-sized generations into one merge
+// before touching big ones. The background compactor enforces
+// Options.MaxGenerations after every flush; Compact merges everything
+// into one.
+//
+// Compaction is two-phase so it never blocks the write path:
+//
+//   - Prepare (outside adminMu, serialized by compactMu): stream-merge
+//     the victim pair through the frozen tries' enumerators, freeze the
+//     concatenation, write the new generation and filter files. Flushes
+//     run concurrently — they only append generations, so the victim
+//     pair stays adjacent and present.
+//   - Commit (under adminMu): splice the merged generation into the
+//     current list, rewrite the manifest, publish the new state. Only
+//     this pointer-swap-sized step contends with Flush.
+//
+// A commit aborted by Close or a write-path failure leaves the prepared
+// files as orphans for the next Open to reclaim — they were never
+// referenced by a manifest, so they can never become reachable.
 
 // Compact merges all frozen generations into a single one. Readers
 // holding snapshots keep their old generation list (the loaded tries
@@ -23,88 +38,187 @@ func (s *Store) Compact() error { return s.CompactTo(1) }
 
 // CompactTo merges adjacent generations until at most target remain —
 // the same policy the background compactor applies with
-// Options.MaxGenerations as the target.
+// Options.MaxGenerations as the target. Appends and Flushes proceed
+// concurrently; only the final manifest swap of each merge briefly
+// excludes them. Quiescent, the call always reaches the target;
+// generations flushed while it runs may leave more (the work is bounded
+// rather than chasing a sustained writer forever — see compactTo).
 func (s *Store) CompactTo(target int) error {
 	if err := s.err(); err != nil {
 		return err
 	}
-	s.adminMu.Lock()
-	defer s.adminMu.Unlock()
-	if s.closed.Load() {
-		return errors.New("store: closed")
-	}
 	if err := s.compactTo(target); err != nil {
-		s.fail(err)
+		if err != errClosed {
+			s.fail(err)
+		}
 		return err
 	}
 	return nil
 }
 
-// compactTo merges smallest adjacent pairs until at most target
-// generations remain. Caller holds adminMu.
+// compactTo merges smallest adjacent runs until at most target
+// generations remain. It takes compactMu (one compaction at a time) but
+// not adminMu — each merge acquires that only for its commit.
+//
+// With flushes no longer blocked during merges, a sustained writer can
+// append new generations as fast as they merge; chasing them could loop
+// (and hold compactMu, starving Close) forever. The merge count is
+// therefore bounded by the generation count at entry — enough to fold
+// everything present when the call began even with no interference; if
+// concurrent flushes leave more than target afterwards, the next
+// compaction (the background one triggers after every flush) resumes.
 func (s *Store) compactTo(target int) error {
 	if target < 1 {
 		target = 1
 	}
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	budget := len(s.state.Load().gens)
 	for {
+		if s.closed.Load() {
+			return errClosed
+		}
+		if err := s.err(); err != nil {
+			return err
+		}
 		st := s.state.Load()
-		if len(st.gens) <= target {
+		if len(st.gens) <= target || budget <= 0 {
 			return nil
 		}
-		if err := s.mergeSmallestPair(st); err != nil {
+		budget--
+		if err := s.mergeRun(st); err != nil {
 			return err
 		}
 	}
 }
 
-// mergeSmallestPair replaces the adjacent generation pair with the
-// smallest combined count by one merged generation: materialize both in
-// order, freeze the concatenation, persist it, commit the manifest, then
-// publish and delete the old files.
-//
-// The merge runs under adminMu, so a merge of two large generations
-// stalls Flush (appends continue, but the memtable grows past its
-// threshold until the merge commits). Smallest-pair selection keeps the
-// common background merges cheap; see ROADMAP for moving the heavy
-// materialize/freeze work outside the lock.
-func (s *Store) mergeSmallestPair(st *storeState) error {
+// pickRun chooses the victim range [lo, hi] (inclusive): the adjacent
+// pair with the smallest combined count, greedily extended over
+// neighbors no larger than the accumulated run. A backlog of
+// flush-sized generations thus merges in ONE prepare/commit instead of
+// one commit per pair — fewer manifest fsyncs contending with Flush —
+// while the size guard keeps write amplification logarithmic (a large
+// generation is only rewritten when the run has grown to its order).
+func pickRun(gens []*generation) (lo, hi, total int) {
 	best, bestN := 0, -1
-	for i := 0; i+1 < len(st.gens); i++ {
-		if n := st.gens[i].ix.Len() + st.gens[i+1].ix.Len(); bestN < 0 || n < bestN {
+	for i := 0; i+1 < len(gens); i++ {
+		if n := gens[i].ix.Len() + gens[i+1].ix.Len(); bestN < 0 || n < bestN {
 			best, bestN = i, n
 		}
 	}
-	left, right := st.gens[best], st.gens[best+1]
+	lo, hi, total = best, best+1, bestN
+	for {
+		switch {
+		case lo > 0 && gens[lo-1].ix.Len() <= total:
+			lo--
+			total += gens[lo].ix.Len()
+		case hi+1 < len(gens) && gens[hi+1].ix.Len() <= total:
+			hi++
+			total += gens[hi].ix.Len()
+		default:
+			return lo, hi, total
+		}
+	}
+}
 
-	seq := append(left.materialize(), right.materialize()...)
+// mergeRun replaces the victim run with one merged generation. The
+// caller holds compactMu (never adminMu).
+func (s *Store) mergeRun(st *storeState) error {
+	lo, hi, total := pickRun(st.gens)
+	victims := st.gens[lo : hi+1]
+
+	// Allocate the merged generation's file id; ids are guarded by
+	// adminMu and shared with the flush path.
+	s.adminMu.Lock()
+	if s.closed.Load() {
+		s.adminMu.Unlock()
+		return errClosed
+	}
 	gid := s.nextID
 	s.nextID++
+	s.adminMu.Unlock()
+
+	// Phase 1 — prepare. Materialize the victims in order through the
+	// streaming enumerator (one trie walk per generation, not one root
+	// descent per element), freeze the concatenation and persist it.
+	// Flush latency is unaffected however large the merge is. Close
+	// waits on compactMu, so the walk polls closed and bails early —
+	// the commit would only abort anyway; the freeze/write stage below
+	// is not interruptible, so shutdown latency is bounded by that
+	// stage, not by the whole merge.
+	seq := make([]string, 0, total)
+	collect := func(_ int, v string) bool {
+		if len(seq)&4095 == 4095 && s.closed.Load() {
+			return false
+		}
+		seq = append(seq, v)
+		return true
+	}
+	for _, g := range victims {
+		g.ix.Iterate(0, g.ix.Len(), collect)
+	}
+	if s.closed.Load() {
+		return errClosed
+	}
 	merged, err := writeGeneration(s.dir, gid, seq)
 	if err != nil {
 		return err
 	}
 
-	gens := make([]*generation, 0, len(st.gens)-1)
-	gens = append(gens, st.gens[:best]...)
-	gens = append(gens, merged)
-	gens = append(gens, st.gens[best+2:]...)
-
-	metas := make([]genMeta, len(gens))
-	for i, g := range gens {
-		metas[i] = genMeta{id: g.id, n: g.ix.Len()}
-	}
-	m := manifest{nextID: s.nextID, walID: s.walID, distinct: s.genDistinct, gens: metas}
-	if err := writeManifest(s.dir, m); err != nil {
+	// Phase 2 — commit under adminMu, against the *current* state: a
+	// flush may have appended generations since the run was chosen, but
+	// never reordered or removed them (only compaction does, and we are
+	// the only compaction).
+	s.adminMu.Lock()
+	if s.closed.Load() || s.err() != nil {
+		// Abort: the prepared files are unreferenced orphans; the next
+		// Open reclaims them. Deleting here would race a subsequent Open
+		// by another process once Close releases the directory lock.
+		err := s.err()
+		s.adminMu.Unlock()
+		if err == nil {
+			err = errClosed
+		}
 		return err
 	}
-
-	// The memtable pointer is stable while adminMu is held (only a flush
-	// swaps it), so republishing around it is safe under concurrent
-	// appends.
 	cur := s.state.Load()
-	s.state.Store(&storeState{gens: gens, sealed: cur.sealed, mem: cur.mem})
+	if hi >= len(cur.gens) {
+		s.adminMu.Unlock()
+		return fmt.Errorf("store: compaction victim run moved (internal error)")
+	}
+	for i, g := range victims {
+		if cur.gens[lo+i].id != g.id {
+			s.adminMu.Unlock()
+			return fmt.Errorf("store: compaction victim run moved (internal error)")
+		}
+	}
+	gens := make([]*generation, 0, len(cur.gens)-len(victims)+1)
+	gens = append(gens, cur.gens[:lo]...)
+	gens = append(gens, merged)
+	gens = append(gens, cur.gens[hi+1:]...)
 
-	os.Remove(filepath.Join(s.dir, genFileName(left.id)))
-	os.Remove(filepath.Join(s.dir, genFileName(right.id)))
+	m := manifest{nextID: s.nextID, walID: s.walID, distinct: s.genDistinct, gens: genMetas(gens)}
+	if err := writeManifest(s.dir, m); err != nil {
+		s.adminMu.Unlock()
+		return err
+	}
+	// The memtable pointers are stable while adminMu is held (only a
+	// flush swaps them), so republishing around them is safe under
+	// concurrent appends.
+	s.state.Store(&storeState{gens: gens, sealed: cur.sealed, mem: cur.mem})
+	s.adminMu.Unlock()
+
+	for _, g := range victims {
+		removeGenFiles(s.dir, g.id)
+	}
 	return nil
+}
+
+// genMetas builds the manifest entries for a generation list.
+func genMetas(gens []*generation) []genMeta {
+	metas := make([]genMeta, len(gens))
+	for i, g := range gens {
+		metas[i] = genMeta{id: g.id, n: g.ix.Len(), crc: g.crc}
+	}
+	return metas
 }

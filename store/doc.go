@@ -9,29 +9,47 @@
 // in-memory append-only Wavelet Trie (the memtable). When the memtable
 // crosses Options.FlushThreshold it is sealed and persisted as an
 // immutable frozen generation — the §3 fully-succinct encoding written
-// through the unified persistence container — and recorded in an
-// atomically-rewritten manifest; the WAL that covered it is then
-// deleted. A background compactor merges adjacent small generations so
-// the generation count stays bounded.
+// through the unified persistence container, with a probe filter
+// (prefix Bloom + min/max bounds) beside it — and recorded in an
+// atomically-rewritten manifest carrying the file's checksum; the WAL
+// that covered it is then deleted. A background compactor merges
+// adjacent runs of small generations so the generation count stays
+// bounded.
+//
+// Compaction is two-phase and never blocks the write path: the merge
+// itself — materializing the victims through the frozen tries'
+// streaming enumerators, freezing, writing the files — runs outside the
+// admin lock while appends and flushes proceed (flushes only append
+// generations, so the victim run stays adjacent), and only the final
+// manifest swap commits under it.
 //
 // Reads never block writes and writes never block reads across
 // generations: a Snapshot is an atomic pointer load of an immutable
 // generation list plus a bounded view of the live memtable, and the five
 // primitive operations (Access, Rank, Select, RankPrefix, SelectPrefix
 // and the Count forms) are answered by stitching per-generation answers
-// together with offset and rank arithmetic. A snapshot observes a fixed
-// prefix of the logical sequence no matter how many appends, flushes or
-// compactions happen after it was taken. Only the memtable tail is
-// guarded by a read-write mutex — and the WAL fsync happens outside it,
-// so even synchronous appends do not stall readers.
+// together with offset and rank arithmetic — consulting each
+// generation's probe filter first, so generations that cannot contain
+// the key are skipped and point reads cost O(matching generations)
+// rather than O(generations). Snapshot.Iterate/Slice stream ranges
+// through the per-segment sequential enumerators. A snapshot observes a
+// fixed prefix of the logical sequence no matter how many appends,
+// flushes or compactions happen after it was taken. Only the memtable
+// tail is guarded by a read-write mutex — and the WAL fsync happens
+// outside it, so even synchronous appends do not stall readers.
 //
 // Open replays the WAL tail on boot: torn or corrupt trailing records
 // are truncated cleanly (never a panic), so a store killed mid-append
 // reopens with every acknowledged write intact and serves exactly the
 // answers a freshly built AppendOnly index over the same sequence would.
+// Generations whose checksum matches their manifest entry load through
+// the fast trusted path (no deep structural re-validation); missing or
+// corrupt probe filters are rebuilt from the loaded index.
 //
 // The Store satisfies the root package's StringIndex interface, so
 // everything programmed against wavelettrie.StringIndex — including the
 // wtquery REPL — can serve from a durable store unchanged. See DESIGN.md
-// §5 for the on-disk formats and the crash matrix.
+// §5 for the on-disk formats and the crash matrix, and §6 for the
+// iterator contract, the two-phase compaction protocol and the filter
+// format.
 package store

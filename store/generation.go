@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 
@@ -10,71 +11,142 @@ import (
 
 // generation is one immutable slab of the sequence: a Frozen Wavelet
 // Trie (the §3 fully-succinct encoding) persisted through the unified
-// container, plus the id naming its file. Generations are read lock-free
-// by any number of goroutines; they are replaced, never mutated.
+// container, the CRC-32 of its file as recorded in the manifest, and
+// the probe filter merged reads consult before touching the index.
+// Generations are read lock-free by any number of goroutines; they are
+// replaced, never mutated.
 type generation struct {
-	id uint64
-	ix *wavelettrie.Frozen
+	id     uint64
+	crc    uint32
+	ix     *wavelettrie.Frozen
+	filter *probeFilter
+}
+
+// genCRC returns the manifest checksum of a generation image: CRC-32
+// with a computed 0 mapped to 1, because 0 is the manifest's "unknown,
+// validate deeply" sentinel (v1 entries) — a real zero checksum must
+// not silently opt its file out of corruption detection.
+func genCRC(data []byte) uint32 {
+	if c := crc32.ChecksumIEEE(data); c != 0 {
+		return c
+	}
+	return 1
 }
 
 // loadGeneration reopens a generation file and cross-checks it against
-// its manifest entry.
+// its manifest entry. When the manifest carries the file's checksum and
+// it matches, the deep structural re-validation is skipped (the bytes
+// are exactly what a validated marshal produced); unchecksummed entries
+// (a v1 manifest) take the slow fully-validating path.
 func loadGeneration(dir string, meta genMeta) (*generation, error) {
 	name := genFileName(meta.id)
 	data, err := os.ReadFile(filepath.Join(dir, name))
 	if err != nil {
 		return nil, err
 	}
-	ix, err := wavelettrie.LoadFrozen(data)
+	crc := genCRC(data)
+	var ix *wavelettrie.Frozen
+	if meta.crc != 0 {
+		if crc != meta.crc {
+			return nil, fmt.Errorf("store: %s checksum %#x, manifest says %#x", name, crc, meta.crc)
+		}
+		ix, err = wavelettrie.LoadFrozenTrusted(data)
+	} else {
+		ix, err = wavelettrie.LoadFrozen(data)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("store: %s: %w", name, err)
 	}
 	if ix.Len() != meta.n {
 		return nil, fmt.Errorf("store: %s holds %d elements, manifest says %d", name, ix.Len(), meta.n)
 	}
-	return &generation{id: meta.id, ix: ix}, nil
+	g := &generation{id: meta.id, crc: crc, ix: ix}
+	g.filter = loadFilter(dir, meta.id, crc, ix)
+	return g, nil
+}
+
+// loadFilter reads the generation's probe filter, rebuilding (and
+// rewriting, best effort) it when the file is missing, corrupt, or was
+// built for different generation bytes. Filters are derived data: no
+// outcome here can fail recovery or change answers — only probe cost.
+func loadFilter(dir string, id uint64, crc uint32, ix *wavelettrie.Frozen) *probeFilter {
+	name := filterFileName(id)
+	if data, err := os.ReadFile(filepath.Join(dir, name)); err == nil {
+		if f, err := parseFilter(data); err == nil && f.genCRC == crc {
+			return f
+		}
+	}
+	f := buildFilter(ix.Values(), crc)
+	writeFilterFile(dir, name, f) // best effort: next Open rebuilds again
+	return f
+}
+
+// writeFilterFile persists a probe filter without any fsync: filters
+// are derived data whose torn or lost writes the self-checksum detects
+// and loadFilter repairs, so they never earn a place on an fsync path.
+// The rename still keeps concurrent readers off a partial file.
+func writeFilterFile(dir, name string, f *probeFilter) {
+	tmp := filepath.Join(dir, name+".tmp")
+	if err := os.WriteFile(tmp, encodeFilter(f), 0o644); err != nil {
+		return
+	}
+	os.Rename(tmp, filepath.Join(dir, name))
+}
+
+// writeFileAtomic writes data to dir/name via a temp file, fsync and
+// rename, then syncs the directory: a crash leaves either no file or a
+// complete one.
+func writeFileAtomic(dir, name string, data []byte) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	syncDir(dir)
+	return nil
 }
 
 // writeGeneration persists seq as generation id: build the Frozen
-// encoding, write to a temp file, fsync, rename into place. The rename
-// is atomic, so a crash leaves either no file or a complete one — and an
-// orphan only becomes reachable once a manifest references it.
+// encoding, write the index file (temp file + fsync + rename) and then
+// its probe filter (rename only — see writeFilterFile). The renames are
+// atomic, so a crash leaves no partial file — and neither file becomes
+// reachable before a manifest references the generation; until then
+// both are orphans the next Open reclaims. The filter write is
+// best-effort: filters are derived data (the next Open rebuilds a
+// missing one), so they must never fail a flush or compaction — nor
+// add fsyncs to its critical path.
 func writeGeneration(dir string, id uint64, seq []string) (*generation, error) {
 	ix := wavelettrie.NewStatic(seq).Frozen()
 	data, err := ix.MarshalBinary()
 	if err != nil {
 		return nil, err
 	}
-	name := genFileName(id)
-	tmp := filepath.Join(dir, name+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
+	crc := genCRC(data)
+	if err := writeFileAtomic(dir, genFileName(id), data); err != nil {
 		return nil, err
 	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return nil, err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return nil, err
-	}
-	if err := f.Close(); err != nil {
-		return nil, err
-	}
-	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
-		return nil, err
-	}
-	syncDir(dir)
-	return &generation{id: id, ix: ix}, nil
+	filter := buildFilter(ix.Values(), crc)
+	writeFilterFile(dir, filterFileName(id), filter)
+	return &generation{id: id, crc: crc, ix: ix, filter: filter}, nil
 }
 
-// materialize returns the generation's sequence in order (for merges and
-// exports; Frozen serves primitives only, so this is an Access sweep).
-func (g *generation) materialize() []string {
-	out := make([]string, g.ix.Len())
-	for i := range out {
-		out[i] = g.ix.Access(i)
-	}
-	return out
+// removeGenFiles deletes a generation's index and filter files (after a
+// compaction commit supersedes them, or for orphans).
+func removeGenFiles(dir string, id uint64) {
+	os.Remove(filepath.Join(dir, genFileName(id)))
+	os.Remove(filepath.Join(dir, filterFileName(id)))
 }

@@ -3,7 +3,6 @@ package store
 import (
 	"fmt"
 	"os"
-	"path/filepath"
 
 	"repro/internal/wire"
 )
@@ -14,9 +13,15 @@ import (
 // contents). It is rewritten atomically — encode to MANIFEST.tmp, fsync,
 // rename over MANIFEST — so a crash leaves either the old or the new
 // manifest, never a partial one.
+//
+// Version 2 adds a CRC-32 (IEEE) of each generation file: a matching
+// checksum lets Open skip the deep structural re-validation of the
+// frozen index (the dominant recovery cost) while catching the bit
+// flips structure checks cannot. Version 1 manifests are still read —
+// their entries carry crc 0, which means "unknown, validate deeply".
 const (
 	manifestMagic   = 0x4E414D57 // "WMAN" little-endian
-	manifestVersion = 1
+	manifestVersion = 2
 
 	manifestName    = "MANIFEST"
 	manifestTmpName = "MANIFEST.tmp"
@@ -26,8 +31,9 @@ const (
 
 // genMeta is one generation as recorded in the manifest.
 type genMeta struct {
-	id uint64 // names the file gen-<id>.wt
-	n  int    // element count, cross-checked against the loaded file
+	id  uint64 // names the files gen-<id>.wt / gen-<id>.flt
+	n   int    // element count, cross-checked against the loaded file
+	crc uint32 // CRC-32 of gen-<id>.wt; 0 = unknown (v1 manifest)
 }
 
 // manifest is the decoded root pointer.
@@ -50,15 +56,21 @@ func encodeManifest(m manifest) []byte {
 	for _, g := range m.gens {
 		w.U64(g.id)
 		w.Int(g.n)
+		w.U32(g.crc)
 	}
 	return w.Bytes()
 }
 
-// parseManifest decodes and validates a manifest image. Arbitrary input
-// must error, never panic — this function is fuzzed.
+// parseManifest decodes and validates a manifest image, accepting both
+// the current version and v1 (whose entries get crc 0 = unknown).
+// Arbitrary input must error, never panic — this function is fuzzed.
 func parseManifest(data []byte) (manifest, error) {
 	var m manifest
-	r, err := wire.NewReader(data, manifestMagic, manifestVersion)
+	version := uint16(manifestVersion)
+	if v, ok := wire.SniffVersion(data, manifestMagic); ok && v == 1 {
+		version = 1
+	}
+	r, err := wire.NewReader(data, manifestMagic, version)
 	if err != nil {
 		return m, err
 	}
@@ -76,6 +88,9 @@ func parseManifest(data []byte) (manifest, error) {
 	var total int64
 	for i := 0; i < count; i++ {
 		g := genMeta{id: r.U64(), n: r.Int()}
+		if version >= 2 {
+			g.crc = r.U32()
+		}
 		if err := r.Err(); err != nil {
 			return m, err
 		}
@@ -105,27 +120,7 @@ func parseManifest(data []byte) (manifest, error) {
 
 // writeManifest atomically replaces dir/MANIFEST with the encoding of m.
 func writeManifest(dir string, m manifest) error {
-	tmp := filepath.Join(dir, manifestTmpName)
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(encodeManifest(m)); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
-		return err
-	}
-	syncDir(dir)
-	return nil
+	return writeFileAtomic(dir, manifestName, encodeManifest(m))
 }
 
 // syncDir fsyncs a directory so a just-renamed file survives power loss;

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -90,6 +91,38 @@ func (v memView) SelectPrefix(p string, idx int) (int, bool) {
 		return 0, false
 	}
 	return v.m.trie.SelectPrefix(p, idx)
+}
+
+// Iterate streams the elements of positions [l, r) of the view in
+// order, through the trie's slice-free enumerator. The walk is chunked:
+// the read lock is held only while a bounded batch is extracted, never
+// across fn — so callbacks may freely query the store or snapshot (a
+// nested read under a held RLock would deadlock against a waiting
+// appender). Chunks re-enter the trie, but positions below the view's
+// clamp are immutable, so the stream is exact regardless of concurrent
+// appends; on a sealed memtable the lock is uncontended.
+func (v memView) Iterate(l, r int, fn func(pos int, s string) bool) {
+	if l < 0 || r < l || r > v.n {
+		panic(fmt.Sprintf("store: memtable Iterate(%d,%d) out of range [0,%d]", l, r, v.n))
+	}
+	const chunk = 256
+	buf := make([]string, 0, min(chunk, r-l))
+	for l < r {
+		hi := min(l+chunk, r)
+		buf = buf[:0]
+		v.m.mu.RLock()
+		v.m.trie.Enumerate(l, hi, func(_ int, s string) bool {
+			buf = append(buf, s)
+			return true
+		})
+		v.m.mu.RUnlock()
+		for i, s := range buf {
+			if !fn(l+i, s) {
+				return
+			}
+		}
+		l = hi
+	}
 }
 
 func (v memView) Height() int {

@@ -15,8 +15,16 @@ type segment interface {
 	Select(s string, idx int) (int, bool)
 	RankPrefix(p string, pos int) int
 	SelectPrefix(p string, idx int) (int, bool)
+	Iterate(l, r int, fn func(pos int, s string) bool)
 	Height() int
 	SizeBits() int
+}
+
+// snapSeg pairs a segment with the probe filter of the generation
+// backing it (nil for memtable views — those are always probed).
+type snapSeg struct {
+	segment
+	filter *probeFilter
 }
 
 // Snapshot is an immutable, consistent view of the store at the moment
@@ -26,12 +34,12 @@ type segment interface {
 // keep answering the same way during later appends, flushes and
 // compactions — readers are isolated from writers.
 type Snapshot struct {
-	segs     []segment
+	segs     []snapSeg
 	offs     []int // offs[i] = start of segs[i]; offs[len(segs)] = Len
 	distinct int
 }
 
-func newSnapshot(segs []segment, distinct int) *Snapshot {
+func newSnapshot(segs []snapSeg, distinct int) *Snapshot {
 	offs := make([]int, len(segs)+1)
 	for i, seg := range segs {
 		offs[i+1] = offs[i] + seg.Len()
@@ -100,29 +108,37 @@ func (sn *Snapshot) checkPos(op string, pos int) {
 
 // Rank counts occurrences of s in positions [0, pos); pos may equal
 // Len(). The answer is the sum of full-segment ranks before pos plus a
-// partial rank in the segment containing it.
+// partial rank in the segment containing it — skipping any generation
+// whose probe filter proves it cannot contain s.
 func (sn *Snapshot) Rank(s string, pos int) int {
 	sn.checkPos("Rank", pos)
-	return sn.rank(pos, func(seg segment, p int) int { return seg.Rank(s, p) })
+	return sn.rank(pos,
+		func(f *probeFilter) bool { return f.mayContain(s) },
+		func(seg segment, p int) int { return seg.Rank(s, p) })
 }
 
 // RankPrefix counts elements in [0, pos) having byte prefix p.
 func (sn *Snapshot) RankPrefix(p string, pos int) int {
 	sn.checkPos("RankPrefix", pos)
-	return sn.rank(pos, func(seg segment, q int) int { return seg.RankPrefix(p, q) })
+	return sn.rank(pos,
+		func(f *probeFilter) bool { return f.mayContainPrefix(p) },
+		func(seg segment, q int) int { return seg.RankPrefix(p, q) })
 }
 
-func (sn *Snapshot) rank(pos int, segRank func(seg segment, pos int) int) int {
+func (sn *Snapshot) rank(pos int, mayHave func(*probeFilter) bool, segRank func(seg segment, pos int) int) int {
 	total := 0
 	for i, seg := range sn.segs {
-		if pos >= sn.offs[i+1] {
-			total += segRank(seg, seg.Len())
-			continue
+		segPos := pos - sn.offs[i]
+		if segPos <= 0 {
+			break
 		}
-		if pos > sn.offs[i] {
-			total += segRank(seg, pos-sn.offs[i])
+		if l := seg.Len(); segPos > l {
+			segPos = l
 		}
-		break
+		// A filtered-out generation contributes rank 0 — no probe needed.
+		if seg.filter == nil || mayHave(seg.filter) {
+			total += segRank(seg.segment, segPos)
+		}
 	}
 	return total
 }
@@ -135,9 +151,11 @@ func (sn *Snapshot) CountPrefix(p string) int { return sn.RankPrefix(p, sn.Len()
 
 // Select returns the position of the idx-th (0-based) occurrence of s,
 // with ok=false when s occurs fewer than idx+1 times: walk the segments
-// accumulating their counts until the one holding the idx-th occurrence.
+// accumulating their counts until the one holding the idx-th occurrence,
+// skipping generations whose filters rule s out.
 func (sn *Snapshot) Select(s string, idx int) (int, bool) {
 	return sn.sel(idx,
+		func(f *probeFilter) bool { return f.mayContain(s) },
 		func(seg segment) int { return seg.Rank(s, seg.Len()) },
 		func(seg segment, i int) (int, bool) { return seg.Select(s, i) })
 }
@@ -146,19 +164,23 @@ func (sn *Snapshot) Select(s string, idx int) (int, bool) {
 // byte prefix p, with ok=false when there are not that many.
 func (sn *Snapshot) SelectPrefix(p string, idx int) (int, bool) {
 	return sn.sel(idx,
+		func(f *probeFilter) bool { return f.mayContainPrefix(p) },
 		func(seg segment) int { return seg.RankPrefix(p, seg.Len()) },
 		func(seg segment, i int) (int, bool) { return seg.SelectPrefix(p, i) })
 }
 
-func (sn *Snapshot) sel(idx int, segCount func(segment) int, segSelect func(segment, int) (int, bool)) (int, bool) {
+func (sn *Snapshot) sel(idx int, mayHave func(*probeFilter) bool, segCount func(segment) int, segSelect func(segment, int) (int, bool)) (int, bool) {
 	if idx < 0 {
 		return 0, false
 	}
 	cum := 0
 	for i, seg := range sn.segs {
-		c := segCount(seg)
+		if seg.filter != nil && !mayHave(seg.filter) {
+			continue // proven empty of the key: count 0, skip the probes
+		}
+		c := segCount(seg.segment)
 		if idx < cum+c {
-			pos, ok := segSelect(seg, idx-cum)
+			pos, ok := segSelect(seg.segment, idx-cum)
 			if !ok {
 				return 0, false
 			}
@@ -169,14 +191,54 @@ func (sn *Snapshot) sel(idx int, segCount func(segment) int, segSelect func(segm
 	return 0, false
 }
 
-// Slice returns the elements of positions [l, r) as a fresh slice.
+// Iterate streams the elements of positions [l, r) in order, stopping
+// early if fn returns false. Frozen generations are walked with their
+// streaming enumerator (one trie walk per generation instead of one
+// root descent per element); memtable views are extracted in bounded
+// batches under their read lock, with fn always called lock-free.
+func (sn *Snapshot) Iterate(l, r int, fn func(pos int, s string) bool) {
+	if l < 0 || r < l || r > sn.Len() {
+		panic(fmt.Sprintf("store: Iterate(%d,%d) out of range [0,%d]", l, r, sn.Len()))
+	}
+	for i, seg := range sn.segs {
+		if sn.offs[i] >= r {
+			return
+		}
+		lo, hi := l-sn.offs[i], r-sn.offs[i]
+		if lo < 0 {
+			lo = 0
+		}
+		if n := seg.Len(); hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		stopped := false
+		off := sn.offs[i]
+		seg.Iterate(lo, hi, func(p int, s string) bool {
+			if !fn(off+p, s) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}
+
+// Slice returns the elements of positions [l, r) as a fresh slice,
+// streamed through Iterate.
 func (sn *Snapshot) Slice(l, r int) []string {
 	if l < 0 || r < l || r > sn.Len() {
 		panic(fmt.Sprintf("store: Slice(%d,%d) out of range [0,%d]", l, r, sn.Len()))
 	}
 	out := make([]string, 0, r-l)
-	for pos := l; pos < r; pos++ {
-		out = append(out, sn.Access(pos))
-	}
+	sn.Iterate(l, r, func(_ int, s string) bool {
+		out = append(out, s)
+		return true
+	})
 	return out
 }

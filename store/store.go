@@ -66,8 +66,9 @@ type Store struct {
 	dir  string
 	opts Options
 
-	appendMu sync.Mutex // serializes appenders and the memtable swap
-	adminMu  sync.Mutex // serializes flush, compaction, close
+	appendMu  sync.Mutex // serializes appenders and the memtable swap
+	adminMu   sync.Mutex // serializes flush, compaction commits, close
+	compactMu sync.Mutex // serializes whole compactions; taken before adminMu, never while holding it
 
 	state    atomic.Pointer[storeState]
 	distinct atomic.Int64 // distinct strings across the whole store
@@ -79,16 +80,22 @@ type Store struct {
 
 	failure atomic.Pointer[error] // sticky write-path failure
 
-	flushCh chan struct{}
-	stopCh  chan struct{}
-	bg      sync.WaitGroup
-	closed  atomic.Bool
-	unlock  func() // releases the directory lock
+	flushCh   chan struct{}
+	compactCh chan struct{}
+	stopCh    chan struct{}
+	bg        sync.WaitGroup
+	closed    atomic.Bool
+	unlock    func() // releases the directory lock
 }
 
 // Store serves the whole read surface of the root package's string
 // interface (plus Append, Flush, Compact); keep that contract honest.
 var _ wavelettrie.StringIndex = (*Store)(nil)
+
+// errClosed reports an operation on a closed store. It is distinguished
+// from write-path failures so a Close racing a compaction does not mark
+// the store failed.
+var errClosed = errors.New("store: closed")
 
 // Open opens the store in dir, creating it if empty, and replays the WAL
 // tail: torn or corrupt trailing records are truncated, every complete
@@ -97,10 +104,11 @@ var _ wavelettrie.StringIndex = (*Store)(nil)
 // returning, so the on-disk layout is always the steady-state one.
 func Open(dir string, opts *Options) (*Store, error) {
 	s := &Store{
-		dir:     dir,
-		opts:    opts.withDefaults(),
-		flushCh: make(chan struct{}, 1),
-		stopCh:  make(chan struct{}),
+		dir:       dir,
+		opts:      opts.withDefaults(),
+		flushCh:   make(chan struct{}, 1),
+		compactCh: make(chan struct{}, 1),
+		stopCh:    make(chan struct{}),
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -197,8 +205,13 @@ func Open(dir string, opts *Options) (*Store, error) {
 	}
 
 	if !s.opts.DisableAutoFlush {
-		s.bg.Add(1)
+		// Flusher and compactor are separate goroutines: a long merge in
+		// the compactor must not starve flush servicing, or the memtable
+		// would grow unboundedly for the merge's duration — the stall the
+		// two-phase design exists to remove.
+		s.bg.Add(2)
 		go s.background()
+		go s.compactor()
 	}
 	ok = true
 	return s, nil
@@ -231,9 +244,10 @@ func (s *Store) loadManifest() (manifest, bool, error) {
 // the manifest is the sole root: an unreferenced file can never become
 // reachable again.
 func (s *Store) removeOrphanGens(metas []genMeta) {
-	live := make(map[string]bool, len(metas))
+	live := make(map[string]bool, 2*len(metas))
 	for _, meta := range metas {
 		live[genFileName(meta.id)] = true
+		live[filterFileName(meta.id)] = true
 	}
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -244,8 +258,11 @@ func (s *Store) removeOrphanGens(metas []genMeta) {
 		if !strings.HasPrefix(name, "gen-") || live[name] {
 			continue
 		}
-		if strings.HasSuffix(name, ".wt") || strings.HasSuffix(name, ".wt.tmp") {
-			os.Remove(filepath.Join(s.dir, name))
+		for _, suffix := range []string{".wt", ".wt.tmp", ".flt", ".flt.tmp"} {
+			if strings.HasSuffix(name, suffix) {
+				os.Remove(filepath.Join(s.dir, name))
+				break
+			}
 		}
 	}
 }
@@ -291,7 +308,8 @@ func (s *Store) isNew(st *storeState, v string) bool {
 		}
 	}
 	for i := len(st.gens) - 1; i >= 0; i-- {
-		if st.gens[i].ix.Count(v) > 0 {
+		g := st.gens[i]
+		if g.filter.mayContain(v) && g.ix.Count(v) > 0 {
 			return false
 		}
 	}
@@ -308,7 +326,7 @@ func (s *Store) Append(v string) error {
 	s.appendMu.Lock()
 	if s.closed.Load() {
 		s.appendMu.Unlock()
-		return errors.New("store: closed")
+		return errClosed
 	}
 	st := s.state.Load()
 	isNew := s.isNew(st, v)
@@ -333,7 +351,11 @@ func (s *Store) Append(v string) error {
 	return nil
 }
 
-// background runs the flusher/compactor until Close.
+// background runs the flusher until Close, nudging the compactor after
+// every flush. Never compact after a failed flush — a manifest written
+// then would carry the advanced walID while the sealed memtable's
+// records are in no generation, and the next Open would delete the WAL
+// that still holds them; the compactor re-checks err() itself.
 func (s *Store) background() {
 	defer s.bg.Done()
 	for {
@@ -349,17 +371,32 @@ func (s *Store) background() {
 						s.fail(err)
 					}
 				}
-				// Never compact after a failed flush: a manifest written
-				// then would carry the advanced walID while the sealed
-				// memtable's records are in no generation, and the next
-				// Open would delete the WAL that still holds them.
-				if s.err() == nil {
-					if err := s.compactTo(s.opts.MaxGenerations); err != nil {
-						s.fail(err)
-					}
-				}
 			}
 			s.adminMu.Unlock()
+			select {
+			case s.compactCh <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// compactor applies the Options.MaxGenerations policy whenever nudged.
+// It runs in its own goroutine so a long merge never stops the flusher
+// from servicing flushCh — appends stay bounded by FlushThreshold even
+// while a large compaction is in flight.
+func (s *Store) compactor() {
+	defer s.bg.Done()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-s.compactCh:
+			if s.err() == nil && !s.closed.Load() {
+				if err := s.compactTo(s.opts.MaxGenerations); err != nil && err != errClosed {
+					s.fail(err)
+				}
+			}
 		}
 	}
 }
@@ -376,7 +413,7 @@ func (s *Store) Flush() error {
 	s.adminMu.Lock()
 	defer s.adminMu.Unlock()
 	if s.closed.Load() {
-		return errors.New("store: closed")
+		return errClosed
 	}
 	if s.state.Load().mem.n.Load() == 0 {
 		return nil
@@ -429,11 +466,7 @@ func (s *Store) flushLocked(oldWALs []uint64) error {
 
 	// Commit: the manifest now covers the sealed contents, so the old
 	// WALs are dead.
-	metas := make([]genMeta, len(gens))
-	for i, g := range gens {
-		metas[i] = genMeta{id: g.id, n: g.ix.Len()}
-	}
-	m := manifest{nextID: s.nextID, walID: newWALID, distinct: distinctAtSeal, gens: metas}
+	m := manifest{nextID: s.nextID, walID: newWALID, distinct: distinctAtSeal, gens: genMetas(gens)}
 	if err := writeManifest(s.dir, m); err != nil {
 		return err
 	}
@@ -477,8 +510,14 @@ func (s *Store) Close() error {
 		close(s.stopCh)
 		s.bg.Wait()
 	}
-	// Same order as a flush (adminMu then appendMu), so the WAL handle
-	// is closed with no appender mid-write and no rotation in flight.
+	// Wait out any in-flight compaction (its commit sees closed and
+	// aborts; a compaction started after this point aborts at id
+	// allocation), then take the locks in flush order (adminMu then
+	// appendMu) so the WAL handle is closed with no appender mid-write
+	// and no rotation in flight. After Close returns, no goroutine of
+	// this store writes to the directory again.
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
 	s.adminMu.Lock()
 	defer s.adminMu.Unlock()
 	s.appendMu.Lock()
@@ -499,30 +538,36 @@ func (s *Store) Close() error {
 func (s *Store) Snapshot() *Snapshot { return s.snapshotOf(s.state.Load()) }
 
 func (s *Store) snapshotOf(st *storeState) *Snapshot {
-	segs := make([]segment, 0, len(st.gens)+2)
+	segs := make([]snapSeg, 0, len(st.gens)+2)
 	for _, g := range st.gens {
-		segs = append(segs, g.ix)
+		segs = append(segs, snapSeg{segment: g.ix, filter: g.filter})
 	}
 	if st.sealed != nil {
-		segs = append(segs, memView{m: st.sealed, n: int(st.sealed.n.Load())})
+		segs = append(segs, snapSeg{segment: memView{m: st.sealed, n: int(st.sealed.n.Load())}})
 	}
-	segs = append(segs, memView{m: st.mem, n: int(st.mem.n.Load())})
+	segs = append(segs, snapSeg{segment: memView{m: st.mem, n: int(st.mem.n.Load())}})
 	return newSnapshot(segs, int(s.distinct.Load()))
 }
 
 // GenInfo describes one frozen generation of the store.
 type GenInfo struct {
-	ID       uint64 // names the file gen-<id>.wt
-	Len      int    // element count
-	SizeBits int    // in-memory footprint of the loaded generation
+	ID         uint64 // names the files gen-<id>.wt / gen-<id>.flt
+	Len        int    // element count
+	SizeBits   int    // in-memory footprint of the loaded generation
+	FilterBits int    // in-memory footprint of the probe filter
+	MinValue   string // lexicographic bounds the filter prunes by
+	MaxValue   string
 }
 
 // Generations lists the persisted generations in sequence order.
 func (s *Store) Generations() []GenInfo {
 	st := s.state.Load()
 	out := make([]GenInfo, len(st.gens))
+	// Filters are always non-nil on loaded or written generations.
 	for i, g := range st.gens {
-		out[i] = GenInfo{ID: g.id, Len: g.ix.Len(), SizeBits: g.ix.SizeBits()}
+		out[i] = GenInfo{ID: g.id, Len: g.ix.Len(), SizeBits: g.ix.SizeBits(),
+			FilterBits: g.filter.sizeBits(),
+			MinValue:   g.filter.min, MaxValue: g.filter.max}
 	}
 	return out
 }

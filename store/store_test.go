@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -480,7 +481,7 @@ func TestManifestRoundTrip(t *testing.T) {
 		nextID:   9,
 		walID:    7,
 		distinct: 42,
-		gens:     []genMeta{{id: 2, n: 100}, {id: 5, n: 30}},
+		gens:     []genMeta{{id: 2, n: 100, crc: 0xdeadbeef}, {id: 5, n: 30, crc: 7}},
 	}
 	back, err := parseManifest(encodeManifest(m))
 	if err != nil {
@@ -495,5 +496,29 @@ func TestManifestRoundTrip(t *testing.T) {
 	bad.distinct = 1000
 	if _, err := parseManifest(encodeManifest(bad)); err == nil {
 		t.Fatal("implausible distinct accepted")
+	}
+}
+
+// TestManifestV1Compat: a version-1 manifest (no per-generation
+// checksums) still parses; its entries carry crc 0, which routes
+// loadGeneration through the deep-validation path.
+func TestManifestV1Compat(t *testing.T) {
+	w := wire.NewWriter(manifestMagic, 1)
+	w.U64(9)  // nextID
+	w.U64(7)  // walID
+	w.Int(4)  // distinct
+	w.Int(2)  // generations
+	w.U64(2)  // id
+	w.Int(10) // n
+	w.U64(5)
+	w.Int(3)
+	m, err := parseManifest(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []genMeta{{id: 2, n: 10}, {id: 5, n: 3}}
+	if m.nextID != 9 || m.walID != 7 || m.distinct != 4 ||
+		len(m.gens) != 2 || m.gens[0] != want[0] || m.gens[1] != want[1] {
+		t.Fatalf("v1 parse: got %+v", m)
 	}
 }
