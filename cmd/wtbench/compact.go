@@ -172,9 +172,15 @@ func measureCompact(n, batch int) compactBenchRecord {
 	return rec
 }
 
+// compactConfig returns the generation sizes and flush batch the
+// "compact" experiment runs.
+func compactConfig(quick bool) (sizes []int, batch int) {
+	return pick(quick, []int{1 << 14}, []int{1 << 18, 1 << 20}),
+		pick(quick, []int{256}, []int{512})[0]
+}
+
 func compactBenchRecords(quick bool) []compactBenchRecord {
-	sizes := pick(quick, []int{1 << 14}, []int{1 << 18, 1 << 20})
-	batch := pick(quick, []int{256}, []int{512})[0]
+	sizes, batch := compactConfig(quick)
 	var recs []compactBenchRecord
 	for _, n := range sizes {
 		recs = append(recs, measureCompact(n, batch))

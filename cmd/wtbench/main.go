@@ -9,10 +9,10 @@
 //	wtbench -exp all            # run everything
 //	wtbench -exp t1a            # one experiment
 //	wtbench -exp t3a -quick     # smaller sizes for a fast smoke run
-//	wtbench -json               # machine-readable build/query/serialize suite
+//	wtbench -json               # machine-readable suite + config (BENCH_*.json)
 //
 // Experiments: figs, t1a, t1b, t2a, t2b, t2c, t3a, t3b, t4, t5, t6, q5,
-// cmp, abl, ser, store, compact.
+// cmp, abl, ser, store, compact, shard.
 package main
 
 import (
@@ -47,12 +47,13 @@ var experiments = []experiment{
 	{"ser", "Persistence: marshal/load round trip, on-disk size, load vs rebuild", runSER},
 	{"store", "Log-structured store: WAL append, concurrent reads, recovery vs rebuild", runSTORE},
 	{"compact", "Two-phase compaction: streaming merge throughput, Flush latency under merge", runCOMPACT},
+	{"shard", "Sharded store: multi-writer append scaling, busy-reader latency, recovery", runSHARD},
 }
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id or 'all'")
 	quick := flag.Bool("quick", false, "smaller sizes for a fast run")
-	jsonOut := flag.Bool("json", false, "emit the build/query/serialize suite as JSON (for BENCH_*.json trajectories); not combinable with -exp")
+	jsonOut := flag.Bool("json", false, "emit the benchmark suite (build/query/serialize + store/compact/shard experiments) with its config block as JSON (for BENCH_*.json trajectories); not combinable with -exp")
 	flag.Parse()
 
 	if *jsonOut {

@@ -101,9 +101,14 @@ func measureSer(variant string, seq []string, iters int) benchRecord {
 
 var serVariants = []string{"static", "appendonly", "dynamic", "frozen", "numeric"}
 
+// serConfig returns the sizes and query iterations the "ser" suite runs.
+func serConfig(quick bool) (sizes []int, iters int) {
+	return pick(quick, []int{1 << 12}, []int{1 << 14, 1 << 17}),
+		pick(quick, []int{20000}, []int{100000})[0]
+}
+
 func serRecords(quick bool) []benchRecord {
-	sizes := pick(quick, []int{1 << 12}, []int{1 << 14, 1 << 17})
-	iters := pick(quick, []int{20000}, []int{100000})[0]
+	sizes, iters := serConfig(quick)
 	var recs []benchRecord
 	for _, n := range sizes {
 		seq := workload.URLLog(n, 1, workload.DefaultURLConfig())
@@ -131,19 +136,41 @@ func runSER(quick bool) {
 	t.flush()
 }
 
+// benchConfig is the -json envelope's config block: every knob the
+// suite ran with (sizes, iteration counts, shard/writer grids), so a
+// committed BENCH_*.json is self-describing instead of leaving the
+// configuration in stdout text.
+type benchConfig struct {
+	Quick        bool             `json:"quick"`
+	SerVariants  []string         `json:"ser_variants"`
+	SerSizes     []int            `json:"ser_sizes"`
+	SerIters     int              `json:"ser_iters"`
+	StoreSizes   []int            `json:"store_sizes"`
+	StoreIters   int              `json:"store_iters"`
+	CompactSizes []int            `json:"compact_sizes"`
+	CompactBatch int              `json:"compact_flush_batch"`
+	Shard        shardBenchConfig `json:"shard"`
+}
+
 // emitJSON writes the machine-readable benchmark suite to stdout: the
-// per-variant build/query/serialize records plus the log-structured
-// store experiment.
+// config block, the per-variant build/query/serialize records, and the
+// log-structured store, compaction and sharding experiments.
 func emitJSON(quick bool) {
+	cfg := benchConfig{Quick: quick, SerVariants: serVariants, Shard: shardConfig(quick)}
+	cfg.SerSizes, cfg.SerIters = serConfig(quick)
+	cfg.StoreSizes, cfg.StoreIters = storeConfig(quick)
+	cfg.CompactSizes, cfg.CompactBatch = compactConfig(quick)
 	out := struct {
 		Suite          string               `json:"suite"`
 		Quick          bool                 `json:"quick"`
+		Config         benchConfig          `json:"config"`
 		Records        []benchRecord        `json:"records"`
 		StoreRecords   []storeBenchRecord   `json:"store_records"`
 		CompactRecords []compactBenchRecord `json:"compact_records"`
-	}{Suite: "wavelettrie-serialize", Quick: quick,
+		ShardRecords   []shardBenchRecord   `json:"shard_records"`
+	}{Suite: "wavelettrie-serialize", Quick: quick, Config: cfg,
 		Records: serRecords(quick), StoreRecords: storeBenchRecords(quick),
-		CompactRecords: compactBenchRecords(quick)}
+		CompactRecords: compactBenchRecords(quick), ShardRecords: shardBenchRecords(quick)}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {

@@ -168,9 +168,15 @@ func measureStore(n, iters int) storeBenchRecord {
 	return rec
 }
 
+// storeConfig returns the sizes and query iterations the "store"
+// experiment runs.
+func storeConfig(quick bool) (sizes []int, iters int) {
+	return pick(quick, []int{1 << 12}, []int{1 << 14, 1 << 16}),
+		pick(quick, []int{5000}, []int{30000})[0]
+}
+
 func storeBenchRecords(quick bool) []storeBenchRecord {
-	sizes := pick(quick, []int{1 << 12}, []int{1 << 14, 1 << 16})
-	iters := pick(quick, []int{5000}, []int{30000})[0]
+	sizes, iters := storeConfig(quick)
 	var recs []storeBenchRecord
 	for _, n := range sizes {
 		recs = append(recs, measureStore(n, iters))

@@ -12,6 +12,8 @@
 //	wtquery -load index.wt            # reopen a snapshot saved with 'save'
 //	wtquery -store dir/               # open a durable log-structured store
 //	wtquery -store dir/ -file a.log   # ...bulk-loading the file into it
+//	wtquery -store dir/ -shards 4     # hash-partitioned multi-writer store
+//	                                  # (sharded dirs are also auto-detected)
 //
 // Commands (positions 0-based, ranges half-open):
 //
@@ -25,6 +27,7 @@
 //	append STR            | insert POS STR | delete POS   (dynamic/append)
 //	save FILE             | load FILE
 //	flush                 | compact | gens                 (-store only)
+//	shards                                                 (sharded store only)
 //	stats                 | help | quit
 package main
 
@@ -48,13 +51,23 @@ type dynamicIndex interface {
 }
 
 // storeIndex is the durable-store capability: appends can fail (I/O),
-// and the generation lifecycle is steerable from the REPL.
+// and the generation lifecycle is steerable from the REPL. Both Store
+// and ShardedStore satisfy it.
 type storeIndex interface {
 	Append(s string) error
 	Flush() error
 	Compact() error
 	Generations() []store.GenInfo
 	MemLen() int
+}
+
+// shardedIndex is the extra surface of a hash-partitioned store: the
+// 'shards' command renders the per-shard layout through it.
+type shardedIndex interface {
+	ShardCount() int
+	ShardLen(i int) int
+	ShardMemLen(i int) int
+	ShardGenerations(i int) []store.GenInfo
 }
 
 func main() {
@@ -65,7 +78,13 @@ func main() {
 	load := flag.String("load", "", "reopen a snapshot file instead of indexing")
 	storeDir := flag.String("store", "", "open a durable log-structured store in this directory")
 	sync := flag.Bool("sync", false, "with -store: fsync the WAL on every append")
+	shards := flag.Int("shards", 0, "with -store: open a hash-partitioned sharded store with this many shards (0 = plain store, or adopt an existing sharded layout)")
 	flag.Parse()
+
+	if *shards != 0 && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "wtquery: -shards requires -store")
+		os.Exit(2)
+	}
 
 	var st wavelettrie.StringIndex
 	switch {
@@ -74,7 +93,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "wtquery: -store cannot be combined with -load or -dynamic")
 			os.Exit(2)
 		}
-		db, err := store.Open(*storeDir, &store.Options{Sync: *sync})
+		db, err := openStore(*storeDir, *shards, *sync)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wtquery:", err)
 			os.Exit(1)
@@ -123,6 +142,24 @@ func main() {
 		st.Len(), st.AlphabetSize(), float64(st.SizeBits())/float64(max(1, st.Len())))
 
 	repl(st)
+}
+
+// storeHandle is the shared face of the two durable store kinds.
+type storeHandle interface {
+	wavelettrie.StringIndex
+	Append(s string) error
+	Close() error
+}
+
+// openStore opens dir as a plain or sharded store: -shards forces a
+// sharded layout, and a directory already holding one (a SHARDS
+// manifest) is detected automatically.
+func openStore(dir string, shards int, sync bool) (storeHandle, error) {
+	opts := store.Options{Sync: sync}
+	if shards > 0 || store.IsSharded(dir) {
+		return store.OpenSharded(dir, &store.ShardedOptions{Shards: shards, Store: opts})
+	}
+	return store.Open(dir, &opts)
 }
 
 // seedLines returns the optional bulk-load sequence for a store: the
@@ -229,6 +266,7 @@ func execute(st wavelettrie.StringIndex, args []string) (cur wavelettrie.StringI
 		fmt.Println("distinct L R | majority L R | topk L R K | threshold L R T | slice L R")
 		fmt.Println("append STR | insert POS STR | delete POS")
 		fmt.Println("flush | compact | gens   (durable store only)")
+		fmt.Println("shards                   (sharded store only)")
 		fmt.Println("save FILE | load FILE | stats | quit")
 	case "access":
 		need(1)
@@ -327,6 +365,16 @@ func execute(st wavelettrie.StringIndex, args []string) (cur wavelettrie.StringI
 			}
 			fmt.Printf("memtable  n=%d\n", db.MemLen())
 		}
+	case "shards":
+		sh, ok := st.(shardedIndex)
+		if !ok {
+			panic(fmt.Sprintf("shards requires a sharded -store (not supported by %T)", st))
+		}
+		for i := 0; i < sh.ShardCount(); i++ {
+			fmt.Printf("shard %3d  n=%-8d gens=%-3d memtable=%d\n",
+				i, sh.ShardLen(i), len(sh.ShardGenerations(i)), sh.ShardMemLen(i))
+		}
+		fmt.Printf("total      n=%d across %d shards\n", st.Len(), sh.ShardCount())
 	case "insert":
 		need(2)
 		d, ok := st.(dynamicIndex)

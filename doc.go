@@ -76,9 +76,12 @@
 // memtable, whose flushed runs are Frozen generations recorded in an
 // atomically-rewritten manifest, and whose reads are snapshot-isolated —
 // lock-free across generations, concurrent with appends and compaction.
-// store.Store satisfies StringIndex, so it drops into anything
-// programmed against the interface family (wtquery serves one with
-// -store). See DESIGN.md §5 for the on-disk formats and crash matrix.
+// For multi-writer scaling, store.ShardedStore hash-partitions the
+// sequence over N such stores and serves it back in global append order
+// through cross-shard snapshots. Both satisfy StringIndex, so they drop
+// into anything programmed against the interface family (wtquery serves
+// them with -store and -shards). See DESIGN.md §5 for the on-disk
+// formats and crash matrix, and §7 for the sharding design.
 //
 // # Example
 //

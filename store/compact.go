@@ -197,7 +197,15 @@ func (s *Store) mergeRun(st *storeState) error {
 	gens = append(gens, merged)
 	gens = append(gens, cur.gens[hi+1:]...)
 
-	m := manifest{nextID: s.nextID, walID: s.walID, distinct: s.genDistinct, gens: genMetas(gens)}
+	// After a deferred recovery checkpoint (sharded open), WALs older
+	// than s.walID still hold live records until the next flush folds
+	// them in; the committed walID must keep them alive or the next
+	// Open would delete acknowledged appends.
+	walID := s.walID
+	if len(s.recoveredWALs) > 0 {
+		walID = s.recoveredWALs[0]
+	}
+	m := manifest{nextID: s.nextID, walID: walID, distinct: s.genDistinct, gens: genMetas(gens)}
 	if err := writeManifest(s.dir, m); err != nil {
 		s.adminMu.Unlock()
 		return err

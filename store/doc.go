@@ -46,10 +46,29 @@
 // the fast trusted path (no deep structural re-validation); missing or
 // corrupt probe filters are rebuilt from the loaded index.
 //
-// The Store satisfies the root package's StringIndex interface, so
-// everything programmed against wavelettrie.StringIndex — including the
-// wtquery REPL — can serve from a durable store unchanged. See DESIGN.md
-// §5 for the on-disk formats and the crash matrix, and §6 for the
-// iterator contract, the two-phase compaction protocol and the filter
-// format.
+// # Sharding
+//
+// ShardedStore scales the write path across hash partitions: each
+// shard is a full Store — its own WAL, memtable, generations, filters
+// and compactor — in a subdirectory, so appends from many writers fan
+// out across per-shard locks and flush/compaction proceed per shard.
+// A Partitioner (FNV-1a by default, pluggable, pinned in the SHARDS
+// manifest) routes every value by its bytes alone, so whole-value
+// point queries touch exactly one shard and per-shard alphabets stay
+// disjoint. A shared router records which shard owns each global
+// position — the interleaved append order, carried by a per-record
+// sequence header in the shard WALs and persisted in the ROUTER log
+// ahead of every flush — and cross-shard snapshots stitch per-shard
+// answers back into the single logical sequence by offset arithmetic
+// over it. OpenSharded recovers all shards in parallel and reconciles
+// the interleave from the ROUTER log plus the WAL sequence headers.
+//
+// The Store and ShardedStore satisfy the root package's StringIndex
+// interface, so everything programmed against wavelettrie.StringIndex
+// — including the wtquery REPL — can serve from a durable store
+// unchanged. See DESIGN.md §5 for the on-disk formats and the crash
+// matrix, §6 for the iterator contract, the two-phase compaction
+// protocol and the filter format, and §7 for the sharding design
+// (partitioner contract, global-offset arithmetic, SHARDS/ROUTER
+// formats, sharded crash matrix).
 package store

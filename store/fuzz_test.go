@@ -2,8 +2,6 @@ package store
 
 import (
 	"bytes"
-	"encoding/binary"
-	"hash/crc32"
 	"testing"
 
 	"repro/internal/wire"
@@ -14,10 +12,10 @@ import (
 // re-parse to the same records (truncation is idempotent).
 func FuzzParseWAL(f *testing.F) {
 	f.Add([]byte{})
-	f.Add(walHeader())
-	valid := walHeader()
+	f.Add(logHeader(walMagic))
+	valid := logHeader(walMagic)
 	for _, p := range []string{"", "a", "host00.example/a1", "longer payload with spaces"} {
-		valid = appendWALRecord(valid, walPayload(p, len(p)%2 == 0))
+		valid = appendLogRecord(valid, walPayload(p, len(p)%2 == 0))
 	}
 	f.Add(valid)
 	f.Add(valid[:len(valid)-3]) // torn tail
@@ -42,13 +40,6 @@ func FuzzParseWAL(f *testing.F) {
 			}
 		}
 	})
-}
-
-// appendWALRecord mirrors wal.append for building fuzz seeds in memory.
-func appendWALRecord(buf, payload []byte) []byte {
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
-	return append(buf, payload...)
 }
 
 // FuzzParseManifest: arbitrary bytes must error or decode — never panic
@@ -89,6 +80,24 @@ func FuzzParseManifest(f *testing.F) {
 			if m2.gens[i] != m.gens[i] {
 				t.Fatalf("v1 upgrade scrambled gen %d: %+v vs %+v", i, m.gens[i], m2.gens[i])
 			}
+		}
+	})
+}
+
+// FuzzParseShards: arbitrary bytes must error or decode — never panic —
+// and a decoded SHARDS manifest must re-encode byte-identically.
+func FuzzParseShards(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeShards(shardsManifest{shards: 4, partitioner: "fnv1a"}))
+	f.Add(encodeShards(shardsManifest{shards: MaxShards, partitioner: "custom-name"}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := parseShards(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(encodeShards(m), data) {
+			t.Fatalf("accepted SHARDS manifest does not round-trip: %+v", m)
 		}
 	})
 }

@@ -19,6 +19,13 @@ type memtable struct {
 	trie *wavelettrie.AppendOnly
 	n    atomic.Int64
 	wal  *wal
+	// seqs holds the global sequence numbers of the applied records, in
+	// local order — populated only when the store is a shard of a
+	// ShardedStore (strictly increasing there, because allocation and
+	// apply both happen under the shard's append lock). The sharded flush
+	// barrier reads the sealed tail; sharded recovery reads the replayed
+	// tail.
+	seqs []uint64
 }
 
 func newMemtable(w *wal) *memtable {
@@ -33,6 +40,28 @@ func (m *memtable) apply(s string) {
 	m.trie.Append(s)
 	m.mu.Unlock()
 	m.n.Add(1)
+}
+
+// applySeq is apply for a sharded record: the global sequence number is
+// retained alongside the trie insert.
+func (m *memtable) applySeq(s string, seq uint64) {
+	m.mu.Lock()
+	m.trie.Append(s)
+	m.seqs = append(m.seqs, seq)
+	m.mu.Unlock()
+	m.n.Add(1)
+}
+
+// maxSeq returns the largest retained sequence number (the last one —
+// seqs are increasing) and whether any record carries one. Only valid on
+// a sealed or otherwise quiescent memtable.
+func (m *memtable) maxSeq() (uint64, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if len(m.seqs) == 0 {
+		return 0, false
+	}
+	return m.seqs[len(m.seqs)-1], true
 }
 
 // contents returns the sealed memtable's sequence in order. Only valid

@@ -1,0 +1,54 @@
+package store
+
+import "fmt"
+
+// A Partitioner routes every appended value to one of a sharded store's
+// partitions.
+//
+// The contract: Pick must be a pure function of the value bytes alone —
+// the same value always lands on the same shard, regardless of position,
+// time, or prior appends. The sharded query planner leans on this twice:
+// Rank/Select/Count touch only the one shard Pick names, and the global
+// distinct count is the plain sum of per-shard distinct counts (the
+// per-shard alphabets are disjoint). The result must lie in [0, shards).
+//
+// The partitioner is fixed at store creation and recorded by Name in the
+// SHARDS manifest; OpenSharded refuses to open a store with a different
+// partitioner, because re-routing values would silently desynchronize
+// the per-shard alphabets from the on-disk data.
+type Partitioner interface {
+	// Name identifies the partitioner in the SHARDS manifest.
+	Name() string
+	// Pick returns the shard in [0, shards) that owns v.
+	Pick(v string, shards int) int
+}
+
+// FNV1a is the default partitioner: the 32-bit FNV-1a hash of the value
+// bytes, modulo the shard count.
+var FNV1a Partitioner = fnv1aPartitioner{}
+
+type fnv1aPartitioner struct{}
+
+// Name returns "fnv1a".
+func (fnv1aPartitioner) Name() string { return "fnv1a" }
+
+// Pick hashes v with FNV-1a and reduces modulo shards.
+func (fnv1aPartitioner) Pick(v string, shards int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(v); i++ {
+		h ^= uint32(v[i])
+		h *= 16777619
+	}
+	return int(h % uint32(shards))
+}
+
+// pickShard applies the partitioner with its contract enforced: a Pick
+// outside [0, shards) is a programming error in a custom partitioner
+// and must fail the append loudly rather than corrupt the routing.
+func pickShard(p Partitioner, v string, shards int) (int, error) {
+	i := p.Pick(v, shards)
+	if i < 0 || i >= shards {
+		return 0, fmt.Errorf("store: partitioner %q picked shard %d outside [0,%d)", p.Name(), i, shards)
+	}
+	return i, nil
+}

@@ -1,0 +1,275 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The router is the sharded store's interleave map: the sequence of
+// shard ids in global append order. Position arithmetic over it is what
+// stitches per-shard answers into global ones (see shardsnap.go):
+//
+//	shard owning global position g   = at(g)
+//	local position of g in its shard = rank(at(g), g)
+//	global position of shard s's     = selectShard(s, i)
+//	  i-th local element
+//
+// In memory it is a chunked, append-only array of shard ids with
+// per-chunk prefix sums: writers fill disjoint slots lock-free (the slot
+// index is the record's global sequence number), and a watermark
+// publishes the longest contiguous filled prefix — the only part
+// snapshots may read. On disk it is the ROUTER log — the same
+// checksummed record framing as the WAL under its own magic, carrying
+// batches of shard-id bytes — persisted ahead of every shard flush (the
+// seal barrier) and rewritten fresh on every open.
+const (
+	routerMagic = 0x52545257 // "WRTR" little-endian
+	routerName  = "ROUTER"
+
+	routerChunkShift = 12
+	routerChunkLen   = 1 << routerChunkShift
+	routerChunkMask  = routerChunkLen - 1
+
+	routerBatchLen = 1 << 15 // shard ids per ROUTER log record
+)
+
+// routerChunk is one fixed-size slab of the interleave map. Slots hold
+// shard id + 1; zero means not yet filled.
+type routerChunk struct {
+	ids [routerChunkLen]atomic.Uint32
+}
+
+// router is the in-memory interleave map. All methods are safe for
+// concurrent use; rank/selectShard/at may only be asked about positions
+// below a watermark value the caller has already loaded.
+type router struct {
+	shards    int
+	watermark atomic.Uint64
+	chunks    atomic.Pointer[[]*routerChunk]
+	// cum[i][s] = occurrences of shard s in chunks [0, i); len(cum)-1 is
+	// the number of summed ("sealed") chunks. Extended copy-on-write
+	// under growMu as the watermark crosses chunk boundaries; readers
+	// fall back to scanning chunks the summing hasn't caught up with.
+	cum    atomic.Pointer[[][]int32]
+	growMu sync.Mutex
+}
+
+func newRouter(shards int) *router {
+	r := &router{shards: shards}
+	chunks := []*routerChunk{}
+	r.chunks.Store(&chunks)
+	cum := [][]int32{make([]int32, shards)}
+	r.cum.Store(&cum)
+	return r
+}
+
+// fill records that global position g belongs to shard, then advances
+// the watermark over every contiguously filled slot. Distinct positions
+// are written by distinct appenders, so fills never contend on a slot.
+func (r *router) fill(g uint64, shard int) {
+	ci := int(g >> routerChunkShift)
+	chunks := *r.chunks.Load()
+	if ci >= len(chunks) {
+		chunks = r.grow(ci)
+	}
+	chunks[ci].ids[g&routerChunkMask].Store(uint32(shard) + 1)
+	r.advance()
+}
+
+// grow extends the chunk list through index ci, copy-on-write.
+func (r *router) grow(ci int) []*routerChunk {
+	r.growMu.Lock()
+	defer r.growMu.Unlock()
+	chunks := *r.chunks.Load()
+	if ci < len(chunks) {
+		return chunks
+	}
+	grown := make([]*routerChunk, ci+1)
+	copy(grown, chunks)
+	for i := len(chunks); i <= ci; i++ {
+		grown[i] = &routerChunk{}
+	}
+	r.chunks.Store(&grown)
+	return grown
+}
+
+// advance publishes the longest contiguous filled prefix, one CAS per
+// slot. Every filler runs this after its store, so whichever filler
+// runs last pushes the watermark through; a gap left by an in-flight
+// append stalls it until that append's own advance resumes the sweep.
+func (r *router) advance() {
+	for {
+		w := r.watermark.Load()
+		chunks := *r.chunks.Load()
+		ci := int(w >> routerChunkShift)
+		if ci >= len(chunks) || chunks[ci].ids[w&routerChunkMask].Load() == 0 {
+			return
+		}
+		if r.watermark.CompareAndSwap(w, w+1) && (w+1)&routerChunkMask == 0 {
+			r.seal()
+		}
+	}
+}
+
+// seal extends the prefix sums over every chunk now fully below the
+// watermark.
+func (r *router) seal() {
+	r.growMu.Lock()
+	defer r.growMu.Unlock()
+	full := int(r.watermark.Load() >> routerChunkShift)
+	cum := *r.cum.Load()
+	if len(cum)-1 >= full {
+		return
+	}
+	chunks := *r.chunks.Load()
+	grown := make([][]int32, len(cum), full+1)
+	copy(grown, cum)
+	for i := len(grown) - 1; i < full; i++ {
+		next := make([]int32, r.shards)
+		copy(next, grown[i])
+		c := chunks[i]
+		for j := 0; j < routerChunkLen; j++ {
+			next[c.ids[j].Load()-1]++
+		}
+		grown = append(grown, next)
+	}
+	r.cum.Store(&grown)
+}
+
+// at returns the shard owning global position g (g below a loaded
+// watermark).
+func (r *router) at(g uint64) int {
+	chunks := *r.chunks.Load()
+	return int(chunks[g>>routerChunkShift].ids[g&routerChunkMask].Load()) - 1
+}
+
+// rank counts positions of shard in [0, pos): sealed prefix sums plus a
+// bounded scan over the chunks the summing hasn't covered yet.
+func (r *router) rank(shard int, pos uint64) int {
+	cum := *r.cum.Load()
+	chunks := *r.chunks.Load()
+	start := int(pos >> routerChunkShift)
+	if sealed := len(cum) - 1; start > sealed {
+		start = sealed
+	}
+	total := int(cum[start][shard])
+	want := uint32(shard) + 1
+	for g := uint64(start) << routerChunkShift; g < pos; g++ {
+		if chunks[g>>routerChunkShift].ids[g&routerChunkMask].Load() == want {
+			total++
+		}
+	}
+	return total
+}
+
+// selectShard returns the global position of shard's idx-th (0-based)
+// local element. The caller guarantees it exists below the watermark —
+// i.e. idx < rank(shard, watermark).
+func (r *router) selectShard(shard, idx int) int {
+	cum := *r.cum.Load()
+	chunks := *r.chunks.Load()
+	// The last sealed chunk boundary with at most idx occurrences before
+	// it: the answer lies at or after it.
+	i := sort.Search(len(cum), func(i int) bool { return int(cum[i][shard]) > idx }) - 1
+	seen := int(cum[i][shard])
+	want := uint32(shard) + 1
+	end := uint64(len(chunks)) << routerChunkShift
+	for g := uint64(i) << routerChunkShift; g < end; g++ {
+		if chunks[g>>routerChunkShift].ids[g&routerChunkMask].Load() == want {
+			if seen == idx {
+				return int(g)
+			}
+			seen++
+		}
+	}
+	panic(fmt.Sprintf("store: router selectShard(%d,%d) beyond watermark (internal error)", shard, idx))
+}
+
+// bulkLoad installs a recovered global order wholesale — open-time only,
+// before any concurrent use.
+func (r *router) bulkLoad(order []byte) {
+	if len(order) == 0 {
+		return
+	}
+	chunks := r.grow((len(order) - 1) >> routerChunkShift)
+	for g, s := range order {
+		chunks[g>>routerChunkShift].ids[uint64(g)&routerChunkMask].Store(uint32(s) + 1)
+	}
+	r.watermark.Store(uint64(len(order)))
+	r.seal()
+}
+
+// sizeBits reports the router's in-memory footprint.
+func (r *router) sizeBits() int {
+	chunks := *r.chunks.Load()
+	cum := *r.cum.Load()
+	return len(chunks)*routerChunkLen*32 + len(cum)*r.shards*32
+}
+
+func routerPath(dir string) string { return filepath.Join(dir, routerName) }
+
+// validRouterPayload vets a ROUTER record: a non-empty batch of shard
+// ids. Range-checking the ids against the shard count happens in the
+// caller — it is a config/corruption error, not a torn tail.
+func validRouterPayload(p []byte) bool { return len(p) > 0 }
+
+// readRouterLog returns the global shard-id order dir/ROUTER claims,
+// truncation-tolerant like WAL replay: a torn tail record is dropped,
+// anything before it is trusted (each record is checksummed).
+func readRouterLog(dir string) ([]byte, error) {
+	data, err := os.ReadFile(routerPath(dir))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	records, _, err := parseLog(data, routerMagic, validRouterPayload)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", routerPath(dir), err)
+	}
+	var ids []byte
+	for _, rec := range records {
+		ids = append(ids, rec...)
+	}
+	return ids, nil
+}
+
+// writeRouterLog rewrites dir/ROUTER with the given order, returning
+// the open log positioned for further appends. The replacement is
+// atomic (temp file + fsync + rename, like the manifest): for flushed
+// records the old ROUTER is the only durable copy of the interleave,
+// so a crash mid-rewrite must leave either the old log or the complete
+// new one, never a truncated file.
+func writeRouterLog(dir string, ids []byte) (*wal, error) {
+	img := logHeader(routerMagic)
+	for len(ids) > 0 {
+		n := min(len(ids), routerBatchLen)
+		img = appendLogRecord(img, ids[:n])
+		ids = ids[n:]
+	}
+	if err := writeFileAtomic(dir, routerName, img); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(routerPath(dir), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &wal{f: f, path: routerPath(dir)}, nil
+}
+
+// appendRouterIDs appends ids to the log in bounded records.
+func appendRouterIDs(w *wal, ids []byte) error {
+	for len(ids) > 0 {
+		n := min(len(ids), routerBatchLen)
+		if err := w.append(ids[:n]); err != nil {
+			return err
+		}
+		ids = ids[n:]
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	wavelettrie "repro"
+)
+
+// ShardedSnapshot is an immutable, consistent view of a ShardedStore's
+// global sequence: one per-shard Snapshot pinned and clamped to the
+// shard's length at the cross-shard watermark, stitched into global
+// append order by the router. Every operation reduces to per-shard
+// operations plus router arithmetic:
+//
+//	Access(g)        = shard[at(g)].Access(rank(at(g), g))
+//	Rank(v, pos)     = shard[pick(v)].Rank(v, rank(pick(v), pos))
+//	Select(v, i)     = selectShard(pick(v), shard[pick(v)].Select(v, i))
+//	RankPrefix(p, ·) = Σ_s shard[s].RankPrefix(p, rank(s, ·))
+//
+// Point lookups on whole values touch exactly one shard — the
+// partitioner contract guarantees every occurrence of v lives on
+// pick(v). Prefix queries fan out to all shards, since values sharing a
+// prefix hash apart. All operations are safe for concurrent use and
+// keep answering the same way during later appends, flushes and
+// compactions on any shard.
+type ShardedSnapshot struct {
+	r        *router
+	n        int // pinned watermark
+	part     Partitioner
+	shards   []*Snapshot
+	distinct int
+}
+
+// ShardedSnapshot serves the same query surface as Snapshot.
+var _ wavelettrie.StringIndex = (*ShardedSnapshot)(nil)
+
+// Len returns the number of elements visible in this snapshot.
+func (sn *ShardedSnapshot) Len() int { return sn.n }
+
+// AlphabetSize returns the number of distinct strings when the snapshot
+// was taken — the sum of per-shard counts (disjoint by the partitioner
+// contract). Like Snapshot.AlphabetSize it may lead the visible
+// sequence by in-flight appends; it is exact when quiescent.
+func (sn *ShardedSnapshot) AlphabetSize() int { return sn.distinct }
+
+// Height returns the maximum trie height over all shards' segments.
+func (sn *ShardedSnapshot) Height() int {
+	h := 0
+	for _, sh := range sn.shards {
+		if sh := sh.Height(); sh > h {
+			h = sh
+		}
+	}
+	return h
+}
+
+// SizeBits returns the summed in-memory footprint of the per-shard
+// views plus the router.
+func (sn *ShardedSnapshot) SizeBits() int {
+	total := sn.r.sizeBits()
+	for _, sh := range sn.shards {
+		total += sh.SizeBits()
+	}
+	return total
+}
+
+// pick routes v to its shard, panicking on a broken custom partitioner
+// (reads have no error channel; the same breakage fails Append loudly).
+func (sn *ShardedSnapshot) pick(v string) int {
+	s, err := pickShard(sn.part, v, len(sn.shards))
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Access returns the string at global position pos. It panics if pos is
+// out of range, like a slice access.
+func (sn *ShardedSnapshot) Access(pos int) string {
+	if pos < 0 || pos >= sn.n {
+		panic(fmt.Sprintf("store: Access(%d) out of range [0,%d)", pos, sn.n))
+	}
+	s := sn.r.at(uint64(pos))
+	return sn.shards[s].Access(sn.r.rank(s, uint64(pos)))
+}
+
+func (sn *ShardedSnapshot) checkPos(op string, pos int) {
+	if pos < 0 || pos > sn.n {
+		panic(fmt.Sprintf("store: %s position %d out of range [0,%d]", op, pos, sn.n))
+	}
+}
+
+// Rank counts occurrences of v in global positions [0, pos); pos may
+// equal Len. Exactly one shard is probed: the router translates the
+// global cut to that shard's local cut.
+func (sn *ShardedSnapshot) Rank(v string, pos int) int {
+	sn.checkPos("Rank", pos)
+	s := sn.pick(v)
+	return sn.shards[s].Rank(v, sn.r.rank(s, uint64(pos)))
+}
+
+// Count returns the total number of occurrences of v.
+func (sn *ShardedSnapshot) Count(v string) int { return sn.Rank(v, sn.n) }
+
+// Select returns the global position of the idx-th (0-based) occurrence
+// of v, with ok=false when v occurs fewer than idx+1 times: the owning
+// shard resolves the local position, the router maps it back to global.
+func (sn *ShardedSnapshot) Select(v string, idx int) (int, bool) {
+	s := sn.pick(v)
+	local, ok := sn.shards[s].Select(v, idx)
+	if !ok {
+		return 0, false
+	}
+	return sn.r.selectShard(s, local), true
+}
+
+// RankPrefix counts elements in [0, pos) having byte prefix p — the sum
+// over all shards at their local cuts (a prefix's values hash apart).
+func (sn *ShardedSnapshot) RankPrefix(p string, pos int) int {
+	sn.checkPos("RankPrefix", pos)
+	total := 0
+	for s, sh := range sn.shards {
+		total += sh.RankPrefix(p, sn.r.rank(s, uint64(pos)))
+	}
+	return total
+}
+
+// CountPrefix returns the total number of elements with byte prefix p.
+func (sn *ShardedSnapshot) CountPrefix(p string) int { return sn.RankPrefix(p, sn.n) }
+
+// SelectPrefix returns the global position of the idx-th (0-based)
+// element with byte prefix p, with ok=false when there are not that
+// many. Prefix occurrences are spread across shards in global order, so
+// the position is found by binary search on the monotone RankPrefix —
+// O(shards · log n) shard probes.
+func (sn *ShardedSnapshot) SelectPrefix(p string, idx int) (int, bool) {
+	if idx < 0 || idx >= sn.CountPrefix(p) {
+		return 0, false
+	}
+	// Smallest pos with RankPrefix(p, pos) = idx+1; the element is the
+	// one just before it.
+	pos := sort.Search(sn.n+1, func(pos int) bool { return sn.RankPrefix(p, pos) > idx })
+	return pos - 1, true
+}
+
+// Iterate streams the elements of global positions [l, r) in order,
+// stopping early if fn returns false. The walk is batched: for each
+// bounded global window, every shard's local subrange is streamed once
+// through its own iterator, then the router interleaves the buffers —
+// so per-element cost stays near the per-shard streaming cost instead
+// of one root descent per element.
+func (sn *ShardedSnapshot) Iterate(l, r int, fn func(pos int, s string) bool) {
+	if l < 0 || r < l || r > sn.n {
+		panic(fmt.Sprintf("store: Iterate(%d,%d) out of range [0,%d]", l, r, sn.n))
+	}
+	const batch = 1 << 12
+	bufs := make([][]string, len(sn.shards))
+	cur := make([]int, len(sn.shards))
+	for a := l; a < r; a += batch {
+		b := min(a+batch, r)
+		for s, sh := range sn.shards {
+			lo, hi := sn.r.rank(s, uint64(a)), sn.r.rank(s, uint64(b))
+			bufs[s] = bufs[s][:0]
+			if lo < hi {
+				sh.Iterate(lo, hi, func(_ int, v string) bool {
+					bufs[s] = append(bufs[s], v)
+					return true
+				})
+			}
+			cur[s] = 0
+		}
+		for g := a; g < b; g++ {
+			s := sn.r.at(uint64(g))
+			if !fn(g, bufs[s][cur[s]]) {
+				return
+			}
+			cur[s]++
+		}
+	}
+}
+
+// Slice returns the elements of global positions [l, r) as a fresh
+// slice, streamed through Iterate.
+func (sn *ShardedSnapshot) Slice(l, r int) []string {
+	if l < 0 || r < l || r > sn.n {
+		panic(fmt.Sprintf("store: Slice(%d,%d) out of range [0,%d]", l, r, sn.n))
+	}
+	out := make([]string, 0, r-l)
+	sn.Iterate(l, r, func(_ int, s string) bool {
+		out = append(out, s)
+		return true
+	})
+	return out
+}
+
+// MarshalBinary exports the snapshot's whole global sequence as a
+// single Frozen index in the unified persistence container — loadable
+// with wavelettrie.LoadFrozen (or Load) anywhere, independent of the
+// store directory. Cost is O(n): the sequence is materialized and
+// re-frozen.
+func (sn *ShardedSnapshot) MarshalBinary() ([]byte, error) {
+	return wavelettrie.NewStatic(sn.Slice(0, sn.n)).Frozen().MarshalBinary()
+}

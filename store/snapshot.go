@@ -229,6 +229,71 @@ func (sn *Snapshot) Iterate(l, r int, fn func(pos int, s string) bool) {
 	}
 }
 
+// prefixed returns a view of the snapshot's first n elements — the
+// per-shard cut a ShardedSnapshot pins so every shard view ends exactly
+// at the cross-shard watermark. The distinct count is inherited (it may
+// lead the clamped prefix, the same caveat AlphabetSize already
+// carries). n must not exceed Len.
+func (sn *Snapshot) prefixed(n int) *Snapshot {
+	if n >= sn.Len() {
+		return sn
+	}
+	var segs []snapSeg
+	for i, seg := range sn.segs {
+		if sn.offs[i] >= n {
+			break
+		}
+		if sn.offs[i+1] <= n {
+			segs = append(segs, seg)
+			continue
+		}
+		segs = append(segs, snapSeg{segment: clampSeg{seg.segment, n - sn.offs[i]}, filter: seg.filter})
+	}
+	return newSnapshot(segs, sn.distinct)
+}
+
+// clampSeg bounds a segment to its first n elements, the same way
+// memView clamps a live memtable: positional arguments are capped, and
+// Select is guarded by the clamped rank so an occurrence beyond the
+// bound is invisible rather than out of range.
+type clampSeg struct {
+	segment
+	n int
+}
+
+// Len returns the clamped element count.
+func (c clampSeg) Len() int { return c.n }
+
+// Rank counts occurrences of s in [0, min(pos, n)).
+func (c clampSeg) Rank(s string, pos int) int { return c.segment.Rank(s, min(pos, c.n)) }
+
+// RankPrefix counts prefix matches in [0, min(pos, n)).
+func (c clampSeg) RankPrefix(p string, pos int) int { return c.segment.RankPrefix(p, min(pos, c.n)) }
+
+// Select resolves the idx-th occurrence of s within the clamped prefix.
+func (c clampSeg) Select(s string, idx int) (int, bool) {
+	if idx < 0 || idx >= c.segment.Rank(s, c.n) {
+		return 0, false
+	}
+	return c.segment.Select(s, idx)
+}
+
+// SelectPrefix resolves the idx-th prefix match within the clamped prefix.
+func (c clampSeg) SelectPrefix(p string, idx int) (int, bool) {
+	if idx < 0 || idx >= c.segment.RankPrefix(p, c.n) {
+		return 0, false
+	}
+	return c.segment.SelectPrefix(p, idx)
+}
+
+// Iterate streams [l, r) within the clamped prefix.
+func (c clampSeg) Iterate(l, r int, fn func(pos int, s string) bool) {
+	if r > c.n {
+		r = c.n
+	}
+	c.segment.Iterate(l, r, fn)
+}
+
 // Slice returns the elements of positions [l, r) as a fresh slice,
 // streamed through Iterate.
 func (sn *Snapshot) Slice(l, r int) []string {

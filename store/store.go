@@ -73,10 +73,13 @@ type Store struct {
 	state    atomic.Pointer[storeState]
 	distinct atomic.Int64 // distinct strings across the whole store
 
+	hooks *shardHooks // non-nil when this store is a shard (see shardHooks)
+
 	// Guarded by adminMu.
-	nextID      uint64 // next unallocated file id
-	walID       uint64 // id of the live memtable's WAL
-	genDistinct int    // distinct count of the generation contents only
+	nextID        uint64   // next unallocated file id
+	walID         uint64   // id of the live memtable's WAL
+	genDistinct   int      // distinct count of the generation contents only
+	recoveredWALs []uint64 // superseded logs kept past a deferred recovery checkpoint
 
 	failure atomic.Pointer[error] // sticky write-path failure
 
@@ -86,6 +89,20 @@ type Store struct {
 	bg        sync.WaitGroup
 	closed    atomic.Bool
 	unlock    func() // releases the directory lock
+}
+
+// shardHooks wires a Store into a ShardedStore: seq is the shared
+// global sequence counter (allocated under the shard's append lock, so
+// per-shard WAL order always agrees with sequence order), and barrier is
+// invoked before a flush persists sealed records — the sharded layer
+// uses it to make the ROUTER log durable through the sealed records'
+// sequence numbers before their WAL becomes deletable. A store opened
+// with hooks also defers the interrupted-flush recovery checkpoint (the
+// sharded reconciliation must read the WAL tails' sequence numbers
+// first); the superseded logs are cleaned up by the next flush instead.
+type shardHooks struct {
+	seq     *atomic.Uint64
+	barrier func(maxSeq uint64) error
 }
 
 // Store serves the whole read surface of the root package's string
@@ -103,9 +120,31 @@ var errClosed = errors.New("store: closed")
 // recovery folds the affected WALs into a fresh generation before
 // returning, so the on-disk layout is always the steady-state one.
 func Open(dir string, opts *Options) (*Store, error) {
+	if _, err := os.Stat(filepath.Join(dir, shardsName)); err == nil {
+		return nil, fmt.Errorf("store: %s holds a sharded store; use OpenSharded", dir)
+	}
+	// A shard subdirectory must not be opened standalone either: its
+	// flushed records' interleave lives in the parent's ROUTER log, and
+	// header-less appends through a plain handle would poison the next
+	// sharded open. (A fully-flushed shard has no header-carrying WAL
+	// records left, so the replay-time check below cannot catch it.)
+	// Only shard-named subdirectories are refused — an unrelated plain
+	// store merely sitting next to a SHARDS file is none of our business.
+	if parent := filepath.Dir(filepath.Clean(dir)); parent != dir && isShardDirName(filepath.Base(filepath.Clean(dir))) {
+		if _, err := os.Stat(filepath.Join(parent, shardsName)); err == nil {
+			return nil, fmt.Errorf("store: %s is a shard of the sharded store in %s; use OpenSharded on the parent", dir, parent)
+		}
+	}
+	return openStore(dir, opts, nil)
+}
+
+// openStore is Open plus the sharded wiring: with non-nil hooks the
+// store runs as one shard of a ShardedStore (see shardHooks).
+func openStore(dir string, opts *Options, hooks *shardHooks) (*Store, error) {
 	s := &Store{
 		dir:       dir,
 		opts:      opts.withDefaults(),
+		hooks:     hooks,
 		flushCh:   make(chan struct{}, 1),
 		compactCh: make(chan struct{}, 1),
 		stopCh:    make(chan struct{}),
@@ -176,11 +215,15 @@ func Open(dir string, opts *Options) (*Store, error) {
 			return nil, err
 		}
 		for _, rec := range records {
-			v, isNew := walRecord(rec)
+			v, isNew, seq, hasSeq := walRecordSeq(rec)
 			if isNew {
 				s.distinct.Add(1)
 			}
-			mem.apply(v)
+			if hasSeq {
+				mem.applySeq(v, seq)
+			} else {
+				mem.apply(v)
+			}
 		}
 		if i == len(walIDs)-1 {
 			lastWAL = w
@@ -196,11 +239,30 @@ func Open(dir string, opts *Options) (*Store, error) {
 		s.nextID = s.walID + 1
 	}
 
+	// A standalone store must never see sharded records (a shard
+	// directory opened directly would lose its sequence headers at the
+	// first checkpoint), and a shard must carry a header on every
+	// unflushed record or recovery cannot interleave them.
+	if hooks == nil && len(mem.seqs) > 0 {
+		return nil, fmt.Errorf("store: %s is a shard of a sharded store; open the parent with OpenSharded", dir)
+	}
+	if hooks != nil && len(mem.seqs) != int(mem.n.Load()) {
+		return nil, fmt.Errorf("store: shard %s: %d of %d unflushed records lack sequence headers",
+			dir, int(mem.n.Load())-len(mem.seqs), mem.n.Load())
+	}
+
 	if len(walIDs) > 1 {
-		// Interrupted flush: checkpoint the combined replay into a
-		// generation so the stale WALs can go away.
-		if err := s.flushLocked(walIDs); err != nil {
-			return nil, err
+		if hooks != nil {
+			// Sharded recovery needs the replayed tail's sequence numbers;
+			// defer the checkpoint and let the next flush delete the
+			// superseded logs instead.
+			s.recoveredWALs = append([]uint64(nil), walIDs[:len(walIDs)-1]...)
+		} else {
+			// Interrupted flush: checkpoint the combined replay into a
+			// generation so the stale WALs can go away.
+			if err := s.flushLocked(walIDs); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -351,6 +413,72 @@ func (s *Store) Append(v string) error {
 	return nil
 }
 
+// appendSeq is Append for a shard of a ShardedStore: the global
+// sequence number is allocated from the shared counter while the append
+// lock is held — so within a shard, WAL order, memtable order and
+// sequence order are always the same — and written into the record's
+// sequence header. Returns the allocated number; on error the number
+// (if any was allocated) is burned and the sharded layer fails the
+// store, so a half-written slot can never become visible.
+func (s *Store) appendSeq(v string) (uint64, error) {
+	if err := s.err(); err != nil {
+		return 0, err
+	}
+	s.appendMu.Lock()
+	if s.closed.Load() {
+		s.appendMu.Unlock()
+		return 0, errClosed
+	}
+	st := s.state.Load()
+	isNew := s.isNew(st, v)
+	seq := s.hooks.seq.Add(1) - 1
+	if err := st.mem.wal.append(walPayloadSeq(v, isNew, seq)); err != nil {
+		s.appendMu.Unlock()
+		s.fail(err)
+		return 0, err
+	}
+	st.mem.applySeq(v, seq)
+	if isNew {
+		s.distinct.Add(1)
+	}
+	n := st.mem.n.Load()
+	s.appendMu.Unlock()
+
+	if int(n) >= s.opts.FlushThreshold && !s.opts.DisableAutoFlush {
+		select {
+		case s.flushCh <- struct{}{}:
+		default:
+		}
+	}
+	return seq, nil
+}
+
+// recoveredTail returns the sequence numbers of the unflushed records
+// replayed at Open, in local order — consumed once by the sharded
+// reconciliation before any new appends.
+func (s *Store) recoveredTail() []uint64 {
+	mem := s.state.Load().mem
+	mem.mu.RLock()
+	defer mem.mu.RUnlock()
+	return append([]uint64(nil), mem.seqs...)
+}
+
+// renumberTail replaces the retained sequence numbers of the replayed
+// memtable records with their post-reconciliation values (positions in
+// the compacted global order) — open-time only, before any concurrent
+// use. The on-disk WAL headers keep their old values; the rewritten
+// ROUTER log covers those records, so recovery drops them by count and
+// never reads the stale numbers.
+func (s *Store) renumberTail(seqs []uint64) {
+	mem := s.state.Load().mem
+	mem.mu.Lock()
+	defer mem.mu.Unlock()
+	if len(seqs) != len(mem.seqs) {
+		panic(fmt.Sprintf("store: renumberTail got %d numbers for %d records (internal error)", len(seqs), len(mem.seqs)))
+	}
+	copy(mem.seqs, seqs)
+}
+
 // background runs the flusher until Close, nudging the compactor after
 // every flush. Never compact after a failed flush — a manifest written
 // then would carry the advanced walID while the sealed memtable's
@@ -429,6 +557,12 @@ func (s *Store) Flush() error {
 // oldWALs are the log files whose contents end up covered by the new
 // generation and manifest, deleted last.
 func (s *Store) flushLocked(oldWALs []uint64) error {
+	if len(s.recoveredWALs) > 0 {
+		// Logs superseded by a deferred recovery checkpoint (sharded
+		// open): their records are in the memtable being sealed, so this
+		// flush's manifest covers them too.
+		oldWALs = append(append([]uint64(nil), s.recoveredWALs...), oldWALs...)
+	}
 	newWALID := s.nextID
 	s.nextID++
 	w, err := createWAL(filepath.Join(s.dir, walFileName(newWALID)), s.opts.Sync)
@@ -451,6 +585,17 @@ func (s *Store) flushLocked(oldWALs []uint64) error {
 	}
 	s.walID = newWALID
 
+	// Sharded barrier: before the sealed records' WAL becomes deletable,
+	// the ROUTER log must durably record their global interleave — the
+	// sequence headers about to be dropped are its only other source.
+	if s.hooks != nil {
+		if maxSeq, ok := sealed.maxSeq(); ok {
+			if err := s.hooks.barrier(maxSeq); err != nil {
+				return err
+			}
+		}
+	}
+
 	// Persist the sealed memtable as a frozen generation (skipped when it
 	// is empty — recovery checkpoints can be).
 	gens := st.gens
@@ -471,6 +616,7 @@ func (s *Store) flushLocked(oldWALs []uint64) error {
 		return err
 	}
 	s.genDistinct = distinctAtSeal
+	s.recoveredWALs = nil
 
 	cur := s.state.Load()
 	s.state.Store(&storeState{gens: gens, mem: cur.mem})

@@ -15,6 +15,9 @@ import (
 // payload layout). Appends are a single contiguous write, so a crash
 // leaves at most one torn record at the tail; replay truncates at the
 // first invalid record and never guesses past it.
+//
+// The same framing (header + checksummed records) backs the sharded
+// store's ROUTER log under a different magic — see router.go.
 const (
 	walMagic   = 0x4C415757 // "WWAL" little-endian
 	walVersion = 1
@@ -24,51 +27,105 @@ const (
 	walMaxRecord    = 1 << 30 // sanity cap on a single payload
 )
 
-// wal is an open write-ahead log positioned for appending.
+// WAL payload flag bits. A record is (flag byte, optional uvarint
+// sequence number, value bytes); plain stores write flags 0/1, shards
+// add the sequence header the sharded recovery interleaves by.
+const (
+	walFlagNew   = 1 << 0 // value was new to the store's alphabet
+	walFlagSeq   = 1 << 1 // a global sequence number follows the flag
+	walFlagLimit = walFlagNew | walFlagSeq
+	walSeqMaxLen = binary.MaxVarintLen64
+)
+
+// wal is an open append-only log positioned for appending.
 type wal struct {
 	f    *os.File
 	path string
 	sync bool
 }
 
-// walPayload encodes one append: a flag byte (1 when v was new to the
-// store's alphabet at append time, 0 otherwise) followed by the value
-// bytes. The flag lets replay restore the distinct count without
-// re-probing every generation per record — the increments are
-// deterministic because replay reapplies the same prefix in the same
-// order.
+// walPayload encodes one append: a flag byte (walFlagNew when v was new
+// to the store's alphabet at append time) followed by the value bytes.
+// The flag lets replay restore the distinct count without re-probing
+// every generation per record — the increments are deterministic because
+// replay reapplies the same prefix in the same order.
 func walPayload(v string, isNew bool) []byte {
-	p := make([]byte, 1+len(v))
+	p := make([]byte, 1, 1+len(v))
 	if isNew {
-		p[0] = 1
+		p[0] = walFlagNew
 	}
-	copy(p[1:], v)
-	return p
+	return append(p, v...)
 }
 
-// walRecord decodes a payload back into (value, isNew). parseWAL only
-// yields payloads in writer shape, so decoding cannot fail.
+// walPayloadSeq encodes one sharded append: the flag byte (with
+// walFlagSeq set), the record's global sequence number as a uvarint, and
+// the value bytes. The sequence number is what lets a sharded recovery
+// interleave the unflushed tails of all shards back into global append
+// order.
+func walPayloadSeq(v string, isNew bool, seq uint64) []byte {
+	p := make([]byte, 1, 1+walSeqMaxLen+len(v))
+	p[0] = walFlagSeq
+	if isNew {
+		p[0] |= walFlagNew
+	}
+	p = binary.AppendUvarint(p, seq)
+	return append(p, v...)
+}
+
+// walRecord decodes a payload back into (value, isNew), dropping any
+// sequence header. parseWAL only yields payloads in writer shape, so
+// decoding cannot fail.
 func walRecord(payload []byte) (v string, isNew bool) {
-	return string(payload[1:]), payload[0] == 1
+	v, isNew, _, _ = walRecordSeq(payload)
+	return v, isNew
 }
 
-func walHeader() []byte {
+// walRecordSeq decodes a payload into (value, isNew, seq, hasSeq).
+func walRecordSeq(payload []byte) (v string, isNew bool, seq uint64, hasSeq bool) {
+	flag := payload[0]
+	body := payload[1:]
+	if flag&walFlagSeq != 0 {
+		var n int
+		seq, n = binary.Uvarint(body)
+		body = body[n:]
+		hasSeq = true
+	}
+	return string(body), flag&walFlagNew != 0, seq, hasSeq
+}
+
+// validWALPayload reports whether a checksummed payload has the shape
+// walPayload/walPayloadSeq produce. A record our writer cannot have
+// written is corruption all the same, and the replay truncation point
+// must stop before it.
+func validWALPayload(payload []byte) bool {
+	if len(payload) == 0 || payload[0] > walFlagLimit {
+		return false
+	}
+	if payload[0]&walFlagSeq != 0 {
+		if _, n := binary.Uvarint(payload[1:]); n <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func logHeader(magic uint32) []byte {
 	hdr := make([]byte, 0, walHeaderLen)
-	hdr = binary.LittleEndian.AppendUint32(hdr, walMagic)
+	hdr = binary.LittleEndian.AppendUint32(hdr, magic)
 	hdr = binary.LittleEndian.AppendUint16(hdr, walVersion)
 	return hdr
 }
 
-// createWAL creates (or truncates) a fresh log at path, syncs the header
+// createLog creates (or truncates) a fresh log at path, syncs the header
 // and the directory entry, so the file both exists and is well-formed
 // before any record is acknowledged — otherwise a power cut could drop
 // the whole file and recovery would silently open an empty store.
-func createWAL(path string, syncEach bool) (*wal, error) {
+func createLog(path string, magic uint32, syncEach bool) (*wal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := f.Write(walHeader()); err != nil {
+	if _, err := f.Write(logHeader(magic)); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -80,16 +137,26 @@ func createWAL(path string, syncEach bool) (*wal, error) {
 	return &wal{f: f, path: path, sync: syncEach}, nil
 }
 
+// createWAL creates a fresh write-ahead log.
+func createWAL(path string, syncEach bool) (*wal, error) {
+	return createLog(path, walMagic, syncEach)
+}
+
+// appendLogRecord appends one framed record (length, checksum,
+// payload) to an in-memory log image — the encoding wal.append writes.
+func appendLogRecord(buf, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
 // append writes one record. With sync enabled the record is fsynced
 // before returning — the write is durable once acknowledged.
 func (w *wal) append(payload []byte) error {
 	if len(payload) > walMaxRecord {
 		return fmt.Errorf("store: WAL record of %d bytes exceeds limit", len(payload))
 	}
-	rec := make([]byte, 0, walRecHeaderLen+len(payload))
-	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
-	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
-	rec = append(rec, payload...)
+	rec := appendLogRecord(make([]byte, 0, walRecHeaderLen+len(payload)), payload)
 	if _, err := w.f.Write(rec); err != nil {
 		return err
 	}
@@ -97,6 +164,13 @@ func (w *wal) append(payload []byte) error {
 		return w.f.Sync()
 	}
 	return nil
+}
+
+// commit fsyncs everything appended so far — for logs opened without
+// per-record sync that still need an explicit durability point (the
+// sharded store's ROUTER log ahead of a shard flush).
+func (w *wal) commit() error {
+	return w.f.Sync()
 }
 
 func (w *wal) close() error {
@@ -111,22 +185,25 @@ func (w *wal) close() error {
 	return err
 }
 
-// parseWAL decodes a WAL image. It returns the decoded record payloads
-// and the byte offset up to which the image is valid; everything past
-// good is a torn or corrupt tail to be truncated. A non-nil error means
-// the file is not a WAL at all (bad magic or version) and nothing can be
-// trusted. Arbitrary input must never panic — this function is fuzzed.
-func parseWAL(data []byte) (records [][]byte, good int, err error) {
+// parseLog decodes a checksummed-record log image. It returns the
+// decoded record payloads and the byte offset up to which the image is
+// valid; everything past good is a torn or corrupt tail to be truncated.
+// valid vets each checksummed payload against the writer's shape — a
+// record the writer cannot have produced is treated as corruption. A
+// non-nil error means the file is not such a log at all (bad magic or
+// version) and nothing can be trusted. Arbitrary input must never panic
+// — this function is fuzzed (through parseWAL).
+func parseLog(data []byte, magic uint32, valid func([]byte) bool) (records [][]byte, good int, err error) {
 	if len(data) < walHeaderLen {
 		// A crash between file creation and the header write; the caller
 		// truncates to zero and rewrites the header.
 		return nil, 0, nil
 	}
-	if m := binary.LittleEndian.Uint32(data); m != walMagic {
-		return nil, 0, fmt.Errorf("store: bad WAL magic %#x, want %#x", m, walMagic)
+	if m := binary.LittleEndian.Uint32(data); m != magic {
+		return nil, 0, fmt.Errorf("store: bad log magic %#x, want %#x", m, magic)
 	}
 	if v := binary.LittleEndian.Uint16(data[4:]); v != walVersion {
-		return nil, 0, fmt.Errorf("store: unsupported WAL version %d, want %d", v, walVersion)
+		return nil, 0, fmt.Errorf("store: unsupported log version %d, want %d", v, walVersion)
 	}
 	pos := walHeaderLen
 	for {
@@ -148,11 +225,9 @@ func parseWAL(data []byte) (records [][]byte, good int, err error) {
 		if crc32.ChecksumIEEE(payload) != sum {
 			return records, pos, nil
 		}
-		// Enforce the walPayload shape too: a checksummed record our
-		// writer cannot have produced is corruption all the same, and the
-		// good offset must stop before it so replay and the on-disk
-		// truncation point never diverge.
-		if n == 0 || payload[0] > 1 {
+		// Enforce the writer's payload shape too, so replay and the
+		// on-disk truncation point never diverge.
+		if !valid(payload) {
 			return records, pos, nil
 		}
 		records = append(records, payload)
@@ -160,21 +235,26 @@ func parseWAL(data []byte) (records [][]byte, good int, err error) {
 	}
 }
 
-// recoverWAL reads the log at path, truncates any torn tail, and returns
+// parseWAL decodes a write-ahead-log image; see parseLog.
+func parseWAL(data []byte) (records [][]byte, good int, err error) {
+	return parseLog(data, walMagic, validWALPayload)
+}
+
+// recoverLog reads the log at path, truncates any torn tail, and returns
 // the surviving record payloads plus the log reopened for appending at
 // the recovered offset. A missing file is recovered as a fresh empty log.
-func recoverWAL(path string, syncEach bool) (records [][]byte, w *wal, err error) {
+func recoverLog(path string, magic uint32, syncEach bool, valid func([]byte) bool) (records [][]byte, w *wal, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
 		return nil, nil, err
 	}
-	records, good, err := parseWAL(data)
+	records, good, err := parseLog(data, magic, valid)
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: %s: %w", path, err)
 	}
 	if good < walHeaderLen {
 		// Empty, missing, or torn before the header completed: start over.
-		w, err := createWAL(path, syncEach)
+		w, err := createLog(path, magic, syncEach)
 		return nil, w, err
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
@@ -197,4 +277,9 @@ func recoverWAL(path string, syncEach bool) (records [][]byte, w *wal, err error
 		out[i] = append([]byte(nil), r...)
 	}
 	return out, &wal{f: f, path: path, sync: syncEach}, nil
+}
+
+// recoverWAL recovers a write-ahead log; see recoverLog.
+func recoverWAL(path string, syncEach bool) (records [][]byte, w *wal, err error) {
+	return recoverLog(path, walMagic, syncEach, validWALPayload)
 }
