@@ -12,7 +12,7 @@
 //	wtbench -json               # machine-readable suite + config (BENCH_*.json)
 //
 // Experiments: figs, t1a, t1b, t2a, t2b, t2c, t3a, t3b, t4, t5, t6, q5,
-// cmp, abl, ser, store, compact, shard.
+// cmp, abl, ser, store, compact, shard, serve.
 package main
 
 import (
@@ -48,6 +48,7 @@ var experiments = []experiment{
 	{"store", "Log-structured store: WAL append, concurrent reads, recovery vs rebuild", runSTORE},
 	{"compact", "Two-phase compaction: streaming merge throughput, Flush latency under merge", runCOMPACT},
 	{"shard", "Sharded store: multi-writer append scaling, busy-reader latency, recovery", runSHARD},
+	{"serve", "Network server: group-commit ingest vs naive, cached point reads", runSERVE},
 }
 
 func main() {

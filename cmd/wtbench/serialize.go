@@ -150,13 +150,14 @@ type benchConfig struct {
 	CompactSizes []int            `json:"compact_sizes"`
 	CompactBatch int              `json:"compact_flush_batch"`
 	Shard        shardBenchConfig `json:"shard"`
+	Serve        serveBenchConfig `json:"serve"`
 }
 
 // emitJSON writes the machine-readable benchmark suite to stdout: the
 // config block, the per-variant build/query/serialize records, and the
 // log-structured store, compaction and sharding experiments.
 func emitJSON(quick bool) {
-	cfg := benchConfig{Quick: quick, SerVariants: serVariants, Shard: shardConfig(quick)}
+	cfg := benchConfig{Quick: quick, SerVariants: serVariants, Shard: shardConfig(quick), Serve: serveConfig(quick)}
 	cfg.SerSizes, cfg.SerIters = serConfig(quick)
 	cfg.StoreSizes, cfg.StoreIters = storeConfig(quick)
 	cfg.CompactSizes, cfg.CompactBatch = compactConfig(quick)
@@ -168,9 +169,11 @@ func emitJSON(quick bool) {
 		StoreRecords   []storeBenchRecord   `json:"store_records"`
 		CompactRecords []compactBenchRecord `json:"compact_records"`
 		ShardRecords   []shardBenchRecord   `json:"shard_records"`
+		ServeRecords   []serveBenchRecord   `json:"serve_records"`
 	}{Suite: "wavelettrie-serialize", Quick: quick, Config: cfg,
 		Records: serRecords(quick), StoreRecords: storeBenchRecords(quick),
-		CompactRecords: compactBenchRecords(quick), ShardRecords: shardBenchRecords(quick)}
+		CompactRecords: compactBenchRecords(quick), ShardRecords: shardBenchRecords(quick),
+		ServeRecords: serveBenchRecords(quick)}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {

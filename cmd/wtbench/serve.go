@@ -1,0 +1,227 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/workload"
+	"repro/server"
+	"repro/store"
+)
+
+// serveBenchRecord is one machine-readable row of the "serve"
+// experiment: append throughput over loopback at a given client count
+// and client batch size, with the group-commit write path against the
+// naive one-request-per-append baseline, plus hot point-read latency
+// with and without the result cache.
+type serveBenchRecord struct {
+	Clients             int     `json:"clients"`
+	Batch               int     `json:"batch"`
+	N                   int     `json:"n"`
+	GroupedAppendsPerMS float64 `json:"grouped_appends_per_ms"`
+	NaiveAppendsPerMS   float64 `json:"naive_appends_per_ms"`
+	Speedup             float64 `json:"speedup"`
+	GroupCommits        int64   `json:"group_commits"` // WAL writes the grouped run took
+	ReadCachedNS        float64 `json:"read_cached_ns"`
+	ReadUncachedNS      float64 `json:"read_uncached_ns"`
+	CacheHitRate        float64 `json:"cache_hit_rate"`
+}
+
+// serveBenchConfig is the grid the "serve" experiment sweeps. Loopback
+// round trips and the committer share the cores, so GOMAXPROCS is part
+// of the row's meaning, as in the shard experiment.
+type serveBenchConfig struct {
+	Clients    []int `json:"clients"`
+	Batches    []int `json:"batches"`
+	N          int   `json:"n"`
+	ReadIters  int   `json:"read_iters"`
+	GOMAXPROCS int   `json:"gomaxprocs"`
+}
+
+func serveConfig(quick bool) serveBenchConfig {
+	procs := runtime.GOMAXPROCS(0)
+	if quick {
+		return serveBenchConfig{Clients: []int{1, 4}, Batches: []int{1, 16}, N: 1 << 11, ReadIters: 2000, GOMAXPROCS: procs}
+	}
+	return serveBenchConfig{Clients: []int{1, 2, 4, 8}, Batches: []int{1, 16, 64}, N: 1 << 13, ReadIters: 20000, GOMAXPROCS: procs}
+}
+
+// serveHarness is one live server over a fresh store on loopback.
+type serveHarness struct {
+	srv  *server.Server
+	st   *store.Store
+	dir  string
+	addr string
+}
+
+func startServeHarness(opts *server.Options) *serveHarness {
+	dir, err := os.MkdirTemp("", "wtbench-serve-*")
+	if err != nil {
+		panic(err)
+	}
+	st, err := store.Open(dir, &store.Options{FlushThreshold: 1 << 13})
+	if err != nil {
+		panic(err)
+	}
+	srv := server.New(server.ForStore(st), opts)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	go srv.Serve(l)
+	return &serveHarness{srv: srv, st: st, dir: dir, addr: l.Addr().String()}
+}
+
+func (h *serveHarness) stop() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	h.srv.Shutdown(ctx)
+	h.st.Close()
+	os.RemoveAll(h.dir)
+}
+
+// appendThroughput drives n appends from clients concurrent
+// connections and returns appends per millisecond of wall clock.
+// batched sends AppendBatch frames of the given size; otherwise each
+// value is its own request — the naive baseline.
+func appendThroughput(addr string, seq []string, clients, batch int, batched bool) float64 {
+	per := len(seq) / clients
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		lo, hi := w*per, (w+1)*per
+		if w == clients-1 {
+			hi = len(seq)
+		}
+		wg.Add(1)
+		go func(part []string) {
+			defer wg.Done()
+			c, err := server.Dial(addr)
+			if err != nil {
+				panic(err)
+			}
+			defer c.Close()
+			if batched {
+				for len(part) > 0 {
+					n := min(batch, len(part))
+					if err := c.AppendBatch(part[:n]); err != nil {
+						panic(err)
+					}
+					part = part[n:]
+				}
+				return
+			}
+			for _, v := range part {
+				if err := c.Append(v); err != nil {
+					panic(err)
+				}
+			}
+		}(seq[lo:hi])
+	}
+	wg.Wait()
+	wall := float64(time.Since(start).Nanoseconds())
+	return float64(len(seq)) / (wall / 1e6)
+}
+
+// measureServe runs one grid cell.
+func measureServe(clients, batch, n, readIters int) serveBenchRecord {
+	rec := serveBenchRecord{Clients: clients, Batch: batch, N: n}
+	seq := workload.URLLog(n, 1, workload.DefaultURLConfig())
+
+	// Group-commit path: client batches of `batch`, committer coalesces
+	// across connections.
+	grouped := startServeHarness(nil)
+	rec.GroupedAppendsPerMS = appendThroughput(grouped.addr, seq, clients, batch, true)
+	rec.GroupCommits = grouped.srv.Metrics().Batches.Load()
+
+	// Hot point reads on the loaded store: first pass warms the cache,
+	// the measured pass hits it.
+	r := rand.New(rand.NewSource(17))
+	probes := make([]string, 64)
+	for i := range probes {
+		probes[i] = seq[r.Intn(n)]
+	}
+	rc, err := server.Dial(grouped.addr)
+	if err != nil {
+		panic(err)
+	}
+	// Flush so point reads probe frozen generations through their
+	// filters — the shape a long-serving store is in.
+	if err := rc.Flush(); err != nil {
+		panic(err)
+	}
+	for _, p := range probes {
+		if _, err := rc.Count(p); err != nil {
+			panic(err)
+		}
+	}
+	m := grouped.srv.Metrics()
+	hits0, miss0 := m.CacheHits.Load(), m.CacheMisses.Load()
+	rec.ReadCachedNS = measure(readIters, func(i int) {
+		if _, err := rc.Count(probes[i&63]); err != nil {
+			panic(err)
+		}
+	})
+	hits, miss := m.CacheHits.Load()-hits0, m.CacheMisses.Load()-miss0
+	if hits+miss > 0 {
+		rec.CacheHitRate = float64(hits) / float64(hits+miss)
+	}
+	rc.Close()
+	grouped.stop()
+
+	// Naive baseline: one request and one store commit per append, no
+	// cache on the read side.
+	naive := startServeHarness(&server.Options{DisableGroupCommit: true, CacheEntries: -1})
+	rec.NaiveAppendsPerMS = appendThroughput(naive.addr, seq, clients, batch, false)
+	nc, err := server.Dial(naive.addr)
+	if err != nil {
+		panic(err)
+	}
+	if err := nc.Flush(); err != nil {
+		panic(err)
+	}
+	rec.ReadUncachedNS = measure(readIters, func(i int) {
+		if _, err := nc.Count(probes[i&63]); err != nil {
+			panic(err)
+		}
+	})
+	nc.Close()
+	naive.stop()
+
+	rec.Speedup = rec.GroupedAppendsPerMS / rec.NaiveAppendsPerMS
+	return rec
+}
+
+func serveBenchRecords(quick bool) []serveBenchRecord {
+	cfg := serveConfig(quick)
+	var recs []serveBenchRecord
+	for _, clients := range cfg.Clients {
+		for _, batch := range cfg.Batches {
+			recs = append(recs, measureServe(clients, batch, cfg.N, cfg.ReadIters))
+		}
+	}
+	return recs
+}
+
+// runSERVE prints the network-server experiment.
+func runSERVE(quick bool) {
+	fmt.Println("Expectation: batched group-commit ingest beats naive per-request appends by")
+	fmt.Println(">= 2x once batch >= 16 (round trips, locks and WAL writes amortize across")
+	fmt.Println("the batch); hot point reads served from the fingerprint-keyed cache undercut")
+	fmt.Println("uncached reads, with hit rate ~1 on a quiescent store.")
+	t := newTable("clients", "batch", "n", "grouped app/ms", "naive app/ms", "speedup",
+		"commits", "read cached ns", "read uncached ns", "hit rate")
+	for _, r := range serveBenchRecords(quick) {
+		t.row(r.Clients, r.Batch, r.N, fmt.Sprintf("%.0f", r.GroupedAppendsPerMS),
+			fmt.Sprintf("%.0f", r.NaiveAppendsPerMS), fmt.Sprintf("%.1fx", r.Speedup),
+			r.GroupCommits, r.ReadCachedNS, r.ReadUncachedNS,
+			fmt.Sprintf("%.2f", r.CacheHitRate))
+	}
+	t.flush()
+}

@@ -14,6 +14,7 @@
 //	wtquery -store dir/ -file a.log   # ...bulk-loading the file into it
 //	wtquery -store dir/ -shards 4     # hash-partitioned multi-writer store
 //	                                  # (sharded dirs are also auto-detected)
+//	wtquery -connect localhost:7070   # drive a running wtserve server
 //
 // Commands (positions 0-based, ranges half-open):
 //
@@ -79,6 +80,7 @@ func main() {
 	storeDir := flag.String("store", "", "open a durable log-structured store in this directory")
 	sync := flag.Bool("sync", false, "with -store: fsync the WAL on every append")
 	shards := flag.Int("shards", 0, "with -store: open a hash-partitioned sharded store with this many shards (0 = plain store, or adopt an existing sharded layout)")
+	connect := flag.String("connect", "", "connect to a running wtserve server (host:port) instead of opening anything locally")
 	flag.Parse()
 
 	if *shards != 0 && *storeDir == "" {
@@ -88,6 +90,17 @@ func main() {
 
 	var st wavelettrie.StringIndex
 	switch {
+	case *connect != "":
+		if *storeDir != "" || *load != "" || *dynamic || *file != "" || *gen > 0 {
+			fmt.Fprintln(os.Stderr, "wtquery: -connect serves a remote store; it cannot be combined with -store, -load, -dynamic, -file or -gen")
+			os.Exit(2)
+		}
+		remote, err := connectRemote(*connect)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wtquery:", err)
+			os.Exit(1)
+		}
+		st = remote
 	case *storeDir != "":
 		if *load != "" || *dynamic {
 			fmt.Fprintln(os.Stderr, "wtquery: -store cannot be combined with -load or -dynamic")

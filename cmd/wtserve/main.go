@@ -1,0 +1,147 @@
+// Command wtserve serves a durable Wavelet Trie store (plain or
+// sharded) over the network: the compact binary protocol on -listen
+// and an HTTP/JSON gateway (with /healthz and /metrics) on -http.
+// Concurrent client appends are group-committed — coalesced into one
+// lock acquisition, one WAL write and at most one fsync per batch —
+// reads are served from pinned snapshots through a fingerprint-keyed
+// result cache, and SIGTERM/SIGINT drain gracefully: in-flight
+// requests finish, queued appends commit, then the store closes.
+//
+// Usage:
+//
+//	wtserve -dir data/                      # serve a plain store
+//	wtserve -dir data/ -shards 4            # ...or a sharded one (auto-
+//	                                        #  detected on reopen)
+//	wtserve -dir data/ -sync                # fsync per group commit
+//	wtserve -dir data/ -listen :7070 -http :7071
+//	curl localhost:7071/healthz
+//	curl localhost:7071/v1/count?v=GET%20/index.html
+//
+// See DESIGN.md §8 for the protocol, and cmd/wtquery -connect for an
+// interactive remote client.
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/server"
+	"repro/store"
+)
+
+func main() {
+	dir := flag.String("dir", "", "store directory (created if empty)")
+	shards := flag.Int("shards", 0, "open a sharded store with this many partitions (0 = plain store, or adopt an existing sharded layout)")
+	sync := flag.Bool("sync", false, "fsync the WAL on every commit (one fsync per group commit, not per append)")
+	listen := flag.String("listen", "127.0.0.1:7070", "binary protocol listen address")
+	httpAddr := flag.String("http", "127.0.0.1:7071", "HTTP/JSON gateway listen address ('' disables)")
+	cacheEntries := flag.Int("cache", 4096, "result cache entries (negative disables)")
+	maxConns := flag.Int("max-conns", 256, "concurrent connection cap (backpressure beyond it)")
+	maxBatch := flag.Int("max-batch", 1024, "max values per group commit")
+	noGroupCommit := flag.Bool("no-group-commit", false, "commit every append individually (benchmark baseline)")
+	cursorTTL := flag.Duration("cursor-ttl", 30*time.Second, "idle lease on iterate cursors")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown bound")
+	flag.Parse()
+
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "wtserve: -dir is required; see -h")
+		os.Exit(2)
+	}
+
+	db, err := openStore(*dir, *shards, *sync)
+	if err != nil {
+		log.Fatalf("wtserve: %v", err)
+	}
+
+	srv := server.New(db.backend, &server.Options{
+		MaxConns:           *maxConns,
+		CacheEntries:       *cacheEntries,
+		DisableGroupCommit: *noGroupCommit,
+		MaxBatch:           *maxBatch,
+		CursorTTL:          *cursorTTL,
+	})
+	expvar.Publish("wtserve", expvar.Func(func() any { return srv.Metrics().Snapshot() }))
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("wtserve: %v", err)
+	}
+	log.Printf("wtserve: serving %s (%s) on %s", *dir, db.kind, l.Addr())
+
+	var hs *http.Server
+	if *httpAddr != "" {
+		hl, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("wtserve: %v", err)
+		}
+		hs = &http.Server{Handler: srv.HTTPHandler()}
+		go hs.Serve(hl)
+		log.Printf("wtserve: HTTP gateway on %s", hl.Addr())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		log.Printf("wtserve: %v — draining", s)
+	case err := <-serveErr:
+		if err != nil {
+			log.Printf("wtserve: serve: %v — draining", err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Order matters: the gateway stops taking writes first, then the
+	// binary listener drains (queued appends commit), then the store
+	// closes with everything acknowledged safely in the WAL.
+	if hs != nil {
+		hs.Shutdown(ctx)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("wtserve: drain: %v", err)
+	}
+	if err := db.close(); err != nil {
+		log.Fatalf("wtserve: close: %v", err)
+	}
+	log.Printf("wtserve: store closed cleanly")
+}
+
+// openedStore pairs a backend with its closer and a display name.
+type openedStore struct {
+	backend server.Backend
+	close   func() error
+	kind    string
+}
+
+// openStore opens dir as a plain or sharded store: -shards forces a
+// sharded layout, and a directory already holding one is detected
+// automatically, mirroring cmd/wtquery.
+func openStore(dir string, shards int, sync bool) (*openedStore, error) {
+	opts := store.Options{Sync: sync}
+	if shards > 0 || store.IsSharded(dir) {
+		ss, err := store.OpenSharded(dir, &store.ShardedOptions{Shards: shards, Store: opts})
+		if err != nil {
+			return nil, err
+		}
+		return &openedStore{backend: server.ForSharded(ss), close: ss.Close,
+			kind: fmt.Sprintf("sharded ×%d", ss.ShardCount())}, nil
+	}
+	st, err := store.Open(dir, &opts)
+	if err != nil {
+		return nil, err
+	}
+	return &openedStore{backend: server.ForStore(st), close: st.Close, kind: "plain"}, nil
+}

@@ -83,6 +83,14 @@
 // them with -store and -shards). See DESIGN.md §5 for the on-disk
 // formats and crash matrix, and §7 for the sharding design.
 //
+// The server subpackage (repro/server) and the cmd/wtserve binary put
+// either store on the network: a compact binary protocol and an
+// HTTP/JSON gateway, group-committed appends (concurrent clients
+// coalesce into one WAL write and at most one fsync per batch),
+// pinned-snapshot reads with leased iteration cursors, and a result
+// cache keyed by snapshot fingerprint so invalidation is free. See
+// DESIGN.md §8 for the protocol and drain semantics.
+//
 // # Example
 //
 //	wt := wavelettrie.NewAppendOnly()

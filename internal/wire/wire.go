@@ -23,6 +23,11 @@ func NewWriter(magic uint32, version uint16) *Writer {
 	return w
 }
 
+// NewRawWriter returns a Writer with no magic/version header — for
+// message payloads that live inside an outer frame carrying its own
+// versioning, like the network protocol's length-prefixed requests.
+func NewRawWriter() *Writer { return &Writer{} }
+
 // Bytes returns the accumulated encoding.
 func (w *Writer) Bytes() []byte { return w.buf }
 
@@ -58,6 +63,17 @@ func (w *Writer) Words(ws []uint64) {
 func (w *Writer) Blob(b []byte) {
 	w.Int(len(b))
 	w.buf = append(w.buf, b...)
+}
+
+// Uvarint appends a varint-encoded uint64 — for message fields where
+// small values dominate and the fixed 8 bytes of U64 would double a
+// typical network frame.
+func (w *Writer) Uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// Str appends a uvarint-length-prefixed string.
+func (w *Writer) Str(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
 }
 
 // Int32s appends a length-prefixed []int32 (values must be non-negative).
@@ -103,6 +119,10 @@ func NewReader(buf []byte, magic uint32, version uint16) (*Reader, error) {
 	}
 	return r, nil
 }
+
+// NewRawReader returns a Reader over a headerless buffer written with
+// NewRawWriter — the outer frame, not the payload, carries versioning.
+func NewRawReader(buf []byte) *Reader { return &Reader{buf: buf} }
 
 // Err returns the first decoding error encountered.
 func (r *Reader) Err() error { return r.err }
@@ -221,6 +241,46 @@ func (r *Reader) Blob() []byte {
 		return nil
 	}
 	return append([]byte(nil), b...)
+}
+
+// Uvarint reads a varint-encoded uint64 written by Writer.Uvarint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.err = fmt.Errorf("wire: bad uvarint at byte %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+// Len reads a uvarint and validates it as a length (it must fit an int
+// and be plausible against the remaining input) — the same hardening
+// Int applies to fixed-width lengths.
+func (r *Reader) Len() int {
+	v := r.Uvarint()
+	if r.err == nil && (v > 1<<56 || uint64(int(v)) != v || int(v) > len(r.buf)-r.pos) {
+		r.err = fmt.Errorf("wire: implausible length %d", v)
+		return 0
+	}
+	return int(v)
+}
+
+// Str reads a uvarint-length-prefixed string written by Writer.Str. The
+// returned string is a copy, safe to retain.
+func (r *Reader) Str() string {
+	n := r.Len()
+	if r.err != nil {
+		return ""
+	}
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
 }
 
 // Int32s reads a length-prefixed []int32.

@@ -101,3 +101,56 @@ func TestNegativePanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestRawRoundTrip(t *testing.T) {
+	w := NewRawWriter()
+	w.Byte(7)
+	w.Uvarint(0)
+	w.Uvarint(300)
+	w.Uvarint(1 << 40)
+	w.Str("")
+	w.Str("hello, wire")
+	w.U64(42)
+
+	r := NewRawReader(w.Bytes())
+	if got := r.Byte(); got != 7 {
+		t.Errorf("Byte = %d", got)
+	}
+	for _, want := range []uint64{0, 300, 1 << 40} {
+		if got := r.Uvarint(); got != want {
+			t.Errorf("Uvarint = %d, want %d", got, want)
+		}
+	}
+	for _, want := range []string{"", "hello, wire"} {
+		if got := r.Str(); got != want {
+			t.Errorf("Str = %q, want %q", got, want)
+		}
+	}
+	if got := r.U64(); got != 42 {
+		t.Errorf("U64 = %d", got)
+	}
+	if err := r.Done(); err != nil {
+		t.Errorf("Done: %v", err)
+	}
+}
+
+func TestRawReaderTruncation(t *testing.T) {
+	w := NewRawWriter()
+	w.Str("payload")
+	full := w.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewRawReader(full[:cut])
+		r.Str()
+		if r.Err() == nil {
+			t.Errorf("cut at %d: no error", cut)
+		}
+	}
+	// A length claiming more than the remaining input must fail, not
+	// allocate.
+	huge := NewRawWriter()
+	huge.Uvarint(1 << 50)
+	r := NewRawReader(huge.Bytes())
+	if r.Str(); r.Err() == nil {
+		t.Error("huge claimed length: no error")
+	}
+}

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"repro/store"
+)
+
+// Snap is the pinned, immutable read view a request is served from:
+// every read op of a request (and every batch of a cursor, across
+// requests) sees exactly one store state. Both store.Snapshot and
+// store.ShardedSnapshot satisfy it.
+type Snap interface {
+	Len() int
+	AlphabetSize() int
+	Height() int
+	SizeBits() int
+	Access(pos int) string
+	Rank(v string, pos int) int
+	Count(v string) int
+	Select(v string, idx int) (int, bool)
+	RankPrefix(p string, pos int) int
+	CountPrefix(p string) int
+	SelectPrefix(p string, idx int) (int, bool)
+	Iterate(l, r int, fn func(pos int, s string) bool)
+	Fingerprint() uint64
+}
+
+// Backend is the store surface the server drives — satisfied by
+// adapters over store.Store (ForStore) and store.ShardedStore
+// (ForSharded). AppendBatch is the group-commit entry point: one call
+// per coalesced batch, one WAL write and at most one fsync inside.
+type Backend interface {
+	Append(v string) error
+	AppendBatch(vs []string) error
+	Flush() error
+	Compact() error
+	MemLen() int
+	Generations() []store.GenInfo
+	Shards() int
+	Snap() Snap
+}
+
+// ForStore adapts a plain store into a server Backend.
+func ForStore(st *store.Store) Backend { return storeBackend{st} }
+
+// ForSharded adapts a sharded store into a server Backend.
+func ForSharded(ss *store.ShardedStore) Backend { return shardedBackend{ss} }
+
+type storeBackend struct{ *store.Store }
+
+func (b storeBackend) Shards() int { return 1 }
+func (b storeBackend) Snap() Snap  { return b.Snapshot() }
+
+type shardedBackend struct{ *store.ShardedStore }
+
+func (b shardedBackend) Shards() int { return b.ShardCount() }
+func (b shardedBackend) Snap() Snap  { return b.Snapshot() }

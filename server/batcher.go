@@ -1,0 +1,85 @@
+package server
+
+// The group-commit write path: connection handlers never touch the
+// store's append lock themselves. They enqueue their values on a
+// channel and wait; a single committer goroutine drains whatever has
+// accumulated — across any number of connections — into one
+// Backend.AppendBatch call, which is one lock acquisition, one WAL
+// write and at most one fsync no matter how many clients are inside
+// the batch. Under load the batch grows and the per-append cost of
+// the log falls toward zero; when idle a lone append commits
+// immediately (the committer never waits for company).
+//
+// Backpressure is the channel itself: it holds at most
+// Options.MaxBatch pending enqueues, so writers stall once the store
+// falls behind instead of growing an unbounded queue.
+
+// appendReq is one handler's pending append: its values and the
+// channel its commit result comes back on.
+type appendReq struct {
+	vals []string
+	errc chan error
+}
+
+// committer is the group-commit loop. It exits when the append channel
+// closes (drain: handlers have all finished, nothing can enqueue).
+func (s *Server) committer() {
+	defer s.wgCommit.Done()
+	for first := range s.appendCh {
+		vals := first.vals
+		waiters := append(make([]chan error, 0, 8), first.errc)
+		// Coalesce everything already queued, up to the batch cap.
+	drain:
+		for len(vals) < s.opts.MaxBatch {
+			select {
+			case req, ok := <-s.appendCh:
+				if !ok {
+					break drain
+				}
+				vals = append(vals, req.vals...)
+				waiters = append(waiters, req.errc)
+			default:
+				break drain
+			}
+		}
+		err := s.b.AppendBatch(vals)
+		s.metrics.Batches.Add(1)
+		s.metrics.BatchedAppends.Add(int64(len(vals)))
+		if len(waiters) > 1 {
+			s.metrics.CoalescedCommits.Add(int64(len(waiters) - 1))
+		}
+		for _, c := range waiters {
+			c <- err
+		}
+	}
+}
+
+// submitAppend routes values through the group-commit path (or straight
+// to the backend when group commit is disabled) and waits for the
+// commit.
+func (s *Server) submitAppend(vals []string) error {
+	if len(vals) == 0 {
+		return nil
+	}
+	s.metrics.Appends.Add(int64(len(vals)))
+	if s.opts.DisableGroupCommit {
+		if len(vals) == 1 {
+			return s.b.Append(vals[0])
+		}
+		return s.b.AppendBatch(vals)
+	}
+	req := appendReq{vals: vals, errc: make(chan error, 1)}
+	// The read-locked gate pairs with Shutdown: once every connection
+	// handler has exited, Shutdown flips sendOff under the write lock
+	// and closes the channel — so a submit either lands before the
+	// close (and is committed by the drain) or is refused, never sent
+	// on a closed channel.
+	s.sendMu.RLock()
+	if s.sendOff {
+		s.sendMu.RUnlock()
+		return errDraining
+	}
+	s.appendCh <- req
+	s.sendMu.RUnlock()
+	return <-req.errc
+}

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a sharded LRU over point-query results, keyed by
+// (snapshot fingerprint, op, string argument, position). The
+// fingerprint is the whole invalidation story: any append, flush or
+// compaction produces a fresh fingerprint, so entries for superseded
+// states are simply never looked up again and age out of the LRU —
+// no write-path hook, no epoch counter, no lock shared with writers.
+//
+// The cache is sharded by key hash so hot read traffic from many
+// connections does not serialize on one mutex.
+type resultCache struct {
+	shards [cacheShards]cacheShard
+}
+
+const cacheShards = 16
+
+// cacheKey identifies one point query against one snapshot state.
+type cacheKey struct {
+	fp  uint64
+	op  byte
+	arg string
+	pos int
+}
+
+// cacheVal carries any point-query result shape: counts and positions
+// in num/ok, Access values in str.
+type cacheVal struct {
+	num int
+	ok  bool
+	str string
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	cap int
+	m   map[cacheKey]*list.Element
+	lru list.List // front = most recent; values are *cacheEntry
+}
+
+type cacheEntry struct {
+	key cacheKey
+	val cacheVal
+}
+
+// newResultCache returns a cache holding about entries results in
+// total, or nil when entries <= 0 (caching disabled).
+func newResultCache(entries int) *resultCache {
+	if entries <= 0 {
+		return nil
+	}
+	per := (entries + cacheShards - 1) / cacheShards
+	c := &resultCache{}
+	for i := range c.shards {
+		c.shards[i].cap = per
+		c.shards[i].m = make(map[cacheKey]*list.Element)
+	}
+	return c
+}
+
+func (c *resultCache) shard(k cacheKey) *cacheShard {
+	h := k.fp ^ uint64(k.op)<<56 ^ uint64(uint32(k.pos))
+	for i := 0; i < len(k.arg) && i < 8; i++ {
+		h ^= uint64(k.arg[i]) << (8 * i)
+	}
+	h ^= h >> 33
+	h *= fnvPrime64
+	return &c.shards[h%cacheShards]
+}
+
+const fnvPrime64 = 1099511628211
+
+func (c *resultCache) get(k cacheKey) (cacheVal, bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[k]
+	if !ok {
+		return cacheVal{}, false
+	}
+	s.lru.MoveToFront(e)
+	return e.Value.(*cacheEntry).val, true
+}
+
+func (c *resultCache) put(k cacheKey, v cacheVal) {
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[k]; ok {
+		e.Value.(*cacheEntry).val = v
+		s.lru.MoveToFront(e)
+		return
+	}
+	s.m[k] = s.lru.PushFront(&cacheEntry{key: k, val: v})
+	if s.lru.Len() > s.cap {
+		last := s.lru.Back()
+		s.lru.Remove(last)
+		delete(s.m, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the resident entry count (tests and metrics).
+func (c *resultCache) len() int {
+	total := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		total += c.shards[i].lru.Len()
+		c.shards[i].mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,250 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Client speaks the binary protocol to a wtserve server over one
+// connection. All methods are safe for concurrent use (requests are
+// serialized on the connection). Query methods mirror the store's
+// snapshot surface; each call is served from a snapshot the server pins
+// for that request, and Scan pins one snapshot across its whole walk.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a wtserve binary-protocol address and verifies the
+// protocol version with a Ping.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	if err := c.Ping(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// ServerError is an error the server answered with (as opposed to a
+// transport failure): the connection is still usable.
+type ServerError struct{ Msg string }
+
+// Error returns the server's message.
+func (e *ServerError) Error() string { return e.Msg }
+
+// roundTrip sends one request and decodes the response body into
+// decode (which may be nil for empty bodies).
+func (c *Client) roundTrip(req Request, decode func(r *wire.Reader) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.bw, EncodeRequest(req)); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	payload, err := readFrame(c.br)
+	if err != nil {
+		return err
+	}
+	r := wire.NewRawReader(payload)
+	switch status := r.Byte(); status {
+	case statusOK:
+	case statusErr:
+		msg := r.Str()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		return &ServerError{Msg: msg}
+	default:
+		return fmt.Errorf("server: bad response status %d", status)
+	}
+	if decode != nil {
+		if err := decode(r); err != nil {
+			return err
+		}
+	}
+	return r.Err()
+}
+
+// Ping verifies connectivity and protocol compatibility.
+func (c *Client) Ping() error {
+	return c.roundTrip(Request{Op: OpPing, Pos: ProtocolVersion}, func(r *wire.Reader) error {
+		if v := r.Uvarint(); r.Err() == nil && v != ProtocolVersion {
+			return fmt.Errorf("server: speaks protocol %d, want %d", v, ProtocolVersion)
+		}
+		return nil
+	})
+}
+
+// Append adds v at the end of the sequence. The call returns once the
+// server has committed it (grouped with concurrent appends).
+func (c *Client) Append(v string) error {
+	return c.roundTrip(Request{Op: OpAppend, Value: v}, nil)
+}
+
+// AppendBatch adds vs at the end of the sequence as one atomic,
+// order-preserving batch — the efficient ingest path: one round trip
+// and (server-side) one group commit for the whole batch.
+func (c *Client) AppendBatch(vs []string) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	return c.roundTrip(Request{Op: OpAppendBatch, Values: vs}, nil)
+}
+
+// Access returns the string at position pos.
+func (c *Client) Access(pos int) (string, error) {
+	var out string
+	err := c.roundTrip(Request{Op: OpAccess, Pos: pos}, func(r *wire.Reader) error {
+		out = r.Str()
+		return nil
+	})
+	return out, err
+}
+
+func (c *Client) num(op byte, v string, pos int) (int, error) {
+	var out int
+	err := c.roundTrip(Request{Op: op, Value: v, Pos: pos}, func(r *wire.Reader) error {
+		out = int(r.Uvarint())
+		return nil
+	})
+	return out, err
+}
+
+func (c *Client) optPos(op byte, v string, idx int) (int, bool, error) {
+	var pos int
+	var ok bool
+	err := c.roundTrip(Request{Op: op, Value: v, Pos: idx}, func(r *wire.Reader) error {
+		if r.Byte() == 1 {
+			pos, ok = int(r.Uvarint()), true
+		}
+		return nil
+	})
+	return pos, ok, err
+}
+
+// Rank counts occurrences of v in positions [0, pos).
+func (c *Client) Rank(v string, pos int) (int, error) { return c.num(OpRank, v, pos) }
+
+// Count returns the total number of occurrences of v.
+func (c *Client) Count(v string) (int, error) { return c.num(OpCount, v, 0) }
+
+// Select returns the position of the idx-th (0-based) occurrence of v.
+func (c *Client) Select(v string, idx int) (int, bool, error) { return c.optPos(OpSelect, v, idx) }
+
+// RankPrefix counts elements in [0, pos) having byte prefix p.
+func (c *Client) RankPrefix(p string, pos int) (int, error) { return c.num(OpRankPrefix, p, pos) }
+
+// CountPrefix returns the total number of elements with byte prefix p.
+func (c *Client) CountPrefix(p string) (int, error) { return c.num(OpCountPrefix, p, 0) }
+
+// SelectPrefix returns the position of the idx-th element with byte
+// prefix p.
+func (c *Client) SelectPrefix(p string, idx int) (int, bool, error) {
+	return c.optPos(OpSelectPrefix, p, idx)
+}
+
+// Flush seals the server store's memtable into a frozen generation.
+func (c *Client) Flush() error { return c.roundTrip(Request{Op: OpFlush}, nil) }
+
+// Compact merges the server store's generations.
+func (c *Client) Compact() error { return c.roundTrip(Request{Op: OpCompact}, nil) }
+
+// Stats returns the store's current shape.
+func (c *Client) Stats() (Stats, error) {
+	var st Stats
+	err := c.roundTrip(Request{Op: OpStats}, func(r *wire.Reader) error {
+		st = parseStats(r)
+		return nil
+	})
+	return st, err
+}
+
+// Scan streams the elements of positions [start, start+n) in order,
+// calling fn for each; n < 0 streams to the end. The whole walk is
+// served from one snapshot the server pins under a leased cursor, so
+// concurrent appends never shift the view. Returning false from fn
+// stops the scan (the cursor is closed server-side). batch sizes the
+// per-round-trip value count; 0 uses the server's default.
+func (c *Client) Scan(start, n, batch int, fn func(pos int, v string) bool) error {
+	if n == 0 {
+		return nil
+	}
+	if batch <= 0 {
+		batch = 1024
+	}
+	remaining := n // negative = to the end
+	req := Request{Op: OpIterate, Pos: start}
+	for {
+		req.Max = batch
+		if remaining >= 0 && remaining < batch {
+			req.Max = remaining
+		}
+		var vals []string
+		var done bool
+		var pos int
+		err := c.roundTrip(req, func(r *wire.Reader) error {
+			req.Cursor = r.Uvarint()
+			done = r.Byte() == 1
+			pos = int(r.Uvarint())
+			k := r.Len()
+			vals = vals[:0]
+			for i := 0; i < k && r.Err() == nil; i++ {
+				vals = append(vals, r.Str())
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for i, v := range vals {
+			if !fn(pos+i, v) {
+				if req.Cursor != 0 {
+					return c.roundTrip(Request{Op: OpCursorClose, Cursor: req.Cursor}, nil)
+				}
+				return nil
+			}
+		}
+		if remaining > 0 {
+			remaining -= len(vals)
+		}
+		if done {
+			return nil
+		}
+		if remaining == 0 {
+			if req.Cursor != 0 {
+				return c.roundTrip(Request{Op: OpCursorClose, Cursor: req.Cursor}, nil)
+			}
+			return nil
+		}
+	}
+}
+
+// Slice returns the elements of positions [l, r) as a fresh slice.
+func (c *Client) Slice(l, r int) ([]string, error) {
+	if r < l {
+		return nil, fmt.Errorf("server: Slice(%d,%d) inverted", l, r)
+	}
+	out := make([]string, 0, r-l)
+	err := c.Scan(l, r-l, 0, func(_ int, v string) bool {
+		out = append(out, v)
+		return true
+	})
+	return out, err
+}

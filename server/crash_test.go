@@ -1,0 +1,200 @@
+package server_test
+
+// The crash test re-executes this test binary as a real wtserve-style
+// child process (Sync store + Server on loopback), lets concurrent
+// clients append acknowledged batches, then SIGKILLs the child mid
+// batch stream and reopens the directory in-process. The contract
+// under test is the WAL-durable prefix: with Options.Sync every
+// acknowledged append survives a kill -9, each client's surviving
+// values are a prefix of what it sent (in order, possibly extended by
+// an in-flight unacknowledged batch), and the recovered store answers
+// the full op surface like a flat oracle over what it actually holds.
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/server"
+	"repro/store"
+)
+
+// TestWTServeCrashChild is the child half: it only runs re-executed by
+// TestServerKill9Recovery with the env marker set.
+func TestWTServeCrashChild(t *testing.T) {
+	dir := os.Getenv("WTSERVE_CRASH_DIR")
+	if dir == "" {
+		t.Skip("crash-test child; run via TestServerKill9Recovery")
+	}
+	st, err := store.Open(dir, &store.Options{Sync: true, FlushThreshold: 1 << 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.ForStore(st), nil)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publish the chosen port atomically (write + rename), then serve
+	// until killed.
+	addrFile := os.Getenv("WTSERVE_CRASH_ADDRFILE")
+	tmp := addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(l.Addr().String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, addrFile); err != nil {
+		t.Fatal(err)
+	}
+	srv.Serve(l)
+	select {} // never exit cleanly; the parent kills us
+}
+
+func TestServerKill9Recovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a child process")
+	}
+	base := t.TempDir()
+	dir := filepath.Join(base, "store")
+	addrFile := filepath.Join(base, "addr")
+
+	cmd := exec.Command(os.Args[0], "-test.run=^TestWTServeCrashChild$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"WTSERVE_CRASH_DIR="+dir,
+		"WTSERVE_CRASH_ADDRFILE="+addrFile,
+	)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	var addr string
+	for i := 0; i < 200; i++ {
+		data, err := os.ReadFile(addrFile)
+		if err == nil && len(data) > 0 {
+			addr = string(data)
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatal("child never published its address")
+	}
+
+	// Clients stream acknowledged batches until the parent kills the
+	// child out from under them, so the kill lands mid batch stream.
+	const clients = 3
+	acked := make([][]string, clients)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := server.Dial(addr)
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			for j := 0; ; j += 4 {
+				batch := make([]string, 4)
+				for k := range batch {
+					batch[k] = fmt.Sprintf("c%d/%06d", g, j+k)
+				}
+				if err := c.AppendBatch(batch); err != nil {
+					return // the kill arrived
+				}
+				mu.Lock()
+				acked[g] = append(acked[g], batch...)
+				mu.Unlock()
+			}
+		}(g)
+	}
+
+	// Let every client bank some acknowledged batches, then kill -9.
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		mu.Lock()
+		enough := true
+		for g := 0; g < clients; g++ {
+			if len(acked[g]) < 40 {
+				enough = false
+			}
+		}
+		mu.Unlock()
+		if enough {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("clients never banked enough acknowledged batches")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	killed = true
+	wg.Wait()
+
+	// Reopen the directory the kill left behind (the child's directory
+	// lock died with it) and verify the durable-prefix contract.
+	st, err := store.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sn := st.Snapshot()
+	seq := sn.Slice(0, sn.Len())
+
+	next := make([]int, clients)
+	for pos, v := range seq {
+		var g, j int
+		if _, err := fmt.Sscanf(v, "c%d/%06d", &g, &j); err != nil || g < 0 || g >= clients {
+			t.Fatalf("position %d holds unknown value %q", pos, v)
+		}
+		if j != next[g] {
+			t.Fatalf("position %d: client %d value %q out of order (expected index %06d)", pos, g, v, next[g])
+		}
+		next[g]++
+	}
+	for g := 0; g < clients; g++ {
+		if next[g] < len(acked[g]) {
+			t.Fatalf("client %d: %d acknowledged appends, only %d survived the kill",
+				g, len(acked[g]), next[g])
+		}
+	}
+
+	// Differential reads on the recovered store vs a flat oracle over
+	// what it actually holds.
+	counts := map[string]int{}
+	for _, v := range seq {
+		counts[v]++
+	}
+	for g := 0; g < clients; g++ {
+		probe := fmt.Sprintf("c%d/%06d", g, 0)
+		if got := sn.Count(probe); got != counts[probe] {
+			t.Fatalf("Count(%q) = %d, want %d", probe, got, counts[probe])
+		}
+		prefix := fmt.Sprintf("c%d/", g)
+		if got := sn.CountPrefix(prefix); got != next[g] {
+			t.Fatalf("CountPrefix(%q) = %d, want %d", prefix, got, next[g])
+		}
+	}
+	for pos := 0; pos < len(seq); pos += 17 {
+		if got := sn.Access(pos); got != seq[pos] {
+			t.Fatalf("Access(%d) = %q, want %q", pos, got, seq[pos])
+		}
+	}
+	t.Logf("killed mid-stream with %d+%d+%d acked; %d records survived",
+		len(acked[0]), len(acked[1]), len(acked[2]), len(seq))
+}

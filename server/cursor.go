@@ -1,0 +1,96 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// A cursor pins one snapshot across Iterate calls: the client walks a
+// stable view of the sequence in batches, isolated from concurrent
+// appends, without the server holding any lock between calls (snapshots
+// are immutable). Cursors are leased — each use renews a TTL, and a
+// janitor drops expired ones so abandoned clients cannot pin snapshots
+// (and their sealed memtables) forever.
+type cursor struct {
+	snap    Snap
+	next    int
+	expires time.Time
+}
+
+type cursorTable struct {
+	mu     sync.Mutex
+	ttl    time.Duration
+	nextID uint64
+	m      map[uint64]*cursor
+}
+
+func newCursorTable(ttl time.Duration) *cursorTable {
+	return &cursorTable{ttl: ttl, m: make(map[uint64]*cursor)}
+}
+
+// open registers a new cursor and returns its id (never 0 — 0 is the
+// protocol's "open a new cursor" sentinel).
+func (t *cursorTable) open(snap Snap, next int) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	id := t.nextID
+	t.m[id] = &cursor{snap: snap, next: next, expires: time.Now().Add(t.ttl)}
+	return id
+}
+
+// take looks up a live cursor and removes it from the table while its
+// batch is served — a concurrent request for the same cursor errors
+// instead of racing. The caller must put it back (or drop it).
+func (t *cursorTable) take(id uint64) (*cursor, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.m[id]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown or expired cursor %d", id)
+	}
+	if time.Now().After(c.expires) {
+		delete(t.m, id)
+		return nil, fmt.Errorf("server: unknown or expired cursor %d", id)
+	}
+	delete(t.m, id)
+	return c, nil
+}
+
+// put returns a taken cursor to the table with a renewed lease.
+func (t *cursorTable) put(id uint64, c *cursor) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c.expires = time.Now().Add(t.ttl)
+	t.m[id] = c
+}
+
+// close drops a cursor; closing an unknown id is a no-op (it may have
+// expired already).
+func (t *cursorTable) close(id uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.m, id)
+}
+
+// sweep drops every expired cursor and reports how many went.
+func (t *cursorTable) sweep(now time.Time) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for id, c := range t.m {
+		if now.After(c.expires) {
+			delete(t.m, id)
+			n++
+		}
+	}
+	return n
+}
+
+// len reports the live cursor count.
+func (t *cursorTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}

@@ -1,0 +1,34 @@
+// Package server turns a store.Store or store.ShardedStore into a
+// network service: a compact length-prefixed binary protocol (plus an
+// HTTP/JSON gateway) over the store's whole indexed-sequence surface —
+// Append/AppendBatch, Access, Rank, Count, Select, the prefix forms,
+// cursor-based iteration, Flush/Compact/Stats.
+//
+// Three mechanisms carry the load:
+//
+//   - Group commit. Connection handlers never append directly; they
+//     enqueue values and a single committer coalesces everything
+//     pending — across all connections — into one Store.AppendBatch
+//     call: one append-lock acquisition, one WAL write, at most one
+//     fsync per batch. Under concurrency the per-append log cost
+//     amortizes toward zero; an idle server commits a lone append
+//     immediately.
+//
+//   - Pinned snapshots. Every read request is served from one
+//     immutable snapshot, and a cursor pins its snapshot across
+//     Iterate round trips (leased with a TTL so abandoned clients
+//     cannot hold state forever). Readers never block writers and
+//     never see a half-applied batch.
+//
+//   - A fingerprint-keyed result cache. Point queries are cached under
+//     (snapshot fingerprint, op, argument): the fingerprint changes
+//     whenever the store's visible state changes, so invalidation is
+//     free — entries for old states simply stop being looked up and
+//     age out of the sharded LRU.
+//
+// The server enforces a connection cap (excess accepts wait —
+// backpressure at the door), bounds frame sizes, and drains gracefully
+// on Shutdown: in-flight requests finish, queued appends commit, then
+// connections close. See DESIGN.md §8 for the wire format and the
+// cmd/wtserve command for the deployable binary.
+package server

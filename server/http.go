@@ -1,0 +1,227 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// HTTPHandler returns the HTTP/JSON gateway over the same serving
+// paths as the binary protocol — appends go through the group
+// committer, reads through the pinned snapshot and result cache:
+//
+//	GET  /healthz                       liveness (503 while draining)
+//	GET  /metrics                       server counters as JSON
+//	GET  /debug/vars                    expvar
+//	GET  /v1/stats                      store shape
+//	GET  /v1/access?pos=P
+//	GET  /v1/rank?v=V&pos=P             also /v1/count?v=V
+//	GET  /v1/select?v=V&idx=I
+//	GET  /v1/rankprefix?p=V&pos=P       also /v1/countprefix?p=V
+//	GET  /v1/selectprefix?p=V&idx=I
+//	GET  /v1/scan?start=P&n=N           at most the server's batch cap
+//	POST /v1/append                     {"values": ["..."]}
+//	POST /v1/flush | /v1/compact
+//
+// The gateway exists for curl-ability and dashboards; bulk traffic
+// belongs on the binary protocol.
+func (s *Server) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.metrics.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		st := s.stats()
+		writeJSON(w, map[string]any{
+			"len": st.Len, "distinct": st.Distinct, "height": st.Height,
+			"size_bits": st.SizeBits, "memtable_len": st.MemLen,
+			"shards": st.Shards, "generations": len(st.Gens),
+		})
+	})
+	mux.HandleFunc("/v1/access", s.guard(func(w http.ResponseWriter, r *http.Request) {
+		pos, err := intParam(r, "pos")
+		if err != nil {
+			httpErr(w, err)
+			return
+		}
+		v, _ := s.cachedStr(OpAccess, "", pos, func(sn Snap) (string, int, bool) {
+			return sn.Access(pos), 0, false
+		})
+		writeJSON(w, map[string]any{"pos": pos, "value": v})
+	}))
+	mux.HandleFunc("/v1/rank", s.guard(func(w http.ResponseWriter, r *http.Request) {
+		v := r.URL.Query().Get("v")
+		pos, err := intParam(r, "pos")
+		if err != nil {
+			httpErr(w, err)
+			return
+		}
+		n, _ := s.cachedNum(OpRank, v, pos, func(sn Snap) (int, bool) { return sn.Rank(v, pos), false })
+		writeJSON(w, map[string]any{"rank": n})
+	}))
+	mux.HandleFunc("/v1/count", s.guard(func(w http.ResponseWriter, r *http.Request) {
+		v := r.URL.Query().Get("v")
+		n, _ := s.cachedNum(OpCount, v, 0, func(sn Snap) (int, bool) { return sn.Count(v), false })
+		writeJSON(w, map[string]any{"count": n})
+	}))
+	mux.HandleFunc("/v1/select", s.guard(func(w http.ResponseWriter, r *http.Request) {
+		v := r.URL.Query().Get("v")
+		idx, err := intParam(r, "idx")
+		if err != nil {
+			httpErr(w, err)
+			return
+		}
+		pos, ok := s.cachedNum(OpSelect, v, idx, func(sn Snap) (int, bool) { return sn.Select(v, idx) })
+		writeJSON(w, map[string]any{"pos": pos, "ok": ok})
+	}))
+	mux.HandleFunc("/v1/rankprefix", s.guard(func(w http.ResponseWriter, r *http.Request) {
+		p := r.URL.Query().Get("p")
+		pos, err := intParam(r, "pos")
+		if err != nil {
+			httpErr(w, err)
+			return
+		}
+		n, _ := s.cachedNum(OpRankPrefix, p, pos, func(sn Snap) (int, bool) { return sn.RankPrefix(p, pos), false })
+		writeJSON(w, map[string]any{"rank": n})
+	}))
+	mux.HandleFunc("/v1/countprefix", s.guard(func(w http.ResponseWriter, r *http.Request) {
+		p := r.URL.Query().Get("p")
+		n, _ := s.cachedNum(OpCountPrefix, p, 0, func(sn Snap) (int, bool) { return sn.CountPrefix(p), false })
+		writeJSON(w, map[string]any{"count": n})
+	}))
+	mux.HandleFunc("/v1/selectprefix", s.guard(func(w http.ResponseWriter, r *http.Request) {
+		p := r.URL.Query().Get("p")
+		idx, err := intParam(r, "idx")
+		if err != nil {
+			httpErr(w, err)
+			return
+		}
+		pos, ok := s.cachedNum(OpSelectPrefix, p, idx, func(sn Snap) (int, bool) { return sn.SelectPrefix(p, idx) })
+		writeJSON(w, map[string]any{"pos": pos, "ok": ok})
+	}))
+	mux.HandleFunc("/v1/scan", s.guard(func(w http.ResponseWriter, r *http.Request) {
+		start, err := intParam(r, "start")
+		if err != nil {
+			httpErr(w, err)
+			return
+		}
+		n, err := intParam(r, "n")
+		if err != nil {
+			httpErr(w, err)
+			return
+		}
+		if n > s.opts.MaxIterBatch {
+			n = s.opts.MaxIterBatch
+		}
+		sn := s.b.Snap()
+		if start > sn.Len() {
+			start = sn.Len()
+		}
+		end := start + n
+		if end > sn.Len() {
+			end = sn.Len()
+		}
+		vals := make([]string, 0, end-start)
+		if start < end {
+			sn.Iterate(start, end, func(_ int, v string) bool {
+				vals = append(vals, v)
+				return true
+			})
+		}
+		writeJSON(w, map[string]any{"start": start, "values": vals})
+	}))
+	mux.HandleFunc("/v1/append", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var body struct {
+			Values []string `json:"values"`
+		}
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxFrame)).Decode(&body); err != nil {
+			httpErr(w, err)
+			return
+		}
+		if err := s.submitAppend(body.Values); err != nil {
+			// A drain refusal is the server's state, not the client's
+			// mistake: 503 tells balancers and clients to retry
+			// elsewhere, matching /healthz.
+			if errors.Is(err, errDraining) {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			httpErr(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{"appended": len(body.Values)})
+	})
+	mux.HandleFunc("/v1/flush", s.admin((*Server).flushOp))
+	mux.HandleFunc("/v1/compact", s.admin((*Server).compactOp))
+	return mux
+}
+
+func (s *Server) flushOp() error   { return s.b.Flush() }
+func (s *Server) compactOp() error { return s.b.Compact() }
+
+// admin wraps a POST-only maintenance op.
+func (s *Server) admin(op func(*Server) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if err := op(s); err != nil {
+			httpErr(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{"ok": true})
+	}
+}
+
+// guard turns a read handler's panic (out-of-range position) into a
+// 400, mirroring the binary protocol's error responses.
+func (s *Server) guard(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.metrics.Errors.Add(1)
+				http.Error(w, fmt.Sprint(rec), http.StatusBadRequest)
+			}
+		}()
+		h(w, r)
+	}
+}
+
+func intParam(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing ?%s=", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad ?%s=%q", name, raw)
+	}
+	return v, nil
+}
+
+func httpErr(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

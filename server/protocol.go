@@ -1,0 +1,263 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/wire"
+)
+
+// The wire protocol is length-prefixed binary frames over a byte
+// stream: each message is a u32 little-endian payload length followed
+// by the payload. A request payload is an opcode byte and the op's
+// arguments; a response payload is a status byte (statusOK/statusErr)
+// and the op's results (or the error text). Integers are uvarints,
+// strings are uvarint-length-prefixed bytes — the internal/wire raw
+// codec. The frame, not the payload, carries versioning: the first
+// frame a client sends is a Ping carrying the protocol version, and a
+// server that cannot serve it answers with an error.
+//
+// See DESIGN.md §8 for the full message catalogue.
+const (
+	// ProtocolVersion is negotiated by the Ping op.
+	ProtocolVersion = 1
+
+	// MaxFrame caps a single frame's payload. Anything larger is a
+	// corrupt or hostile stream; the connection is closed.
+	MaxFrame = 16 << 20
+
+	frameHeaderLen = 4
+)
+
+// Opcodes. The zero value is invalid so an empty payload can never
+// decode as a request.
+const (
+	OpPing byte = iota + 1
+	OpAppend
+	OpAppendBatch
+	OpAccess
+	OpRank
+	OpCount
+	OpSelect
+	OpRankPrefix
+	OpCountPrefix
+	OpSelectPrefix
+	OpIterate
+	OpCursorClose
+	OpFlush
+	OpCompact
+	OpStats
+
+	opLimit // one past the last valid opcode
+)
+
+// Response status bytes.
+const (
+	statusOK  byte = 0
+	statusErr byte = 1
+)
+
+// Request is one decoded client request. Which fields are meaningful
+// depends on Op:
+//
+//	OpPing                       Pos = protocol version
+//	OpAppend                     Value
+//	OpAppendBatch                Values
+//	OpAccess                     Pos
+//	OpRank, OpRankPrefix         Value, Pos
+//	OpCount, OpCountPrefix       Value
+//	OpSelect, OpSelectPrefix     Value, Pos (the occurrence index)
+//	OpIterate                    Cursor (0 = open), Pos (start), Max
+//	OpCursorClose                Cursor
+//	OpFlush, OpCompact, OpStats  —
+type Request struct {
+	Op     byte
+	Value  string
+	Values []string
+	Pos    int
+	Max    int
+	Cursor uint64
+}
+
+// EncodeRequest serializes a request payload (without the frame
+// header). EncodeRequest and ParseRequest are exact inverses for every
+// valid request — the protocol round-trip test pins it, and the fuzzer
+// guarantees ParseRequest never panics on anything else.
+func EncodeRequest(req Request) []byte {
+	w := wire.NewRawWriter()
+	w.Byte(req.Op)
+	switch req.Op {
+	case OpPing:
+		w.Uvarint(uint64(req.Pos))
+	case OpAppend:
+		w.Str(req.Value)
+	case OpAppendBatch:
+		w.Uvarint(uint64(len(req.Values)))
+		for _, v := range req.Values {
+			w.Str(v)
+		}
+	case OpAccess:
+		w.Uvarint(uint64(req.Pos))
+	case OpRank, OpRankPrefix, OpSelect, OpSelectPrefix:
+		w.Str(req.Value)
+		w.Uvarint(uint64(req.Pos))
+	case OpCount, OpCountPrefix:
+		w.Str(req.Value)
+	case OpIterate:
+		w.Uvarint(req.Cursor)
+		w.Uvarint(uint64(req.Pos))
+		w.Uvarint(uint64(req.Max))
+	case OpCursorClose:
+		w.Uvarint(req.Cursor)
+	case OpFlush, OpCompact, OpStats:
+	default:
+		panic(fmt.Sprintf("server: encoding unknown opcode %d", req.Op))
+	}
+	return w.Bytes()
+}
+
+// ParseRequest decodes a request payload. Arbitrary input must error,
+// never panic — this is the server's trust boundary and it is fuzzed.
+func ParseRequest(payload []byte) (Request, error) {
+	var req Request
+	r := wire.NewRawReader(payload)
+	req.Op = r.Byte()
+	if req.Op == 0 || req.Op >= opLimit {
+		return req, fmt.Errorf("server: unknown opcode %d", req.Op)
+	}
+	readPos := func() int {
+		v := r.Uvarint()
+		if v > math.MaxInt64/2 {
+			r.Fail("implausible position %d", v)
+			return 0
+		}
+		return int(v)
+	}
+	switch req.Op {
+	case OpPing:
+		req.Pos = readPos()
+	case OpAppend:
+		req.Value = r.Str()
+	case OpAppendBatch:
+		n := r.Len() // validated against the remaining payload
+		req.Values = make([]string, 0, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			req.Values = append(req.Values, r.Str())
+		}
+	case OpAccess:
+		req.Pos = readPos()
+	case OpRank, OpRankPrefix, OpSelect, OpSelectPrefix:
+		req.Value = r.Str()
+		req.Pos = readPos()
+	case OpCount, OpCountPrefix:
+		req.Value = r.Str()
+	case OpIterate:
+		req.Cursor = r.Uvarint()
+		req.Pos = readPos()
+		req.Max = readPos()
+	case OpCursorClose:
+		req.Cursor = r.Uvarint()
+	case OpFlush, OpCompact, OpStats:
+	}
+	if err := r.Err(); err != nil {
+		return req, err
+	}
+	if err := r.Done(); err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+// GenStat describes one frozen generation in a Stats reply — the remote
+// rendering of store.GenInfo.
+type GenStat struct {
+	ID         uint64
+	Len        int
+	SizeBits   int
+	FilterBits int
+	MinValue   string
+	MaxValue   string
+}
+
+// Stats is the OpStats reply: the store's shape at the serving
+// snapshot.
+type Stats struct {
+	Len      int
+	Distinct int
+	Height   int
+	SizeBits int
+	MemLen   int
+	Shards   int
+	Gens     []GenStat
+}
+
+func encodeStats(w *wire.Writer, st Stats) {
+	w.Uvarint(uint64(st.Len))
+	w.Uvarint(uint64(st.Distinct))
+	w.Uvarint(uint64(st.Height))
+	w.Uvarint(uint64(st.SizeBits))
+	w.Uvarint(uint64(st.MemLen))
+	w.Uvarint(uint64(st.Shards))
+	w.Uvarint(uint64(len(st.Gens)))
+	for _, g := range st.Gens {
+		w.Uvarint(g.ID)
+		w.Uvarint(uint64(g.Len))
+		w.Uvarint(uint64(g.SizeBits))
+		w.Uvarint(uint64(g.FilterBits))
+		w.Str(g.MinValue)
+		w.Str(g.MaxValue)
+	}
+}
+
+func parseStats(r *wire.Reader) Stats {
+	var st Stats
+	st.Len = int(r.Uvarint())
+	st.Distinct = int(r.Uvarint())
+	st.Height = int(r.Uvarint())
+	st.SizeBits = int(r.Uvarint())
+	st.MemLen = int(r.Uvarint())
+	st.Shards = int(r.Uvarint())
+	n := r.Len()
+	for i := 0; i < n && r.Err() == nil; i++ {
+		st.Gens = append(st.Gens, GenStat{
+			ID: r.Uvarint(), Len: int(r.Uvarint()),
+			SizeBits: int(r.Uvarint()), FilterBits: int(r.Uvarint()),
+			MinValue: r.Str(), MaxValue: r.Str(),
+		})
+	}
+	return st
+}
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("server: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame, rejecting implausible
+// lengths before allocating.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("server: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// requestCases covers every opcode with representative arguments —
+// shared by the round-trip test and the fuzz corpus.
+func requestCases() []Request {
+	return []Request{
+		{Op: OpPing, Pos: ProtocolVersion},
+		{Op: OpAppend, Value: "hello"},
+		{Op: OpAppend, Value: ""},
+		{Op: OpAppendBatch, Values: []string{"a", "", "longer/value/with/path", "a"}},
+		{Op: OpAppendBatch, Values: []string{}},
+		{Op: OpAccess, Pos: 12345},
+		{Op: OpRank, Value: "v", Pos: 7},
+		{Op: OpCount, Value: "vv"},
+		{Op: OpSelect, Value: "x", Pos: 3},
+		{Op: OpRankPrefix, Value: "/pre", Pos: 100},
+		{Op: OpCountPrefix, Value: ""},
+		{Op: OpSelectPrefix, Value: "p", Pos: 0},
+		{Op: OpIterate, Cursor: 0, Pos: 10, Max: 256},
+		{Op: OpIterate, Cursor: 99, Pos: 0, Max: 0},
+		{Op: OpCursorClose, Cursor: 42},
+		{Op: OpFlush},
+		{Op: OpCompact},
+		{Op: OpStats},
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, want := range requestCases() {
+		payload := EncodeRequest(want)
+		got, err := ParseRequest(payload)
+		if err != nil {
+			t.Fatalf("op %d: parse: %v", want.Op, err)
+		}
+		// An empty batch decodes as a nil slice; normalize.
+		if len(want.Values) == 0 {
+			want.Values = nil
+		}
+		if len(got.Values) == 0 {
+			got.Values = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("op %d: round trip %+v -> %+v", want.Op, want, got)
+		}
+	}
+}
+
+func TestParseRequestRejects(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0},              // opcode zero is invalid
+		{byte(opLimit)},  // one past the last opcode
+		{OpAccess},       // missing position
+		{OpRank, 1, 'v'}, // missing position after value
+		append(EncodeRequest(Request{Op: OpStats}), 0xFF), // trailing junk
+	}
+	for i, payload := range cases {
+		if _, err := ParseRequest(payload); err == nil {
+			t.Errorf("case %d (% x): no error", i, payload)
+		}
+	}
+	// A batch claiming more values than the payload can hold must error
+	// before allocating.
+	huge := []byte{OpAppendBatch, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}
+	if _, err := ParseRequest(huge); err == nil {
+		t.Error("huge batch count: no error")
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	want := Stats{
+		Len: 100, Distinct: 12, Height: 9, SizeBits: 4096, MemLen: 40, Shards: 4,
+		Gens: []GenStat{
+			{ID: 3, Len: 30, SizeBits: 2048, FilterBits: 128, MinValue: "a", MaxValue: "zz"},
+			{ID: 5, Len: 30, SizeBits: 2000, FilterBits: 120, MinValue: "", MaxValue: "q/x"},
+		},
+	}
+	w := wire.NewRawWriter()
+	encodeStats(w, want)
+	got := parseStats(wire.NewRawReader(w.Bytes()))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stats round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{{}, {1}, bytes.Repeat([]byte{0xAB}, 1000)}
+	for _, p := range payloads {
+		if err := writeFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame round trip: got % x, want % x", got, want)
+		}
+	}
+	// An implausible frame length is rejected before allocation.
+	if _, err := readFrame(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF})); err == nil {
+		t.Error("oversized frame length: no error")
+	}
+}

@@ -1,0 +1,555 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Options tune a Server. The zero value (or a nil pointer) selects the
+// defaults below.
+type Options struct {
+	// MaxConns bounds the concurrently served connections. Further
+	// accepts wait for a slot — backpressure at the door instead of an
+	// unbounded goroutine pile. Default 256.
+	MaxConns int
+	// CacheEntries sizes the result cache (total entries across its
+	// shards). 0 selects the default 4096; negative disables caching.
+	CacheEntries int
+	// DisableGroupCommit routes every append straight to the store
+	// instead of through the coalescing committer — one lock and WAL
+	// write per request. For benchmarks and comparison; leave it off.
+	DisableGroupCommit bool
+	// MaxBatch caps the values in one group commit (and the pending
+	// append queue length). Default 1024.
+	MaxBatch int
+	// CursorTTL is the idle lease on an Iterate cursor; every use
+	// renews it. Default 30s.
+	CursorTTL time.Duration
+	// MaxIterBatch caps the values returned by one Iterate call (also
+	// the default when the client asks for 0). Default 4096.
+	MaxIterBatch int
+}
+
+func (o *Options) withDefaults() Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.MaxConns <= 0 {
+		out.MaxConns = 256
+	}
+	if out.CacheEntries == 0 {
+		out.CacheEntries = 4096
+	}
+	if out.MaxBatch <= 0 {
+		out.MaxBatch = 1024
+	}
+	if out.CursorTTL <= 0 {
+		out.CursorTTL = 30 * time.Second
+	}
+	if out.MaxIterBatch <= 0 {
+		out.MaxIterBatch = 4096
+	}
+	return out
+}
+
+// Metrics is the server's operational counter set, updated with atomic
+// increments on the serving paths and exported by the HTTP gateway's
+// /metrics endpoint (and by expvar when the caller publishes it).
+type Metrics struct {
+	ConnsActive      atomic.Int64
+	ConnsTotal       atomic.Int64
+	Requests         atomic.Int64
+	Errors           atomic.Int64
+	Appends          atomic.Int64 // values accepted on the write path
+	Batches          atomic.Int64 // group commits issued
+	BatchedAppends   atomic.Int64 // values carried by those commits
+	CoalescedCommits atomic.Int64 // waiters who shared another's commit
+	CacheHits        atomic.Int64
+	CacheMisses      atomic.Int64
+	CursorsOpened    atomic.Int64
+	CursorsExpired   atomic.Int64
+}
+
+// Snapshot renders the counters as a plain map — the /metrics payload.
+func (m *Metrics) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"conns_active":      m.ConnsActive.Load(),
+		"conns_total":       m.ConnsTotal.Load(),
+		"requests":          m.Requests.Load(),
+		"errors":            m.Errors.Load(),
+		"appends":           m.Appends.Load(),
+		"batches":           m.Batches.Load(),
+		"batched_appends":   m.BatchedAppends.Load(),
+		"coalesced_commits": m.CoalescedCommits.Load(),
+		"cache_hits":        m.CacheHits.Load(),
+		"cache_misses":      m.CacheMisses.Load(),
+		"cursors_opened":    m.CursorsOpened.Load(),
+		"cursors_expired":   m.CursorsExpired.Load(),
+	}
+}
+
+// errDraining reports a write refused because the server is shutting
+// down.
+var errDraining = errors.New("server: draining")
+
+// Server serves a store.Store or store.ShardedStore over the binary
+// protocol (Serve) and the HTTP/JSON gateway (HTTPHandler). The write
+// path is group-committed, reads are served from per-request pinned
+// snapshots with a fingerprint-keyed result cache in front, and
+// Shutdown drains gracefully: in-flight requests finish, queued appends
+// commit, then connections close. Construct with New; the Server does
+// not own the store — closing it after Shutdown is the caller's job.
+type Server struct {
+	b    Backend
+	opts Options
+
+	cache   *resultCache
+	cursors *cursorTable
+
+	appendCh chan appendReq
+	sendMu   sync.RWMutex // gates appendCh against close during drain
+	sendOff  bool         // guarded by sendMu: no further submits
+
+	drainCh  chan struct{}
+	draining atomic.Bool
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+
+	wgConns  sync.WaitGroup
+	wgCommit sync.WaitGroup
+
+	metrics Metrics
+}
+
+// New returns a Server over b and starts its background work (the
+// group-commit committer and the cursor janitor). Call Shutdown to
+// stop it.
+func New(b Backend, opts *Options) *Server {
+	s := &Server{
+		b:         b,
+		opts:      opts.withDefaults(),
+		drainCh:   make(chan struct{}),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+	s.cache = newResultCache(s.opts.CacheEntries)
+	s.cursors = newCursorTable(s.opts.CursorTTL)
+	s.appendCh = make(chan appendReq, s.opts.MaxBatch)
+	s.wgCommit.Add(2)
+	go s.committer()
+	go s.janitor()
+	return s
+}
+
+// Metrics returns the server's live counters.
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// janitor sweeps expired cursors until Shutdown.
+func (s *Server) janitor() {
+	defer s.wgCommit.Done()
+	tick := time.NewTicker(s.opts.CursorTTL / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.drainCh:
+			return
+		case now := <-tick.C:
+			if n := s.cursors.sweep(now); n > 0 {
+				s.metrics.CursorsExpired.Add(int64(n))
+			}
+		}
+	}
+}
+
+// Serve accepts connections on l and serves the binary protocol until
+// Shutdown (which returns nil here) or an accept error. Connections
+// beyond Options.MaxConns wait in the listen backlog.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		l.Close()
+		return errDraining
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+
+	sem := make(chan struct{}, s.opts.MaxConns)
+	for {
+		select {
+		case sem <- struct{}{}:
+		case <-s.drainCh:
+			return nil
+		}
+		conn, err := l.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wgConns.Add(1)
+		s.mu.Unlock()
+		s.metrics.ConnsActive.Add(1)
+		s.metrics.ConnsTotal.Add(1)
+		go func() {
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				s.metrics.ConnsActive.Add(-1)
+				conn.Close()
+				<-sem
+				s.wgConns.Done()
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn runs one connection's request loop: read a frame, decode,
+// dispatch, respond. A malformed frame or decode error closes the
+// connection (the stream cannot be trusted past it); an op-level error
+// is a statusErr response and the stream continues.
+func (s *Server) serveConn(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		if s.draining.Load() {
+			return
+		}
+		payload, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		req, err := ParseRequest(payload)
+		var resp []byte
+		if err != nil {
+			s.metrics.Errors.Add(1)
+			resp = errPayload(err.Error())
+		} else {
+			resp = s.respond(req)
+		}
+		s.metrics.Requests.Add(1)
+		conn.SetWriteDeadline(time.Now().Add(time.Minute))
+		if err := writeFrame(bw, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// errPayload builds a statusErr response payload.
+func errPayload(msg string) []byte {
+	w := wire.NewRawWriter()
+	w.Byte(statusErr)
+	w.Str(msg)
+	return w.Bytes()
+}
+
+// respond executes one request and encodes its response payload. Query
+// panics (out-of-range positions, a broken partitioner) surface as
+// error responses, never as a dead server.
+func (s *Server) respond(req Request) (out []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.Errors.Add(1)
+			out = errPayload(fmt.Sprint(r))
+		}
+	}()
+	w := wire.NewRawWriter()
+	w.Byte(statusOK)
+	switch req.Op {
+	case OpPing:
+		if req.Pos != ProtocolVersion {
+			return errPayload(fmt.Sprintf("server: protocol version %d not supported, want %d", req.Pos, ProtocolVersion))
+		}
+		w.Uvarint(ProtocolVersion)
+	case OpAppend:
+		if err := s.submitAppend([]string{req.Value}); err != nil {
+			return errPayload(err.Error())
+		}
+	case OpAppendBatch:
+		if err := s.submitAppend(req.Values); err != nil {
+			return errPayload(err.Error())
+		}
+		w.Uvarint(uint64(len(req.Values)))
+	case OpAccess:
+		v, _ := s.cachedStr(OpAccess, "", req.Pos, func(sn Snap) (string, int, bool) {
+			return sn.Access(req.Pos), 0, false
+		})
+		w.Str(v)
+	case OpRank:
+		n, _ := s.cachedNum(OpRank, req.Value, req.Pos, func(sn Snap) (int, bool) {
+			return sn.Rank(req.Value, req.Pos), false
+		})
+		w.Uvarint(uint64(n))
+	case OpCount:
+		n, _ := s.cachedNum(OpCount, req.Value, 0, func(sn Snap) (int, bool) {
+			return sn.Count(req.Value), false
+		})
+		w.Uvarint(uint64(n))
+	case OpSelect:
+		pos, ok := s.cachedNum(OpSelect, req.Value, req.Pos, func(sn Snap) (int, bool) {
+			return sn.Select(req.Value, req.Pos)
+		})
+		writeOptPos(w, pos, ok)
+	case OpRankPrefix:
+		n, _ := s.cachedNum(OpRankPrefix, req.Value, req.Pos, func(sn Snap) (int, bool) {
+			return sn.RankPrefix(req.Value, req.Pos), false
+		})
+		w.Uvarint(uint64(n))
+	case OpCountPrefix:
+		n, _ := s.cachedNum(OpCountPrefix, req.Value, 0, func(sn Snap) (int, bool) {
+			return sn.CountPrefix(req.Value), false
+		})
+		w.Uvarint(uint64(n))
+	case OpSelectPrefix:
+		pos, ok := s.cachedNum(OpSelectPrefix, req.Value, req.Pos, func(sn Snap) (int, bool) {
+			return sn.SelectPrefix(req.Value, req.Pos)
+		})
+		writeOptPos(w, pos, ok)
+	case OpIterate:
+		if err := s.iterate(w, req); err != nil {
+			return errPayload(err.Error())
+		}
+	case OpCursorClose:
+		s.cursors.close(req.Cursor)
+	case OpFlush:
+		if err := s.b.Flush(); err != nil {
+			return errPayload(err.Error())
+		}
+	case OpCompact:
+		if err := s.b.Compact(); err != nil {
+			return errPayload(err.Error())
+		}
+	case OpStats:
+		encodeStats(w, s.stats())
+	default:
+		return errPayload(fmt.Sprintf("server: unknown opcode %d", req.Op))
+	}
+	return w.Bytes()
+}
+
+// writeOptPos encodes a (pos, ok) result.
+func writeOptPos(w *wire.Writer, pos int, ok bool) {
+	if ok {
+		w.Byte(1)
+		w.Uvarint(uint64(pos))
+	} else {
+		w.Byte(0)
+	}
+}
+
+// cachedNum serves an integer-shaped point query through the result
+// cache: the key is the current snapshot's fingerprint plus the query,
+// so any store mutation makes every cached answer unreachable rather
+// than stale.
+func (s *Server) cachedNum(op byte, arg string, pos int, miss func(Snap) (int, bool)) (int, bool) {
+	sn := s.b.Snap()
+	if s.cache == nil {
+		return miss(sn)
+	}
+	key := cacheKey{fp: sn.Fingerprint(), op: op, arg: arg, pos: pos}
+	if v, hit := s.cache.get(key); hit {
+		s.metrics.CacheHits.Add(1)
+		return v.num, v.ok
+	}
+	s.metrics.CacheMisses.Add(1)
+	n, ok := miss(sn)
+	s.cache.put(key, cacheVal{num: n, ok: ok})
+	return n, ok
+}
+
+// cachedStr is cachedNum for string-shaped results (Access).
+func (s *Server) cachedStr(op byte, arg string, pos int, miss func(Snap) (string, int, bool)) (string, bool) {
+	sn := s.b.Snap()
+	if s.cache == nil {
+		v, _, _ := miss(sn)
+		return v, true
+	}
+	key := cacheKey{fp: sn.Fingerprint(), op: op, arg: arg, pos: pos}
+	if v, hit := s.cache.get(key); hit {
+		s.metrics.CacheHits.Add(1)
+		return v.str, true
+	}
+	s.metrics.CacheMisses.Add(1)
+	v, _, _ := miss(sn)
+	s.cache.put(key, cacheVal{str: v})
+	return v, true
+}
+
+// iterate serves one OpIterate batch: open or resume a cursor, stream
+// up to Max values from its pinned snapshot, and either retire the
+// cursor (done) or renew its lease.
+func (s *Server) iterate(w *wire.Writer, req Request) error {
+	maxVals := req.Max
+	if maxVals <= 0 || maxVals > s.opts.MaxIterBatch {
+		maxVals = s.opts.MaxIterBatch
+	}
+	var cur *cursor
+	id := req.Cursor
+	if id == 0 {
+		cur = &cursor{snap: s.b.Snap(), next: req.Pos}
+		if cur.next > cur.snap.Len() {
+			cur.next = cur.snap.Len()
+		}
+		s.metrics.CursorsOpened.Add(1)
+	} else {
+		var err error
+		cur, err = s.cursors.take(id)
+		if err != nil {
+			return err
+		}
+	}
+	end := cur.next + maxVals
+	if n := cur.snap.Len(); end > n {
+		end = n
+	}
+	// Bound the batch by bytes as well as by count: large values could
+	// otherwise encode past MaxFrame and kill the connection instead of
+	// answering. At least one value is always sent, so progress holds
+	// (a single value is itself frame-capped on the append path).
+	const iterByteBudget = 4 << 20
+	vals := make([]string, 0, end-cur.next)
+	bytes := 0
+	if cur.next < end {
+		cur.snap.Iterate(cur.next, end, func(_ int, v string) bool {
+			vals = append(vals, v)
+			bytes += len(v) + 9 // value plus worst-case length prefix
+			return bytes < iterByteBudget
+		})
+	}
+	start := cur.next
+	cur.next = start + len(vals)
+	done := cur.next >= cur.snap.Len()
+	if done {
+		if id != 0 {
+			s.cursors.close(id) // already taken; close is for safety
+		}
+		id = 0
+	} else if id == 0 {
+		id = s.cursors.open(cur.snap, cur.next)
+	} else {
+		s.cursors.put(id, cur)
+	}
+	w.Uvarint(id)
+	if done {
+		w.Byte(1)
+	} else {
+		w.Byte(0)
+	}
+	w.Uvarint(uint64(start))
+	w.Uvarint(uint64(len(vals)))
+	for _, v := range vals {
+		w.Str(v)
+	}
+	return nil
+}
+
+// stats builds the OpStats reply.
+func (s *Server) stats() Stats {
+	sn := s.b.Snap()
+	st := Stats{
+		Len:      sn.Len(),
+		Distinct: sn.AlphabetSize(),
+		Height:   sn.Height(),
+		SizeBits: sn.SizeBits(),
+		MemLen:   s.b.MemLen(),
+		Shards:   s.b.Shards(),
+	}
+	for _, g := range s.b.Generations() {
+		st.Gens = append(st.Gens, GenStat{
+			ID: g.ID, Len: g.Len, SizeBits: g.SizeBits,
+			FilterBits: g.FilterBits, MinValue: g.MinValue, MaxValue: g.MaxValue,
+		})
+	}
+	return st
+}
+
+// Shutdown drains the server: stop accepting, let in-flight requests
+// finish (any queued appends still commit), then close connections and
+// stop the background work. The context bounds the wait — when it
+// expires, remaining connections are closed forcibly. The store itself
+// is not closed; that is the caller's next step. Safe to call more
+// than once. Callers routing writes through the HTTP gateway should
+// shut that HTTP server down first — gateway requests arriving after
+// the drain get errDraining.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.draining.Swap(true) {
+		return nil
+	}
+	close(s.drainCh)
+	s.mu.Lock()
+	for l := range s.listeners {
+		l.Close()
+	}
+	// Unblock handlers parked in a frame read; mid-request handlers
+	// finish their response first (the deadline only gates reads).
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	err := s.waitConns(ctx)
+
+	// No connection handler is left; refuse any further submits (late
+	// HTTP gateway calls) and retire the committer once the queue is
+	// fully committed.
+	s.sendMu.Lock()
+	s.sendOff = true
+	s.sendMu.Unlock()
+	close(s.appendCh)
+	s.wgCommit.Wait()
+	return err
+}
+
+// waitConns waits for connection handlers, force-closing stragglers
+// when ctx expires.
+func (s *Server) waitConns(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.wgConns.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,501 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/server"
+	"repro/store"
+)
+
+// startServer opens a store in a temp dir, wraps it in a Server and
+// serves the binary protocol on loopback. Cleanup drains and closes.
+func startServer(t *testing.T, shards int, sopts *store.Options, opts *server.Options) (*server.Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	var b server.Backend
+	var closeStore func() error
+	if shards > 0 {
+		ss, err := store.OpenSharded(dir, &store.ShardedOptions{Shards: shards, Store: derefOpts(sopts)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, closeStore = server.ForSharded(ss), ss.Close
+	} else {
+		st, err := store.Open(dir, sopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, closeStore = server.ForStore(st), st.Close
+	}
+	srv := server.New(b, opts)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		closeStore()
+	})
+	return srv, l.Addr().String()
+}
+
+func derefOpts(o *store.Options) store.Options {
+	if o == nil {
+		return store.Options{}
+	}
+	return *o
+}
+
+func dial(t *testing.T, addr string) *server.Client {
+	t.Helper()
+	c, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestEndToEnd drives the whole op surface over a real connection, on
+// both the plain and the sharded backend.
+func TestEndToEnd(t *testing.T) {
+	for _, shards := range []int{0, 2} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			_, addr := startServer(t, shards, nil, nil)
+			c := dial(t, addr)
+
+			vals := []string{"get/a", "get/b", "post/a", "get/a", "put/x", "get/c"}
+			if err := c.Append(vals[0]); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.AppendBatch(vals[1:]); err != nil {
+				t.Fatal(err)
+			}
+
+			st, err := c.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Len != len(vals) {
+				t.Fatalf("Stats.Len = %d, want %d", st.Len, len(vals))
+			}
+			if want := map[bool]int{true: 2, false: 1}[shards == 2]; st.Shards != want {
+				t.Fatalf("Stats.Shards = %d, want %d", st.Shards, want)
+			}
+
+			for i, want := range vals {
+				got, err := c.Access(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("Access(%d) = %q, want %q", i, got, want)
+				}
+			}
+			if n, err := c.Count("get/a"); err != nil || n != 2 {
+				t.Fatalf("Count = %d, %v, want 2", n, err)
+			}
+			if n, err := c.Rank("get/a", 2); err != nil || n != 1 {
+				t.Fatalf("Rank = %d, %v, want 1", n, err)
+			}
+			if pos, ok, err := c.Select("get/a", 1); err != nil || !ok || pos != 3 {
+				t.Fatalf("Select = %d, %v, %v, want 3", pos, ok, err)
+			}
+			if _, ok, err := c.Select("absent", 0); err != nil || ok {
+				t.Fatalf("Select(absent) ok = %v, err %v", ok, err)
+			}
+			if n, err := c.CountPrefix("get/"); err != nil || n != 4 {
+				t.Fatalf("CountPrefix = %d, %v, want 4", n, err)
+			}
+			if n, err := c.RankPrefix("get/", 3); err != nil || n != 2 {
+				t.Fatalf("RankPrefix = %d, %v, want 2", n, err)
+			}
+			if pos, ok, err := c.SelectPrefix("get/", 3); err != nil || !ok || pos != 5 {
+				t.Fatalf("SelectPrefix = %d, %v, %v, want 5", pos, ok, err)
+			}
+
+			got, err := c.Slice(0, len(vals))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.Join(got, ",") != strings.Join(vals, ",") {
+				t.Fatalf("Slice = %v, want %v", got, vals)
+			}
+
+			if err := c.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			st, err = c.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Len != len(vals) || st.MemLen != 0 {
+				t.Fatalf("after flush: Len=%d MemLen=%d", st.Len, st.MemLen)
+			}
+			if len(st.Gens) == 0 {
+				t.Fatal("no generations after flush")
+			}
+
+			// Out-of-range positions are error responses, not dead
+			// connections.
+			if _, err := c.Access(1 << 40); err == nil {
+				t.Fatal("out-of-range Access: no error")
+			}
+			if _, err := c.Access(0); err != nil {
+				t.Fatalf("connection dead after error response: %v", err)
+			}
+		})
+	}
+}
+
+// TestCursorPinsSnapshot opens a scan cursor, appends mid-walk, and
+// checks the walk stays on its pinned view while a fresh scan sees the
+// appended tail.
+func TestCursorPinsSnapshot(t *testing.T) {
+	_, addr := startServer(t, 0, nil, nil)
+	c := dial(t, addr)
+	var first []string
+	for i := 0; i < 100; i++ {
+		first = append(first, fmt.Sprintf("v/%03d", i))
+	}
+	if err := c.AppendBatch(first); err != nil {
+		t.Fatal(err)
+	}
+
+	var walked []string
+	step := 0
+	err := c.Scan(0, -1, 10, func(pos int, v string) bool {
+		if step == 5 {
+			// Mid-walk append: must not show up in this cursor.
+			if err := c.Append("intruder"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		step++
+		walked = append(walked, v)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(walked) != len(first) {
+		t.Fatalf("pinned walk saw %d values, want %d", len(walked), len(first))
+	}
+	for i, v := range walked {
+		if v != first[i] {
+			t.Fatalf("walked[%d] = %q, want %q", i, v, first[i])
+		}
+	}
+	all, err := c.Slice(0, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all[100] != "intruder" {
+		t.Fatalf("fresh scan tail = %q, want intruder", all[100])
+	}
+}
+
+// TestCursorTTL expires an abandoned cursor and checks resuming it
+// errors.
+func TestCursorTTL(t *testing.T) {
+	srv, addr := startServer(t, 0, nil, &server.Options{CursorTTL: 50 * time.Millisecond})
+	c := dial(t, addr)
+	var vals []string
+	for i := 0; i < 50; i++ {
+		vals = append(vals, fmt.Sprintf("v/%02d", i))
+	}
+	if err := c.AppendBatch(vals); err != nil {
+		t.Fatal(err)
+	}
+	stop := 0
+	err := c.Scan(0, -1, 10, func(pos int, v string) bool {
+		stop++
+		if stop == 10 {
+			time.Sleep(300 * time.Millisecond) // outlive the lease
+		}
+		return true
+	})
+	if err == nil {
+		t.Fatal("resume after TTL: no error")
+	}
+	if !strings.Contains(err.Error(), "cursor") {
+		t.Fatalf("resume after TTL: %v", err)
+	}
+	_ = srv
+}
+
+// TestResultCache checks hot point queries hit the cache and that any
+// append makes the hot entries unreachable (fresh fingerprint) rather
+// than stale.
+func TestResultCache(t *testing.T) {
+	srv, addr := startServer(t, 0, nil, nil)
+	c := dial(t, addr)
+	if err := c.AppendBatch([]string{"a", "b", "a", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c.Count("a"); err != nil || n != 2 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+	misses := srv.Metrics().CacheMisses.Load()
+	hits := srv.Metrics().CacheHits.Load()
+	for i := 0; i < 10; i++ {
+		if n, err := c.Count("a"); err != nil || n != 2 {
+			t.Fatalf("Count = %d, %v", n, err)
+		}
+	}
+	if got := srv.Metrics().CacheHits.Load() - hits; got != 10 {
+		t.Fatalf("repeat Count produced %d cache hits, want 10", got)
+	}
+	if got := srv.Metrics().CacheMisses.Load() - misses; got != 0 {
+		t.Fatalf("repeat Count produced %d cache misses, want 0", got)
+	}
+	// An append invalidates by fingerprint: the same query misses once,
+	// and its answer reflects the new state.
+	if err := c.Append("a"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c.Count("a"); err != nil || n != 3 {
+		t.Fatalf("Count after append = %d, %v, want 3", n, err)
+	}
+}
+
+// TestGroupCommitCoalesces floods the write path from many goroutines
+// and checks the committer folded them into fewer batches.
+func TestGroupCommitCoalesces(t *testing.T) {
+	srv, addr := startServer(t, 0, nil, nil)
+	const clients, per = 8, 50
+	errc := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		go func(g int) {
+			c, err := server.Dial(addr)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < per; i++ {
+				if err := c.Append(fmt.Sprintf("c%d/%03d", g, i)); err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}(g)
+	}
+	for g := 0; g < clients; g++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := srv.Metrics()
+	if got := m.BatchedAppends.Load(); got != clients*per {
+		t.Fatalf("BatchedAppends = %d, want %d", got, clients*per)
+	}
+	c := dial(t, addr)
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len != clients*per {
+		t.Fatalf("Len = %d, want %d", st.Len, clients*per)
+	}
+	t.Logf("%d appends committed in %d batches (%d coalesced)",
+		m.BatchedAppends.Load(), m.Batches.Load(), m.CoalescedCommits.Load())
+}
+
+// TestGracefulDrain checks Shutdown finishes in-flight work, refuses
+// new connections, and leaves every acknowledged append in the store.
+func TestGracefulDrain(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.ForStore(st), nil)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	c, err := server.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := c.Append(fmt.Sprintf("v/%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if !srv.Draining() {
+		t.Fatal("Draining() = false after Shutdown")
+	}
+	if _, err := server.Dial(l.Addr().String()); err == nil {
+		t.Fatal("dial after drain succeeded")
+	}
+	// The store is intact and owns every acknowledged append.
+	if st.Len() != 20 {
+		t.Fatalf("store Len = %d, want 20", st.Len())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConnLimitBackpressure holds MaxConns connections and checks a
+// further client is not served until a slot frees.
+func TestConnLimitBackpressure(t *testing.T) {
+	_, addr := startServer(t, 0, nil, &server.Options{MaxConns: 2})
+	c1 := dial(t, addr)
+	c2 := dial(t, addr)
+	if err := c1.Append("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Append("b"); err != nil {
+		t.Fatal(err)
+	}
+	// The third connection parks in the backlog: its Ping cannot
+	// complete while both slots are held.
+	done := make(chan error, 1)
+	go func() {
+		c3, err := server.Dial(addr)
+		if err == nil {
+			defer c3.Close()
+			_, err = c3.Count("a")
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("third connection served while slots full (err=%v)", err)
+	case <-time.After(200 * time.Millisecond):
+	}
+	c1.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("third connection after slot freed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("third connection never served after slot freed")
+	}
+}
+
+// TestHTTPGateway drives the JSON endpoints through httptest.
+func TestHTTPGateway(t *testing.T) {
+	srv, addr := startServer(t, 0, nil, nil)
+	_ = addr
+	ts := httptest.NewServer(srv.HTTPHandler())
+	defer ts.Close()
+
+	post := func(path, body string) map[string]any {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("POST %s: status %d", path, resp.StatusCode)
+		}
+		var out map[string]any
+		json.NewDecoder(resp.Body).Decode(&out)
+		return out
+	}
+	get := func(path string) map[string]any {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var out map[string]any
+		json.NewDecoder(resp.Body).Decode(&out)
+		return out
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+
+	post("/v1/append", `{"values":["x/a","x/b","y/c","x/a"]}`)
+	if out := get("/v1/count?v=x/a"); out["count"].(float64) != 2 {
+		t.Fatalf("count = %v", out)
+	}
+	if out := get("/v1/access?pos=2"); out["value"].(string) != "y/c" {
+		t.Fatalf("access = %v", out)
+	}
+	if out := get("/v1/countprefix?p=x/"); out["count"].(float64) != 3 {
+		t.Fatalf("countprefix = %v", out)
+	}
+	if out := get("/v1/select?v=x/a&idx=1"); out["pos"].(float64) != 3 || out["ok"].(bool) != true {
+		t.Fatalf("select = %v", out)
+	}
+	if out := get("/v1/scan?start=1&n=2"); len(out["values"].([]any)) != 2 {
+		t.Fatalf("scan = %v", out)
+	}
+	post("/v1/flush", "")
+	if out := get("/v1/stats"); out["memtable_len"].(float64) != 0 || out["len"].(float64) != 4 {
+		t.Fatalf("stats = %v", out)
+	}
+	if out := get("/metrics"); out["requests"] == nil {
+		t.Fatalf("metrics = %v", out)
+	}
+	// Bad positions are 400s, not crashes.
+	if resp, err := http.Get(ts.URL + "/v1/access?pos=99999"); err != nil || resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oob access: %v %v", resp.StatusCode, err)
+	}
+}
+
+// TestScanLargeValues walks values big enough that a count-capped
+// batch would blow the frame limit: the byte budget must split the
+// response across round trips instead of killing the connection.
+func TestScanLargeValues(t *testing.T) {
+	_, addr := startServer(t, 0, nil, nil)
+	c := dial(t, addr)
+	big := strings.Repeat("x", 1<<20) // 1 MiB per value
+	vals := make([]string, 12)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("%02d/%s", i, big)
+	}
+	if err := c.AppendBatch(vals); err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	err := c.Scan(0, -1, 1024, func(pos int, v string) bool {
+		if v != vals[pos] {
+			t.Fatalf("Scan pos %d: wrong value (len %d)", pos, len(v))
+		}
+		got++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != len(vals) {
+		t.Fatalf("Scan saw %d values, want %d", got, len(vals))
+	}
+}

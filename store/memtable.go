@@ -52,6 +52,22 @@ func (m *memtable) applySeq(s string, seq uint64) {
 	m.n.Add(1)
 }
 
+// applyBatch inserts vs into the trie under one lock acquisition and
+// publishes the new length once — the memtable half of a group commit.
+// seqs, when non-nil, carries the records' global sequence numbers
+// (sharded stores), parallel to vs.
+func (m *memtable) applyBatch(vs []string, seqs []uint64) {
+	m.mu.Lock()
+	for _, s := range vs {
+		m.trie.Append(s)
+	}
+	if seqs != nil {
+		m.seqs = append(m.seqs, seqs...)
+	}
+	m.mu.Unlock()
+	m.n.Add(int64(len(vs)))
+}
+
 // maxSeq returns the largest retained sequence number (the last one —
 // seqs are increasing) and whether any record carries one. Only valid on
 // a sealed or otherwise quiescent memtable.

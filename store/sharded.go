@@ -402,6 +402,115 @@ func (ss *ShardedStore) Append(v string) error {
 	return nil
 }
 
+// AppendBatch adds vs at the end of the global sequence, atomically and
+// in argument order: no append from any other caller lands inside the
+// batch. The batch is routed per shard, every involved shard's append
+// lock is taken once (in shard order, so concurrent batches cannot
+// deadlock), sequence numbers are allocated in argument order while the
+// locks are held, and each shard gets one WAL write and at most one
+// fsync for its whole sub-batch — the cross-shard group commit. An
+// empty batch is a no-op.
+func (ss *ShardedStore) AppendBatch(vs []string) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	if err := ss.err(); err != nil {
+		return err
+	}
+	if ss.closed.Load() {
+		return errClosed
+	}
+	// Route and validate every value first; a broken partitioner or an
+	// oversized record fails the whole batch before any lock is taken
+	// or sequence number allocated — nothing is burned, nothing poisons
+	// the store.
+	shardOf := make([]int, len(vs))
+	counts := make([]int, len(ss.shards))
+	var involved []int
+	for i, v := range vs {
+		if 1+walSeqMaxLen+len(v) > walMaxRecord {
+			return fmt.Errorf("store: WAL record of %d bytes exceeds limit", 1+walSeqMaxLen+len(v))
+		}
+		sh, err := pickShard(ss.part, v, len(ss.shards))
+		if err != nil {
+			ss.fail(err)
+			return err
+		}
+		if counts[sh] == 0 {
+			involved = append(involved, sh)
+		}
+		counts[sh]++
+		shardOf[i] = sh
+	}
+	sort.Ints(involved)
+
+	// Take the involved shards' append locks in shard order; unlock is
+	// deferred through one function so every early error path releases.
+	locked := 0
+	unlock := func() {
+		for i := locked - 1; i >= 0; i-- {
+			ss.shards[involved[i]].appendMu.Unlock()
+		}
+	}
+	for _, sh := range involved {
+		ss.shards[sh].appendMu.Lock()
+		locked++
+		if ss.shards[sh].closed.Load() {
+			unlock()
+			return errClosed
+		}
+		if err := ss.shards[sh].err(); err != nil {
+			unlock()
+			return err
+		}
+	}
+
+	// Allocate sequence numbers in argument order. No other appender can
+	// slip into the involved shards (their locks are held), so per-shard
+	// WAL order stays sequence order; appenders to other shards may
+	// interleave numbers freely, exactly as with single appends.
+	seqs := make([]uint64, len(vs))
+	perVals := make([][]string, len(ss.shards))
+	perSeqs := make([][]uint64, len(ss.shards))
+	for _, sh := range involved {
+		perVals[sh] = make([]string, 0, counts[sh])
+		perSeqs[sh] = make([]uint64, 0, counts[sh])
+	}
+	for i, v := range vs {
+		sh := shardOf[i]
+		seqs[i] = ss.seq.Add(1) - 1
+		perVals[sh] = append(perVals[sh], v)
+		perSeqs[sh] = append(perSeqs[sh], seqs[i])
+	}
+
+	// One group commit per involved shard. A mid-batch failure burns the
+	// batch's sequence numbers: the watermark freezes at the last
+	// consistent point (records already durable on other shards are
+	// reconciled or dropped at the next open), matching the single-append
+	// failure contract.
+	ns := make([]int64, len(ss.shards))
+	for _, sh := range involved {
+		n, err := ss.shards[sh].appendBatchLocked(perVals[sh], perSeqs[sh])
+		if err != nil {
+			unlock()
+			if err != errClosed {
+				ss.fail(err)
+			}
+			return err
+		}
+		ns[sh] = n
+	}
+	unlock()
+
+	for i := range vs {
+		ss.router.fill(seqs[i], shardOf[i])
+	}
+	for _, sh := range involved {
+		ss.shards[sh].nudgeFlush(ns[sh])
+	}
+	return nil
+}
+
 // sealBarrier is the shardHooks barrier: before a shard flush may
 // persist (and eventually delete the WAL of) records up to maxSeq, the
 // ROUTER log must durably cover every global position through maxSeq.
@@ -560,12 +669,15 @@ func (ss *ShardedStore) Snapshot() *ShardedSnapshot {
 	w := ss.router.watermark.Load()
 	shards := make([]*Snapshot, len(ss.shards))
 	distinct := 0
+	fp := uint64(fnvOffset64)
 	for i, sh := range ss.shards {
 		sn := sh.Snapshot()
 		distinct += sn.AlphabetSize()
+		fp = fpMix(fp, sn.Fingerprint())
 		shards[i] = sn.prefixed(ss.router.rank(i, w))
 	}
-	return &ShardedSnapshot{r: ss.router, n: int(w), part: ss.part, shards: shards, distinct: distinct}
+	fp = fpMix(fp, w)
+	return &ShardedSnapshot{r: ss.router, n: int(w), part: ss.part, shards: shards, distinct: distinct, fp: fp}
 }
 
 // ShardCount returns the partition count.

@@ -30,6 +30,7 @@ type ShardedSnapshot struct {
 	part     Partitioner
 	shards   []*Snapshot
 	distinct int
+	fp       uint64 // combined per-shard fingerprints + watermark
 }
 
 // ShardedSnapshot serves the same query surface as Snapshot.
@@ -43,6 +44,11 @@ func (sn *ShardedSnapshot) Len() int { return sn.n }
 // contract). Like Snapshot.AlphabetSize it may lead the visible
 // sequence by in-flight appends; it is exact when quiescent.
 func (sn *ShardedSnapshot) AlphabetSize() int { return sn.distinct }
+
+// Fingerprint returns a 64-bit identity of the snapshot's visible
+// global state — the per-shard fingerprints mixed with the pinned
+// watermark; see Snapshot.Fingerprint for the contract.
+func (sn *ShardedSnapshot) Fingerprint() uint64 { return sn.fp }
 
 // Height returns the maximum trie height over all shards' segments.
 func (sn *ShardedSnapshot) Height() int {

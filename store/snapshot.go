@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // segment is one contiguous slab of the logical sequence — a frozen
@@ -37,6 +38,14 @@ type Snapshot struct {
 	segs     []snapSeg
 	offs     []int // offs[i] = start of segs[i]; offs[len(segs)] = Len
 	distinct int
+	fp       uint64 // state fingerprint; see Fingerprint
+
+	// lastSeg memoizes the most recent locate hit: scan-heavy Access
+	// callers walk positions in runs, so the next position is almost
+	// always in the same segment and the offset-table binary search is
+	// skipped. Purely a hint — any stale value just falls back to the
+	// search — so a plain atomic is enough for concurrent readers.
+	lastSeg atomic.Int32
 }
 
 func newSnapshot(segs []snapSeg, distinct int) *Snapshot {
@@ -84,10 +93,42 @@ func (sn *Snapshot) SizeBits() int {
 func (sn *Snapshot) Generations() int { return len(sn.segs) }
 
 // locate returns the segment containing position pos and pos relative to
-// its start.
+// its start, trying the memoized last hit before the binary search.
 func (sn *Snapshot) locate(pos int) (int, int) {
+	if i := int(sn.lastSeg.Load()); i < len(sn.segs) && sn.offs[i] <= pos && pos < sn.offs[i+1] {
+		return i, pos - sn.offs[i]
+	}
 	i := sort.SearchInts(sn.offs, pos+1) - 1
+	sn.lastSeg.Store(int32(i))
 	return i, pos - sn.offs[i]
+}
+
+// Fingerprint returns a 64-bit identity of the snapshot's visible state:
+// equal fingerprints imply the snapshots answer every query identically.
+// It hashes the generation-id set and the visible length — generation
+// files are immutable and ids are never reused, and given the same
+// generation set the remaining suffix is determined by its length (the
+// sequence is append-only) — so any append, flush or compaction yields a
+// fresh fingerprint. The contract holds across snapshots of one Open
+// (a crash that truncates the WAL tail can re-grow a lost length with
+// different contents, so fingerprints must not be persisted or compared
+// across reopens). The server's result cache keys on it, which makes
+// invalidation free: stale entries are simply never looked up again.
+func (sn *Snapshot) Fingerprint() uint64 { return sn.fp }
+
+// FNV-1a, the same mixing partition.go uses for routing.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fpMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
 }
 
 // Access returns the string at position pos. It panics if pos is out of

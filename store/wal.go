@@ -166,6 +166,24 @@ func (w *wal) append(payload []byte) error {
 	return nil
 }
 
+// appendFramed writes a buffer of pre-framed records (built with
+// appendLogRecord) as one contiguous write and at most one fsync — the
+// group-commit write: a batch of appends costs the log exactly what a
+// single append costs, regardless of batch size. Per-payload size caps
+// are the caller's job (the frames are already built).
+func (w *wal) appendFramed(buf []byte) error {
+	if len(buf) == 0 {
+		return nil
+	}
+	if _, err := w.f.Write(buf); err != nil {
+		return err
+	}
+	if w.sync {
+		return w.f.Sync()
+	}
+	return nil
+}
+
 // commit fsyncs everything appended so far — for logs opened without
 // per-record sync that still need an explicit durability point (the
 // sharded store's ROUTER log ahead of a shard flush).
