@@ -12,7 +12,7 @@
 //	wtbench -json               # machine-readable suite + config (BENCH_*.json)
 //
 // Experiments: figs, t1a, t1b, t2a, t2b, t2c, t3a, t3b, t4, t5, t6, q5,
-// cmp, abl, ser, store, compact, shard, serve.
+// cmp, abl, ser, store, compact, freeze, shard, serve.
 package main
 
 import (
@@ -47,6 +47,7 @@ var experiments = []experiment{
 	{"ser", "Persistence: marshal/load round trip, on-disk size, load vs rebuild", runSER},
 	{"store", "Log-structured store: WAL append, concurrent reads, recovery vs rebuild", runSTORE},
 	{"compact", "Two-phase compaction: streaming merge throughput, Flush latency under merge", runCOMPACT},
+	{"freeze", "Streaming freeze: builder vs materialize+NewStatic peak memory, mmap vs heap Open", runFREEZE},
 	{"shard", "Sharded store: multi-writer append scaling, busy-reader latency, recovery", runSHARD},
 	{"serve", "Network server: group-commit ingest vs naive, cached point reads", runSERVE},
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
 	wavelettrie "repro"
@@ -149,6 +150,10 @@ type benchConfig struct {
 	StoreIters   int              `json:"store_iters"`
 	CompactSizes []int            `json:"compact_sizes"`
 	CompactBatch int              `json:"compact_flush_batch"`
+	FreezeSizes  []int            `json:"freeze_sizes"`
+	FreezeBatch  int              `json:"freeze_flush_batch"`
+	GOMAXPROCS   int              `json:"gomaxprocs"`
+	NumCPU       int              `json:"num_cpu"`
 	Shard        shardBenchConfig `json:"shard"`
 	Serve        serveBenchConfig `json:"serve"`
 }
@@ -157,10 +162,12 @@ type benchConfig struct {
 // config block, the per-variant build/query/serialize records, and the
 // log-structured store, compaction and sharding experiments.
 func emitJSON(quick bool) {
-	cfg := benchConfig{Quick: quick, SerVariants: serVariants, Shard: shardConfig(quick), Serve: serveConfig(quick)}
+	cfg := benchConfig{Quick: quick, SerVariants: serVariants, Shard: shardConfig(quick), Serve: serveConfig(quick),
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 	cfg.SerSizes, cfg.SerIters = serConfig(quick)
 	cfg.StoreSizes, cfg.StoreIters = storeConfig(quick)
 	cfg.CompactSizes, cfg.CompactBatch = compactConfig(quick)
+	cfg.FreezeSizes, cfg.FreezeBatch = freezeConfig(quick)
 	out := struct {
 		Suite          string               `json:"suite"`
 		Quick          bool                 `json:"quick"`
@@ -168,12 +175,13 @@ func emitJSON(quick bool) {
 		Records        []benchRecord        `json:"records"`
 		StoreRecords   []storeBenchRecord   `json:"store_records"`
 		CompactRecords []compactBenchRecord `json:"compact_records"`
+		FreezeRecords  []freezeBenchRecord  `json:"freeze_records"`
 		ShardRecords   []shardBenchRecord   `json:"shard_records"`
 		ServeRecords   []serveBenchRecord   `json:"serve_records"`
 	}{Suite: "wavelettrie-serialize", Quick: quick, Config: cfg,
 		Records: serRecords(quick), StoreRecords: storeBenchRecords(quick),
-		CompactRecords: compactBenchRecords(quick), ShardRecords: shardBenchRecords(quick),
-		ServeRecords: serveBenchRecords(quick)}
+		CompactRecords: compactBenchRecords(quick), FreezeRecords: freezeBenchRecords(quick),
+		ShardRecords: shardBenchRecords(quick), ServeRecords: serveBenchRecords(quick)}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {

@@ -371,9 +371,18 @@ func execute(st wavelettrie.StringIndex, args []string) (cur wavelettrie.StringI
 			fmt.Println("ok,", len(db.Generations()), "generation(s)")
 		case "gens":
 			for _, g := range db.Generations() {
-				fmt.Printf("gen %4d  n=%-8d %.1f bits/elem  filter %.1f b/elem  [%s .. %s]\n",
+				backing := "heap"
+				if g.Mmapped {
+					backing = "mmap"
+					if g.ResidentBytes >= 0 {
+						backing = fmt.Sprintf("mmap %3.0f%% resident",
+							100*float64(g.ResidentBytes)/float64(max(1, g.FileBytes)))
+					}
+				}
+				fmt.Printf("gen %4d  n=%-8d %.1f bits/elem  filter %.1f b/elem  %7.1f KiB %-18s [%s .. %s]\n",
 					g.ID, g.Len, float64(g.SizeBits)/float64(max(1, g.Len)),
 					float64(g.FilterBits)/float64(max(1, g.Len)),
+					float64(g.FileBytes)/1024, backing,
 					trimValue(g.MinValue), trimValue(g.MaxValue))
 			}
 			fmt.Printf("memtable  n=%d\n", db.MemLen())

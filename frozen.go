@@ -15,7 +15,16 @@ import (
 // is the smallest representation in the repository.
 type Frozen struct {
 	t *succinct.Trie
+	// backing, when non-nil, pins the memory region the trie's bit
+	// components alias — e.g. an mmap'd file loaded by LoadFrozenMapped.
+	// Holding the Frozen keeps the mapping alive; the region is reclaimed
+	// by its finalizer once the Frozen is unreachable.
+	backing any
 }
+
+// Mapped reports whether this Frozen aliases an external memory region
+// (an mmap'd file) instead of owning heap copies of its components.
+func (f *Frozen) Mapped() bool { return f.backing != nil }
 
 // Frozen returns the succinct encoding of this static trie (built on
 // first use and cached).
@@ -108,6 +117,37 @@ func (f *Frozen) Slice(l, r int) []string {
 		return true
 	})
 	return out
+}
+
+// FeedValues registers this trie's distinct values into fb — one pass-1
+// contribution to a streaming merge. Cost is O(alphabet), independent of
+// the element count.
+func (f *Frozen) FeedValues(fb *FrozenBuilder) {
+	for _, bs := range f.t.StoredBits() {
+		fb.b.AddValueBits(bs)
+	}
+}
+
+// FeedRange appends the elements of positions [l, r) into fb in order —
+// a pass-2 contribution to a streaming merge, staying at the bit level
+// (no string decode/encode round trip, one reused scratch buffer). Every
+// 4096 elements it polls cont (when non-nil) and returns nil early if
+// cont reports false; the builder is then incomplete and must be
+// discarded, which the caller detects by re-checking its cancel signal.
+func (f *Frozen) FeedRange(fb *FrozenBuilder, l, r int, cont func() bool) error {
+	it := f.t.Iter(l, r)
+	scratch := bitstr.NewBuilder(0)
+	for i := 0; it.Valid(); i++ {
+		scratch.Reset()
+		it.NextInto(scratch)
+		if err := fb.b.AppendBits(scratch.View()); err != nil {
+			return err
+		}
+		if i&4095 == 4095 && cont != nil && !cont() {
+			return nil
+		}
+	}
+	return nil
 }
 
 // Values returns the distinct strings stored, in lexicographic order —

@@ -87,6 +87,19 @@ func FromWords(words []uint64, n int) BitString {
 	return BitString{words: w, n: n}
 }
 
+// FromWordsShared constructs a BitString of length n bits that aliases the
+// given words without copying. The caller must guarantee that the words are
+// never modified afterwards and that bits at positions >= n in the last
+// word are already zero (the clean-tail invariant every encoder in this
+// module maintains). It exists for zero-copy decoding over memory-mapped
+// files; use FromWords anywhere those guarantees are not airtight.
+func FromWordsShared(words []uint64, n int) BitString {
+	if n < 0 || n > len(words)*64 {
+		panic(fmt.Sprintf("bitstr: FromWordsShared: length %d out of range for %d words", n, len(words)))
+	}
+	return BitString{words: words[:wordsFor(n)], n: n}
+}
+
 // Len returns the number of bits.
 func (s BitString) Len() int { return s.n }
 
@@ -276,6 +289,34 @@ func (b *Builder) AppendUint(v uint64, nbits int) {
 	}
 }
 
+// AppendWords appends the first nbits bits of the packed words (bit i of
+// the appended run is bit i%64 of words[i/64]), shifting as needed when the
+// builder is not word-aligned. Bits at positions >= nbits in the last
+// source word are ignored. This is the bulk path the streaming freeze
+// builder uses to concatenate per-node bitvectors without a per-bit loop.
+func (b *Builder) AppendWords(words []uint64, nbits int) {
+	if nbits < 0 || nbits > len(words)*64 {
+		panic(fmt.Sprintf("bitstr: AppendWords: length %d out of range for %d words", nbits, len(words)))
+	}
+	if nbits == 0 {
+		return
+	}
+	nw := wordsFor(nbits)
+	if off := uint(b.n) & 63; off != 0 {
+		last := len(b.words) - 1
+		for _, w := range words[:nw] {
+			b.words[last] |= w << off
+			b.words = append(b.words, w>>(64-off))
+			last++
+		}
+	} else {
+		b.words = append(b.words, words[:nw]...)
+	}
+	b.n += nbits
+	b.words = b.words[:wordsFor(b.n)]
+	maskTail(b.words, b.n)
+}
+
 // Append appends all bits of s.
 func (b *Builder) Append(s BitString) {
 	// Fast path: word-aligned bulk copy.
@@ -298,4 +339,20 @@ func (b *Builder) BitString() BitString {
 	copy(w, b.words)
 	maskTail(w, b.n)
 	return BitString{words: w, n: b.n}
+}
+
+// Reset empties the builder while keeping its backing storage, so a single
+// scratch builder can be reused across many elements of a streaming pass
+// without reallocating.
+func (b *Builder) Reset() {
+	b.words = b.words[:0]
+	b.n = 0
+}
+
+// View returns the accumulated bits as a BitString that aliases the
+// builder's storage. It is valid only until the next append or Reset; use
+// BitString for a durable copy. Builders keep bits past Len() zeroed, so
+// the view satisfies the clean-tail invariant Equal/LCP rely on.
+func (b *Builder) View() BitString {
+	return BitString{words: b.words[:wordsFor(b.n)], n: b.n}
 }

@@ -21,5 +21,14 @@ func DecodeFrom(r *wire.Reader) *Vector {
 	if r.Err() != nil {
 		return FromWords(nil, 0)
 	}
+	if r.Refs() {
+		// Zero-copy mode: retain the decoded words directly. No tail
+		// masking — the words may alias a read-only mapping, and every
+		// encoder writes masked tails anyway (EncodeTo serializes Vector
+		// words, which Build/FromWords masked at construction).
+		v := &Vector{words: words[:(n+63)/64], n: n}
+		v.buildRank()
+		return v
+	}
 	return FromWords(words, n)
 }

@@ -34,6 +34,29 @@ func (w *wtrie) EnumerateBits(l, r int, fn func(pos int, s bitstr.BitString) boo
 	}
 }
 
+// FeedBits is EnumerateBits with a reused scratch builder: fn receives a
+// BitString view that aliases the scratch storage and is valid only for
+// the duration of the call. Streaming consumers that copy each element
+// into their own accumulator (e.g. the succinct freeze builder) use it to
+// enumerate without a per-element allocation.
+func (w *wtrie) FeedBits(l, r int, fn func(s bitstr.BitString) bool) {
+	if l < 0 || r > w.n || l > r {
+		panic(fmt.Sprintf("core: FeedBits range [%d,%d) out of range [0,%d)", l, r, w.n))
+	}
+	if l == r {
+		return
+	}
+	root := newEnumState(w.t.Root(), l)
+	b := bitstr.NewBuilder(0)
+	for pos := l; pos < r; pos++ {
+		b.Reset()
+		root.next(b)
+		if !fn(b.View()) {
+			return
+		}
+	}
+}
+
 // enumState holds a lazily-opened iterator per traversed node.
 type enumState struct {
 	nd   *node

@@ -15,7 +15,9 @@ const (
 	wireMagic = 0x57545249 // "WTRI"
 	// wireVersion 2: the embedded RRR vectors serialize payload-only (the
 	// superblock directory is rebuilt on decode).
-	wireVersion = 2
+	// wireVersion 3: word payloads are 8-byte aligned within the buffer
+	// (wire.Writer.Words padding) so mmap'd files decode zero-copy.
+	wireVersion = 3
 )
 
 // MarshalBinary serializes the frozen Wavelet Trie into a self-contained
@@ -98,6 +100,10 @@ func decodeFrom(r *wire.Reader, deep bool) (*Trie, error) {
 	if r.Err() == nil {
 		if labelLen < 0 || len(labelWords) != (labelLen+63)/64 {
 			r.Fail("succinct: label stream shape")
+		} else if r.Refs() {
+			// Zero-copy mode: alias the decoded words (they may point into
+			// an mmap'd buffer; the encoder wrote masked tails).
+			t.labels = bitstr.FromWordsShared(labelWords, labelLen)
 		} else {
 			t.labels = bitstr.FromWords(labelWords, labelLen)
 		}

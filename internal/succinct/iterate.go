@@ -90,13 +90,21 @@ func (it *Iter) Pos() int { return it.pos }
 // Next returns the element at the current position and advances. It
 // panics when the range is exhausted (guard with Valid).
 func (it *Iter) Next() bitstr.BitString {
+	b := bitstr.NewBuilder(0)
+	it.NextInto(b)
+	return b.BitString()
+}
+
+// NextInto appends the element at the current position to b and advances —
+// the allocation-free form of Next for streaming consumers that reuse one
+// scratch builder (Reset + NextInto + View per element). It panics when
+// the range is exhausted (guard with Valid).
+func (it *Iter) NextInto(b *bitstr.Builder) {
 	if it.pos >= it.end {
 		panic("succinct: Next past the end of the iterated range")
 	}
-	b := bitstr.NewBuilder(0)
 	it.t.next(it.root, b)
 	it.pos++
-	return b.BitString()
 }
 
 // EnumerateBits calls fn with each element of positions [l, r) in

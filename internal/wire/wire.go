@@ -8,7 +8,16 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"unsafe"
 )
+
+// hostLittleEndian reports whether the running machine stores uint64s in
+// the wire byte order, making a byte-for-byte view of a word payload
+// valid. Zero-copy reads fall back to copying elsewhere.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
 
 // Writer accumulates a serialized object.
 type Writer struct {
@@ -51,8 +60,15 @@ func (w *Writer) Int(v int) {
 	w.U64(uint64(v))
 }
 
-// Words appends a length-prefixed []uint64.
+// Words appends a length-prefixed []uint64. The count (and hence the
+// payload) is placed on an 8-byte boundary — zero padding precedes it
+// when needed — so a Reader in zero-copy mode can view the payload as a
+// []uint64 directly when the buffer itself is 8-byte aligned (an mmap'd
+// file always is).
 func (w *Writer) Words(ws []uint64) {
+	for len(w.buf)&7 != 0 {
+		w.buf = append(w.buf, 0)
+	}
 	w.Int(len(ws))
 	for _, x := range ws {
 		w.U64(x)
@@ -89,9 +105,10 @@ func (w *Writer) Int32s(vs []int32) {
 
 // Reader decodes a serialized object.
 type Reader struct {
-	buf []byte
-	pos int
-	err error
+	buf  []byte
+	pos  int
+	err  error
+	refs bool // zero-copy mode: Words may alias buf
 }
 
 // SniffVersion returns the header version of a serialized object whose
@@ -123,6 +140,19 @@ func NewReader(buf []byte, magic uint32, version uint16) (*Reader, error) {
 // NewRawReader returns a Reader over a headerless buffer written with
 // NewRawWriter — the outer frame, not the payload, carries versioning.
 func NewRawReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// EnableRefs switches the Reader into zero-copy mode: Words may return
+// slices aliasing the input buffer instead of heap copies (when the
+// payload is 8-byte aligned in memory and the host is little-endian;
+// otherwise it still copies). The caller must guarantee the buffer
+// outlives everything decoded from it and is never modified — the
+// contract of reading an mmap'd, checksum-verified file.
+func (r *Reader) EnableRefs() { r.refs = true }
+
+// Refs reports whether zero-copy mode is active. Decoders that retain
+// Words results in structures with their own aliasing rules (e.g. bit
+// strings) consult this to pick a shared or copying constructor.
+func (r *Reader) Refs() bool { return r.refs }
 
 // Err returns the first decoding error encountered.
 func (r *Reader) Err() error { return r.err }
@@ -210,8 +240,15 @@ func (r *Reader) Int() int {
 	return int(v)
 }
 
-// Words reads a length-prefixed []uint64.
+// Words reads a length-prefixed []uint64, first skipping the alignment
+// padding Writer.Words emitted. In zero-copy mode the returned slice
+// aliases the input buffer when the payload is 8-byte aligned in memory
+// on a little-endian host; otherwise (and always outside zero-copy mode)
+// it is a fresh copy.
 func (r *Reader) Words() []uint64 {
+	if pad := (8 - r.pos&7) & 7; pad != 0 {
+		r.take(pad)
+	}
 	n := r.Int()
 	if r.err != nil {
 		return nil
@@ -222,9 +259,19 @@ func (r *Reader) Words() []uint64 {
 		r.err = fmt.Errorf("wire: word slice of %d exceeds input", n)
 		return nil
 	}
+	b := r.take(8 * n)
+	if b == nil {
+		return nil
+	}
+	if n == 0 {
+		return make([]uint64, 0)
+	}
+	if r.refs && hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))&7 == 0 {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n)
+	}
 	out := make([]uint64, n)
 	for i := range out {
-		out[i] = r.U64()
+		out[i] = binary.LittleEndian.Uint64(b[i*8:])
 	}
 	return out
 }

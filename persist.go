@@ -86,7 +86,7 @@ var (
 // the full format inventory.
 const (
 	persistMagic   = 0x57564C54 // "WVLT"
-	persistVersion = 1
+	persistVersion = 2          // v2: word payloads 8-byte aligned for mmap
 )
 
 const (
@@ -262,6 +262,38 @@ func LoadFrozenTrusted(data []byte) (*Frozen, error) {
 		return nil, err
 	}
 	return &Frozen{t: t}, nil
+}
+
+// LoadFrozenMapped is LoadFrozenTrusted in zero-copy mode: word-aligned
+// payloads (labels, bitvectors, Elias-Fano lows) alias data directly
+// instead of being copied to the heap, so decoding a generation is
+// O(metadata) work and the page cache backs the bits. data is typically
+// an mmap'd, checksum-verified generation file; backing is an arbitrary
+// handle (e.g. the mapping region) the returned Frozen keeps reachable
+// for as long as it lives, preventing premature unmap. The same trust
+// contract as LoadFrozenTrusted applies, plus: data must never be
+// modified while the Frozen is in use.
+func LoadFrozenMapped(data []byte, backing any) (*Frozen, error) {
+	r, err := wire.NewReader(data, persistMagic, persistVersion)
+	if err != nil {
+		return nil, err
+	}
+	r.EnableRefs()
+	kind := r.Byte()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if kind != kindFrozen {
+		return nil, fmt.Errorf("wavelettrie: serialized index is a %s, want Frozen", kindName(kind))
+	}
+	t, err := succinct.DecodeFromTrusted(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return &Frozen{t: t, backing: backing}, nil
 }
 
 // LoadStatic reconstructs a Static from Static.MarshalBinary output.

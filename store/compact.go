@@ -2,6 +2,8 @@ package store
 
 import (
 	"fmt"
+
+	wavelettrie "repro"
 )
 
 // Compaction keeps the generation count bounded so merged reads stay
@@ -124,7 +126,7 @@ func pickRun(gens []*generation) (lo, hi, total int) {
 // mergeRun replaces the victim run with one merged generation. The
 // caller holds compactMu (never adminMu).
 func (s *Store) mergeRun(st *storeState) error {
-	lo, hi, total := pickRun(st.gens)
+	lo, hi, _ := pickRun(st.gens)
 	victims := st.gens[lo : hi+1]
 
 	// Allocate the merged generation's file id; ids are guarded by
@@ -138,32 +140,35 @@ func (s *Store) mergeRun(st *storeState) error {
 	s.nextID++
 	s.adminMu.Unlock()
 
-	// Phase 1 — prepare. Materialize the victims in order through the
-	// streaming enumerator (one trie walk per generation, not one root
-	// descent per element), freeze the concatenation and persist it.
+	// Phase 1 — prepare. Stream the victims in order through the freeze
+	// builder — the merged sequence is never materialized as a []string,
+	// so peak memory for a merge of any size is the merged index itself
+	// (pass 1 registers each victim's alphabet; pass 2 replays each
+	// victim's bit stream into the builder's per-node accumulators).
 	// Flush latency is unaffected however large the merge is. Close
-	// waits on compactMu, so the walk polls closed and bails early —
-	// the commit would only abort anyway; the freeze/write stage below
-	// is not interruptible, so shutdown latency is bounded by that
-	// stage, not by the whole merge.
-	seq := make([]string, 0, total)
-	collect := func(_ int, v string) bool {
-		if len(seq)&4095 == 4095 && s.closed.Load() {
-			return false
+	// waits on compactMu, so the replay polls closed and bails early —
+	// the commit would only abort anyway; the freeze/write stage is not
+	// interruptible, so shutdown latency is bounded by that stage, not
+	// by the whole merge.
+	fill := func(fb *wavelettrie.FrozenBuilder) error {
+		for _, g := range victims {
+			g.ix.FeedValues(fb)
 		}
-		seq = append(seq, v)
-		return true
+		for _, g := range victims {
+			if err := g.ix.FeedRange(fb, 0, g.ix.Len(), func() bool { return !s.closed.Load() }); err != nil {
+				return err
+			}
+		}
+		if s.closed.Load() {
+			return errClosed
+		}
+		return nil
 	}
-	for _, g := range victims {
-		g.ix.Iterate(0, g.ix.Len(), collect)
-	}
-	if s.closed.Load() {
-		return errClosed
-	}
-	merged, err := writeGeneration(s.dir, gid, seq)
+	merged, err := writeGenerationFrom(s.dir, gid, fill)
 	if err != nil {
 		return err
 	}
+	merged = s.maybeRemap(merged)
 
 	// Phase 2 — commit under adminMu, against the *current* state: a
 	// flush may have appended generations since the run was chosen, but

@@ -24,8 +24,11 @@ import (
 // orphan file for the next Open to reclaim. False positives cost one
 // wasted probe; false negatives are impossible by construction.
 const (
-	filterMagic   = 0x544C4657 // "WFLT" little-endian
-	filterVersion = 1
+	filterMagic = 0x544C4657 // "WFLT" little-endian
+	// filterVersion 2: word payloads are 8-byte aligned within the file
+	// (wire.Writer.Words padding). Old v1 filter files simply fail to
+	// parse and are rebuilt — filters are derived data.
+	filterVersion = 2
 
 	// filterMaxPrefix bounds the indexed prefix length: a probe for a key
 	// longer than this tests its filterMaxPrefix-byte prefix instead.

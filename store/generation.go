@@ -20,6 +20,14 @@ type generation struct {
 	crc    uint32
 	ix     *wavelettrie.Frozen
 	filter *probeFilter
+	// fileBytes is the on-disk size of the index file; region is the
+	// read-only mapping backing ix when it was mmap-loaded (nil for
+	// heap-decoded generations). The region is also pinned by ix itself,
+	// so snapshots holding a compacted-away generation keep its mapping
+	// alive after the file is unlinked (POSIX keeps mapped pages valid);
+	// the finalizer unmaps once the last reference drops.
+	fileBytes int
+	region    *mmapRegion
 }
 
 // genCRC returns the manifest checksum of a generation image: CRC-32
@@ -38,9 +46,38 @@ func genCRC(data []byte) uint32 {
 // it matches, the deep structural re-validation is skipped (the bytes
 // are exactly what a validated marshal produced); unchecksummed entries
 // (a v1 manifest) take the slow fully-validating path.
-func loadGeneration(dir string, meta genMeta) (*generation, error) {
+//
+// With useMmap (and a checksummed entry — zero-copy decoding is gated on
+// integrity like trusted decoding is), the file is mapped read-only and
+// decoded zero-copy: the succinct components alias the mapping, so open
+// cost is the CRC pass plus O(metadata) directory rebuilds, the bits
+// page-fault in on demand, and the page cache is shared across
+// processes serving the same directory. A checksum mismatch is a hard
+// error either way; an mmap syscall failure just falls back to the heap
+// path (the mapping is an optimization, never a requirement).
+func loadGeneration(dir string, meta genMeta, useMmap bool) (*generation, error) {
 	name := genFileName(meta.id)
-	data, err := os.ReadFile(filepath.Join(dir, name))
+	path := filepath.Join(dir, name)
+	if useMmap && mmapSupported && meta.crc != 0 {
+		if region, err := mapFile(path); err == nil {
+			data := region.data
+			crc := genCRC(data)
+			if crc != meta.crc {
+				return nil, fmt.Errorf("store: %s checksum %#x, manifest says %#x", name, crc, meta.crc)
+			}
+			ix, err := wavelettrie.LoadFrozenMapped(data, region)
+			if err != nil {
+				return nil, fmt.Errorf("store: %s: %w", name, err)
+			}
+			if ix.Len() != meta.n {
+				return nil, fmt.Errorf("store: %s holds %d elements, manifest says %d", name, ix.Len(), meta.n)
+			}
+			g := &generation{id: meta.id, crc: crc, ix: ix, fileBytes: len(data), region: region}
+			g.filter = loadFilter(dir, meta.id, crc, ix)
+			return g, nil
+		}
+	}
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -60,7 +97,7 @@ func loadGeneration(dir string, meta genMeta) (*generation, error) {
 	if ix.Len() != meta.n {
 		return nil, fmt.Errorf("store: %s holds %d elements, manifest says %d", name, ix.Len(), meta.n)
 	}
-	g := &generation{id: meta.id, crc: crc, ix: ix}
+	g := &generation{id: meta.id, crc: crc, ix: ix, fileBytes: len(data)}
 	g.filter = loadFilter(dir, meta.id, crc, ix)
 	return g, nil
 }
@@ -120,17 +157,30 @@ func writeFileAtomic(dir, name string, data []byte) error {
 	return nil
 }
 
-// writeGeneration persists seq as generation id: build the Frozen
-// encoding, write the index file (temp file + fsync + rename) and then
-// its probe filter (rename only — see writeFilterFile). The renames are
-// atomic, so a crash leaves no partial file — and neither file becomes
-// reachable before a manifest references the generation; until then
-// both are orphans the next Open reclaims. The filter write is
-// best-effort: filters are derived data (the next Open rebuilds a
-// missing one), so they must never fail a flush or compaction — nor
-// add fsyncs to its critical path.
-func writeGeneration(dir string, id uint64, seq []string) (*generation, error) {
-	ix := wavelettrie.NewStatic(seq).Frozen()
+// writeGenerationFrom persists a streamed sequence as generation id:
+// fill feeds a streaming FrozenBuilder (both passes), the resulting
+// Frozen encoding is written to the index file (temp file + fsync +
+// rename) and then its probe filter (rename only — see
+// writeFilterFile). The renames are atomic, so a crash leaves no
+// partial file — and neither file becomes reachable before a manifest
+// references the generation; until then both are orphans the next Open
+// reclaims. The filter write is best-effort: filters are derived data
+// (the next Open rebuilds a missing one), so they must never fail a
+// flush or compaction — nor add fsyncs to its critical path.
+//
+// The input is never materialized as a []string: flush streams the
+// sealed memtable and compaction streams the victim generations straight
+// into the builder's per-node bit accumulators, so peak memory is the
+// output's size, not input + output.
+func writeGenerationFrom(dir string, id uint64, fill func(fb *wavelettrie.FrozenBuilder) error) (*generation, error) {
+	fb := wavelettrie.NewFrozenBuilder()
+	if err := fill(fb); err != nil {
+		return nil, err
+	}
+	ix, err := fb.Build()
+	if err != nil {
+		return nil, err
+	}
 	data, err := ix.MarshalBinary()
 	if err != nil {
 		return nil, err
@@ -141,7 +191,44 @@ func writeGeneration(dir string, id uint64, seq []string) (*generation, error) {
 	}
 	filter := buildFilter(ix.Values(), crc)
 	writeFilterFile(dir, filterFileName(id), filter)
-	return &generation{id: id, crc: crc, ix: ix, filter: filter}, nil
+	return &generation{id: id, crc: crc, ix: ix, filter: filter, fileBytes: len(data)}, nil
+}
+
+// writeGeneration is writeGenerationFrom for an in-memory slice —
+// convenience for tests and callers that already hold the sequence.
+func writeGeneration(dir string, id uint64, seq []string) (*generation, error) {
+	return writeGenerationFrom(dir, id, func(fb *wavelettrie.FrozenBuilder) error {
+		for _, v := range seq {
+			fb.AddValue(v)
+		}
+		for _, v := range seq {
+			if err := fb.Append(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// remapGeneration swaps a freshly written, heap-backed generation onto
+// an mmap of its own file, releasing the heap copy: the generation then
+// behaves exactly like one loaded at Open with mmap on (page-cache
+// backed, shared across processes). Best effort — on any failure the
+// heap-backed generation is returned unchanged.
+func remapGeneration(dir string, g *generation) *generation {
+	region, err := mapFile(filepath.Join(dir, genFileName(g.id)))
+	if err != nil {
+		return g
+	}
+	if genCRC(region.data) != g.crc {
+		return g // foreign bytes? never trust them zero-copy
+	}
+	ix, err := wavelettrie.LoadFrozenMapped(region.data, region)
+	if err != nil || ix.Len() != g.ix.Len() {
+		return g
+	}
+	return &generation{id: g.id, crc: g.crc, ix: ix, filter: g.filter,
+		fileBytes: len(region.data), region: region}
 }
 
 // removeGenFiles deletes a generation's index and filter files (after a

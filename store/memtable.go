@@ -80,12 +80,18 @@ func (m *memtable) maxSeq() (uint64, bool) {
 	return m.seqs[len(m.seqs)-1], true
 }
 
-// contents returns the sealed memtable's sequence in order. Only valid
-// once no writer can touch the trie again.
-func (m *memtable) contents() []string {
+// feedInto streams the sealed memtable's sequence into a streaming
+// freeze builder — both passes, without ever materializing it as a
+// []string: pass 1 registers the trie's distinct values (bit-level,
+// one per alphabet entry), pass 2 replays the sequence through the
+// trie's slice-free bit enumerator. Only valid once no writer can touch
+// the trie again; the single RLock is then uncontended, and the builder
+// callbacks take no store locks.
+func (m *memtable) feedInto(fb *wavelettrie.FrozenBuilder) error {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	return m.trie.Slice(0, int(m.n.Load()))
+	m.trie.FeedValues(fb)
+	return m.trie.FeedRange(fb, 0, int(m.n.Load()), nil)
 }
 
 // memView is a snapshot-bounded read view of a memtable: every

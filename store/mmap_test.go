@@ -1,0 +1,181 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// prepGenerations fills dir with a flushed store of seq (split across
+// two generations) and closes it.
+func prepGenerations(t *testing.T, dir string, seq []string) {
+	t.Helper()
+	s := mustOpen(t, dir, testOpts())
+	mustAppend(t, s, seq[:len(seq)/2]...)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, seq[len(seq)/2:]...)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMmapHeapDifferential opens the same directory mmap'd and then
+// heap-decoded (sequentially — the directory lock admits one store at a
+// time) and checks both agree with the appended sequence — and that the
+// mmap path actually engaged.
+func TestMmapHeapDifferential(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("mmap unsupported on this platform")
+	}
+	dir := t.TempDir()
+	seq := workload.URLLog(600, 21, workload.DefaultURLConfig())
+	prepGenerations(t, dir, seq)
+	probes := []string{seq[0], seq[3], "no-such-value"}
+
+	counts := map[bool][]int{}
+	for _, noMmap := range []bool{false, true} {
+		opts := testOpts()
+		opts.NoMmap = noMmap
+		s := mustOpen(t, dir, opts)
+		for _, g := range s.Generations() {
+			if g.Mmapped == noMmap {
+				t.Fatalf("generation %d Mmapped=%v with NoMmap=%v", g.ID, g.Mmapped, noMmap)
+			}
+			if g.FileBytes <= 0 {
+				t.Fatalf("generation %d FileBytes = %d", g.ID, g.FileBytes)
+			}
+		}
+		checkSeq(t, s, seq)
+		for _, v := range probes {
+			counts[noMmap] = append(counts[noMmap], s.Count(v))
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, v := range probes {
+		if counts[false][i] != counts[true][i] {
+			t.Fatalf("Count(%q): mmap %d vs heap %d", v, counts[false][i], counts[true][i])
+		}
+	}
+}
+
+// TestTornGenerationFailsOpen simulates a torn write / partial page
+// loss in a generation file: a truncated or bit-flipped file must fail
+// Open with a checksum error, loudly, under both load paths — the
+// zero-copy decode skips deep validation, so the CRC gate is the only
+// thing standing between a torn file and silent corruption.
+func TestTornGenerationFailsOpen(t *testing.T) {
+	for _, mode := range []string{"truncate", "bitflip"} {
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			seq := workload.URLLog(400, 9, workload.DefaultURLConfig())
+			prepGenerations(t, dir, seq)
+
+			// Find a generation file and tear it.
+			matches, err := filepath.Glob(filepath.Join(dir, "gen-*.wt"))
+			if err != nil || len(matches) == 0 {
+				t.Fatalf("no generation files: %v", err)
+			}
+			victim := matches[0]
+			data, err := os.ReadFile(victim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch mode {
+			case "truncate":
+				data = data[:len(data)/2]
+			case "bitflip":
+				data[len(data)/2] ^= 0x40
+			}
+			if err := os.WriteFile(victim, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			for _, noMmap := range []bool{false, true} {
+				opts := testOpts()
+				opts.NoMmap = noMmap
+				s, err := Open(dir, opts)
+				if err == nil {
+					s.Close()
+					t.Fatalf("Open(NoMmap=%v) of torn generation succeeded", noMmap)
+				}
+				if !strings.Contains(err.Error(), "checksum") {
+					t.Fatalf("Open(NoMmap=%v) error %q does not name the checksum", noMmap, err)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotSurvivesCompactionOfMappedGens pins a snapshot over
+// mmap'd generations, compacts (which unlinks their files), and checks
+// the snapshot still answers correctly — the mapping must outlive the
+// unlink.
+func TestSnapshotSurvivesCompactionOfMappedGens(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("mmap unsupported on this platform")
+	}
+	dir := t.TempDir()
+	seq := workload.URLLog(500, 13, workload.DefaultURLConfig())
+	prepGenerations(t, dir, seq)
+
+	s := mustOpen(t, dir, testOpts())
+	defer s.Close()
+	sn := s.Snapshot()
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC() // old generations are unreferenced by the store now
+	for i := range seq {
+		if g := sn.Access(i); g != seq[i] {
+			t.Fatalf("post-compaction snapshot Access(%d) = %q, want %q", i, g, seq[i])
+		}
+	}
+	checkSeq(t, s, seq)
+}
+
+// TestFlushAllocations is the allocation-regression guard for the
+// streaming flush: sealing and freezing a memtable of n elements must
+// not allocate anything proportional to n — in particular no []string
+// materialization (n string headers plus backing copies, ~n mallocs at
+// minimum). The bound is n/4 mallocs: comfortably above the streaming
+// path's real cost (~n/9 at this size, dominated by the succinct
+// components) but far below what any per-element materialization would
+// spend.
+func TestFlushAllocations(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	defer s.Close()
+
+	const n = 1 << 16
+	vals := workload.URLLog(256, 99, workload.DefaultURLConfig())
+	for i := 0; i < n; i++ {
+		if err := s.Append(vals[i&255]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	allocs := after.Mallocs - before.Mallocs
+	t.Logf("flush of %d elements: %d mallocs", n, allocs)
+	if allocs > n/4 {
+		t.Fatalf("flush of %d elements made %d allocations — smells like O(n) materialization (bound %d)",
+			n, allocs, n/4)
+	}
+}

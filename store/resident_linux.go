@@ -1,0 +1,35 @@
+//go:build linux
+
+package store
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// residentBytes reports how many bytes of the mapped region currently
+// sit in physical memory, via mincore(2). Returns -1 when the kernel
+// cannot tell. Purely observational — feeds GenInfo.ResidentBytes.
+func residentBytes(data []byte) int {
+	if len(data) == 0 {
+		return 0
+	}
+	page := os.Getpagesize()
+	vec := make([]byte, (len(data)+page-1)/page)
+	_, _, errno := syscall.Syscall(syscall.SYS_MINCORE,
+		uintptr(unsafe.Pointer(&data[0])), uintptr(len(data)), uintptr(unsafe.Pointer(&vec[0])))
+	if errno != 0 {
+		return -1
+	}
+	resident := 0
+	for _, v := range vec {
+		if v&1 != 0 {
+			resident += page
+		}
+	}
+	if resident > len(data) {
+		resident = len(data)
+	}
+	return resident
+}

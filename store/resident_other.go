@@ -1,0 +1,7 @@
+//go:build unix && !linux
+
+package store
+
+// residentBytes reports how much of data is resident in physical
+// memory; not implemented on this platform.
+func residentBytes(data []byte) int { return -1 }

@@ -203,8 +203,15 @@ func (sn *ShardedSnapshot) Slice(l, r int) []string {
 // MarshalBinary exports the snapshot's whole global sequence as a
 // single Frozen index in the unified persistence container — loadable
 // with wavelettrie.LoadFrozen (or Load) anywhere, independent of the
-// store directory. Cost is O(n): the sequence is materialized and
-// re-frozen.
+// store directory. Cost is O(n) time, but the sequence is streamed
+// through the freeze builder (two Iterate passes over the pinned
+// snapshot), never materialized as a []string.
 func (sn *ShardedSnapshot) MarshalBinary() ([]byte, error) {
-	return wavelettrie.NewStatic(sn.Slice(0, sn.n)).Frozen().MarshalBinary()
+	f, err := wavelettrie.FreezeIterate(func(yield func(s string) bool) {
+		sn.Iterate(0, sn.n, func(_ int, v string) bool { return yield(v) })
+	})
+	if err != nil {
+		return nil, err
+	}
+	return f.MarshalBinary()
 }

@@ -30,6 +30,13 @@ type Options struct {
 	// memtable then grows until Flush or Compact is called explicitly.
 	// Mostly for tests and benchmarks.
 	DisableAutoFlush bool
+	// NoMmap disables memory-mapping generation files. By default (on
+	// platforms that support it) checksummed generations are mapped
+	// read-only and decoded zero-copy, so Open does O(metadata) work per
+	// generation beyond the CRC pass and the page cache backs — and
+	// shares across processes — the index bits. With NoMmap set every
+	// generation is read and decoded onto the heap.
+	NoMmap bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -44,6 +51,21 @@ func (o *Options) withDefaults() Options {
 		out.MaxGenerations = 8
 	}
 	return out
+}
+
+// useMmap reports whether this store maps generation files.
+func (s *Store) useMmap() bool { return mmapSupported && !s.opts.NoMmap }
+
+// maybeRemap swaps a freshly written heap-backed generation onto a
+// mapping of its own file when mmap is enabled — so flush and
+// compaction output immediately gains the page-cache backing that
+// reopened generations have. Best effort; on failure the heap-backed
+// generation is kept.
+func (s *Store) maybeRemap(g *generation) *generation {
+	if !s.useMmap() {
+		return g
+	}
+	return remapGeneration(s.dir, g)
 }
 
 // storeState is the immutable root the readers load atomically: the
@@ -182,7 +204,7 @@ func openStore(dir string, opts *Options, hooks *shardHooks) (*Store, error) {
 		wg.Add(1)
 		go func(i int, meta genMeta) {
 			defer wg.Done()
-			gens[i], errs[i] = loadGeneration(dir, meta)
+			gens[i], errs[i] = loadGeneration(dir, meta, s.useMmap())
 		}(i, meta)
 	}
 	wg.Wait()
@@ -679,10 +701,11 @@ func (s *Store) flushLocked(oldWALs []uint64) error {
 	if sealed.n.Load() > 0 {
 		gid := s.nextID
 		s.nextID++
-		g, err := writeGeneration(s.dir, gid, sealed.contents())
+		g, err := writeGenerationFrom(s.dir, gid, sealed.feedInto)
 		if err != nil {
 			return err
 		}
+		g = s.maybeRemap(g)
 		gens = append(append([]*generation(nil), st.gens...), g)
 	}
 
@@ -787,6 +810,15 @@ type GenInfo struct {
 	FilterBits int    // in-memory footprint of the probe filter
 	MinValue   string // lexicographic bounds the filter prunes by
 	MaxValue   string
+	// Mmapped reports whether the generation's index aliases a read-only
+	// file mapping (zero-copy decode) rather than heap memory.
+	Mmapped bool
+	// FileBytes is the on-disk size of the index file.
+	FileBytes int
+	// ResidentBytes is how much of the mapping currently sits in physical
+	// memory (mincore), or -1 when the generation is heap-backed or the
+	// platform cannot tell.
+	ResidentBytes int
 }
 
 // Generations lists the persisted generations in sequence order.
@@ -795,9 +827,14 @@ func (s *Store) Generations() []GenInfo {
 	out := make([]GenInfo, len(st.gens))
 	// Filters are always non-nil on loaded or written generations.
 	for i, g := range st.gens {
+		resident := -1
+		if g.region != nil {
+			resident = residentBytes(g.region.data)
+		}
 		out[i] = GenInfo{ID: g.id, Len: g.ix.Len(), SizeBits: g.ix.SizeBits(),
 			FilterBits: g.filter.sizeBits(),
-			MinValue:   g.filter.min, MaxValue: g.filter.max}
+			MinValue:   g.filter.min, MaxValue: g.filter.max,
+			Mmapped: g.region != nil, FileBytes: g.fileBytes, ResidentBytes: resident}
 	}
 	return out
 }
@@ -849,9 +886,17 @@ func (s *Store) SelectPrefix(p string, idx int) (int, bool) { return s.Snapshot(
 // MarshalBinary exports a point-in-time snapshot of the whole sequence
 // as a single Frozen index in the unified persistence container —
 // loadable with wavelettrie.LoadFrozen (or Load) anywhere, independent
-// of the store directory. Cost is O(n): the sequence is materialized and
-// re-frozen.
+// of the store directory. Cost is O(n) time, but the sequence is
+// streamed through the freeze builder (two iteration passes over the
+// snapshot), never materialized as a []string — peak extra memory is
+// the output index, not input + output.
 func (s *Store) MarshalBinary() ([]byte, error) {
 	sn := s.Snapshot()
-	return wavelettrie.NewStatic(sn.Slice(0, sn.Len())).Frozen().MarshalBinary()
+	f, err := wavelettrie.FreezeIterate(func(yield func(s string) bool) {
+		sn.Iterate(0, sn.Len(), func(_ int, v string) bool { return yield(v) })
+	})
+	if err != nil {
+		return nil, err
+	}
+	return f.MarshalBinary()
 }
