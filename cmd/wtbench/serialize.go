@@ -156,6 +156,7 @@ type benchConfig struct {
 	NumCPU       int              `json:"num_cpu"`
 	Shard        shardBenchConfig `json:"shard"`
 	Serve        serveBenchConfig `json:"serve"`
+	Obs          obsBenchConfig   `json:"obs"`
 }
 
 // emitJSON writes the machine-readable benchmark suite to stdout: the
@@ -163,11 +164,12 @@ type benchConfig struct {
 // log-structured store, compaction and sharding experiments.
 func emitJSON(quick bool) {
 	cfg := benchConfig{Quick: quick, SerVariants: serVariants, Shard: shardConfig(quick), Serve: serveConfig(quick),
-		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+		Obs: obsConfig(quick), GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 	cfg.SerSizes, cfg.SerIters = serConfig(quick)
 	cfg.StoreSizes, cfg.StoreIters = storeConfig(quick)
 	cfg.CompactSizes, cfg.CompactBatch = compactConfig(quick)
 	cfg.FreezeSizes, cfg.FreezeBatch = freezeConfig(quick)
+	obsRecs, obsSum := obsBenchRecords(quick)
 	out := struct {
 		Suite          string               `json:"suite"`
 		Quick          bool                 `json:"quick"`
@@ -178,10 +180,13 @@ func emitJSON(quick bool) {
 		FreezeRecords  []freezeBenchRecord  `json:"freeze_records"`
 		ShardRecords   []shardBenchRecord   `json:"shard_records"`
 		ServeRecords   []serveBenchRecord   `json:"serve_records"`
+		ObsRecords     []obsBenchRecord     `json:"obs_records"`
+		ObsSummary     obsBenchSummary      `json:"obs_summary"`
 	}{Suite: "wavelettrie-serialize", Quick: quick, Config: cfg,
 		Records: serRecords(quick), StoreRecords: storeBenchRecords(quick),
 		CompactRecords: compactBenchRecords(quick), FreezeRecords: freezeBenchRecords(quick),
-		ShardRecords: shardBenchRecords(quick), ServeRecords: serveBenchRecords(quick)}
+		ShardRecords: shardBenchRecords(quick), ServeRecords: serveBenchRecords(quick),
+		ObsRecords: obsRecs, ObsSummary: obsSum}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {

@@ -29,7 +29,7 @@
 //	save FILE             | load FILE
 //	flush                 | compact | gens                 (-store only)
 //	shards                                                 (sharded store only)
-//	stats                 | help | quit
+//	stats                 | metrics | help | quit
 package main
 
 import (
@@ -41,6 +41,7 @@ import (
 	"strings"
 
 	wavelettrie "repro"
+	"repro/internal/obs"
 	"repro/internal/workload"
 	"repro/store"
 )
@@ -280,7 +281,7 @@ func execute(st wavelettrie.StringIndex, args []string) (cur wavelettrie.StringI
 		fmt.Println("append STR | insert POS STR | delete POS")
 		fmt.Println("flush | compact | gens   (durable store only)")
 		fmt.Println("shards                   (sharded store only)")
-		fmt.Println("save FILE | load FILE | stats | quit")
+		fmt.Println("save FILE | load FILE | stats | metrics | quit")
 	case "access":
 		need(1)
 		fmt.Println(st.Access(atoi(args[1])))
@@ -438,6 +439,15 @@ func execute(st wavelettrie.StringIndex, args []string) (cur wavelettrie.StringI
 		}
 		fmt.Printf("%s  %.1f bits/elem (%d total)\n", line,
 			float64(st.SizeBits())/float64(max(1, st.Len())), st.SizeBits())
+	case "metrics":
+		// Remote sessions fetch the server's snapshot over the binary
+		// protocol; everything else dumps this process's registry — the
+		// same Prometheus text either way.
+		if m, ok := st.(interface{ MetricsText() (string, error) }); ok {
+			fmt.Print(must(m.MetricsText()))
+		} else {
+			fmt.Print(obs.Default().TextSnapshot())
+		}
 	default:
 		fmt.Printf("unknown command %q; try 'help'\n", args[0])
 	}

@@ -103,6 +103,11 @@ func (r *remoteIndex) Generations() []store.GenInfo {
 	return out
 }
 
+// MetricsText returns the server's engine-wide metrics as Prometheus
+// text — the same snapshot its HTTP gateway serves on /metrics, so the
+// REPL's 'metrics' command works without gateway access.
+func (r *remoteIndex) MetricsText() (string, error) { return r.c.MetricsText() }
+
 // connectRemote dials a wtserve server and wraps it for the REPL.
 func connectRemote(addr string) (*remoteIndex, error) {
 	c, err := server.Dial(addr)

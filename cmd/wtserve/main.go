@@ -1,6 +1,9 @@
 // Command wtserve serves a durable Wavelet Trie store (plain or
 // sharded) over the network: the compact binary protocol on -listen
-// and an HTTP/JSON gateway (with /healthz and /metrics) on -http.
+// and an HTTP/JSON gateway on -http. The gateway carries the
+// observability surface: /healthz, Prometheus text on /metrics,
+// legacy expvar JSON on /debug/vars, pprof profiles under
+// /debug/pprof/, and the event-tracer ring as JSON on /debug/trace.
 // Concurrent client appends are group-committed — coalesced into one
 // lock acquisition, one WAL write and at most one fsync per batch —
 // reads are served from pinned snapshots through a fingerprint-keyed
@@ -14,8 +17,11 @@
 //	                                        #  detected on reopen)
 //	wtserve -dir data/ -sync                # fsync per group commit
 //	wtserve -dir data/ -listen :7070 -http :7071
+//	wtserve -dir data/ -slow-op 50ms          # log ops slower than 50ms
 //	curl localhost:7071/healthz
+//	curl localhost:7071/metrics
 //	curl localhost:7071/v1/count?v=GET%20/index.html
+//	go tool pprof localhost:7071/debug/pprof/profile
 //
 // See DESIGN.md §8 for the protocol, and cmd/wtquery -connect for an
 // interactive remote client.
@@ -49,6 +55,7 @@ func main() {
 	maxBatch := flag.Int("max-batch", 1024, "max values per group commit")
 	noGroupCommit := flag.Bool("no-group-commit", false, "commit every append individually (benchmark baseline)")
 	cursorTTL := flag.Duration("cursor-ttl", 30*time.Second, "idle lease on iterate cursors")
+	slowOp := flag.Duration("slow-op", 0, "log binary-protocol ops slower than this (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown bound")
 	flag.Parse()
 
@@ -68,6 +75,7 @@ func main() {
 		DisableGroupCommit: *noGroupCommit,
 		MaxBatch:           *maxBatch,
 		CursorTTL:          *cursorTTL,
+		SlowOp:             *slowOp,
 	})
 	expvar.Publish("wtserve", expvar.Func(func() any { return srv.Metrics().Snapshot() }))
 

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("wt_test_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.NewGauge("wt_test_gauge", "help")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("wt_same", "first")
+	b := r.NewCounter("wt_same", "second registration returns the first handle")
+	if a != b {
+		t.Fatal("re-registering the same name returned a different handle")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("handles from repeated registration do not share state")
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "wt_same" {
+		t.Fatalf("Names() = %v, want [wt_same]", names)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("wt_kind", "a counter")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter name as a gauge did not panic")
+		}
+	}()
+	r.NewGauge("wt_kind", "now a gauge")
+}
+
+func TestBadNamePanics(t *testing.T) {
+	for _, name := range []string{"requests_total", "wt_Bad", "wt-dash", "wt_", ""} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", name)
+				}
+			}()
+			NewRegistry().NewCounter(name, "")
+		}()
+	}
+	// wt_ prefix plus lowercase snake is the accepted shape.
+	NewRegistry().NewCounter("wt_ok_123_total", "")
+}
+
+func TestDisabledRecordingIsNoop(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("wt_off_total", "")
+	g := r.NewGauge("wt_off_gauge", "")
+	h := r.NewHistogram("wt_off_hist", "", 1)
+	r.SetEnabled(false)
+	if r.Enabled() {
+		t.Fatal("Enabled() = true after SetEnabled(false)")
+	}
+	c.Inc()
+	g.Set(9)
+	h.Observe(9)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("disabled handles still recorded")
+	}
+	r.SetEnabled(true)
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("re-enabled counter did not record")
+	}
+}
+
+func TestGaugeFuncFirstCallbackWins(t *testing.T) {
+	r := NewRegistry()
+	r.NewGaugeFunc("wt_fn_gauge", "", func() int64 { return 42 })
+	r.NewGaugeFunc("wt_fn_gauge", "", func() int64 { return 0 })
+	if out := r.TextSnapshot(); !strings.Contains(out, "wt_fn_gauge 42\n") {
+		t.Fatalf("gauge func output missing first callback's value:\n%s", out)
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("wt_vec_total", "", "op")
+	v.With("read").Add(3)
+	v.With("write").Inc()
+	if v.With("read") != v.With("read") {
+		t.Fatal("With returned distinct handles for the same label value")
+	}
+	out := r.TextSnapshot()
+	for _, want := range []string{`wt_vec_total{op="read"} 3`, `wt_vec_total{op="write"} 1`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSince(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("wt_since_seconds", "", 1e-9)
+	base := time.Unix(0, 0)
+	defer func() { now = time.Now }()
+	now = func() time.Time { return base.Add(1000 * time.Nanosecond) }
+	Since(h, base)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 1000 {
+		t.Fatalf("Since recorded count=%d sum=%d, want 1/1000", s.Count, s.Sum)
+	}
+}
+
+func TestDefaultSetEnabledCoversTracer(t *testing.T) {
+	SetEnabled(false)
+	if Default().Enabled() {
+		t.Fatal("default registry still enabled")
+	}
+	if sp := DefaultTracer.Start("x"); sp.Active() {
+		t.Fatal("default tracer still active")
+	}
+	SetEnabled(true)
+	if !Default().Enabled() {
+		t.Fatal("default registry did not re-enable")
+	}
+}
+
+// TestConcurrentHistogram hammers one histogram from many goroutines
+// (run under -race in CI) and checks the structural invariant the
+// design leans on: a snapshot's Count is the sum of its buckets by
+// construction, and after all writers join, both match the total
+// observation count exactly.
+func TestConcurrentHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("wt_conc_hist", "", 1)
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			v := seed
+			for i := 0; i < perWorker; i++ {
+				v = v*6364136223846793005 + 1442695040888963407 // LCG, deterministic
+				h.Observe(v % (1 << 20))
+				if i%64 == 0 {
+					s := h.Snapshot()
+					var sum int64
+					for _, b := range s.Buckets {
+						sum += b
+					}
+					if sum != s.Count {
+						t.Errorf("mid-flight snapshot: sum of buckets %d != Count %d", sum, s.Count)
+						return
+					}
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	var sum int64
+	for _, b := range s.Buckets {
+		sum += b
+	}
+	if sum != s.Count || s.Count != workers*perWorker {
+		t.Fatalf("final snapshot: sum=%d count=%d, want both %d", sum, s.Count, workers*perWorker)
+	}
+}

@@ -1,5 +1,12 @@
 package server
 
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
 // The group-commit write path: connection handlers never touch the
 // store's append lock themselves. They enqueue their values on a
 // channel and wait; a single committer goroutine drains whatever has
@@ -42,11 +49,21 @@ func (s *Server) committer() {
 				break drain
 			}
 		}
+		sp := obs.DefaultTracer.Start("group_commit")
+		t0 := time.Now()
 		err := s.b.AppendBatch(vals)
+		smet.commitSeconds.ObserveSince(t0)
+		smet.groupCommits.Inc()
+		smet.commitValues.Add(int64(len(vals)))
+		smet.batchSize.Observe(int64(len(vals)))
 		s.metrics.Batches.Add(1)
 		s.metrics.BatchedAppends.Add(int64(len(vals)))
 		if len(waiters) > 1 {
 			s.metrics.CoalescedCommits.Add(int64(len(waiters) - 1))
+			smet.coalesced.Add(int64(len(waiters) - 1))
+		}
+		if sp.Active() {
+			sp.End(fmt.Sprintf("values=%d waiters=%d", len(vals), len(waiters)))
 		}
 		for _, c := range waiters {
 			c <- err
@@ -62,6 +79,7 @@ func (s *Server) submitAppend(vals []string) error {
 		return nil
 	}
 	s.metrics.Appends.Add(int64(len(vals)))
+	smet.appendValues.Add(int64(len(vals)))
 	if s.opts.DisableGroupCommit {
 		if len(vals) == 1 {
 			return s.b.Append(vals[0])
@@ -79,7 +97,15 @@ func (s *Server) submitAppend(vals []string) error {
 		s.sendMu.RUnlock()
 		return errDraining
 	}
-	s.appendCh <- req
+	// A full queue means the store has fallen behind the writers — the
+	// send below still blocks (that IS the backpressure), the counter
+	// just makes the stall visible.
+	select {
+	case s.appendCh <- req:
+	default:
+		smet.stalls.Inc()
+		s.appendCh <- req
+	}
 	s.sendMu.RUnlock()
 	return <-req.errc
 }

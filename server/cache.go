@@ -100,7 +100,15 @@ func (c *resultCache) put(k cacheKey, v cacheVal) {
 	if s.lru.Len() > s.cap {
 		last := s.lru.Back()
 		s.lru.Remove(last)
-		delete(s.m, last.Value.(*cacheEntry).key)
+		evicted := last.Value.(*cacheEntry).key
+		delete(s.m, evicted)
+		smet.cacheEvictions.Inc()
+		if evicted.fp != k.fp {
+			// The victim was keyed to a superseded snapshot — the LRU
+			// doubling as the invalidation sweep the fingerprint scheme
+			// never has to run eagerly.
+			smet.cacheInvalidations.Inc()
+		}
 	}
 }
 

@@ -176,6 +176,19 @@ func (c *Client) Stats() (Stats, error) {
 	return st, err
 }
 
+// MetricsText returns the server's metrics as Prometheus text
+// exposition — byte-identical to what the HTTP gateway's /metrics
+// serves, but over the binary protocol, so a deployment without the
+// gateway is still observable.
+func (c *Client) MetricsText() (string, error) {
+	var out string
+	err := c.roundTrip(Request{Op: OpMetrics}, func(r *wire.Reader) error {
+		out = r.Str()
+		return nil
+	})
+	return out, err
+}
+
 // Scan streams the elements of positions [start, start+n) in order,
 // calling fn for each; n < 0 streams to the end. The whole walk is
 // served from one snapshot the server pins under a leased cursor, so

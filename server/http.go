@@ -6,7 +6,10 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+
+	"repro/internal/obs"
 )
 
 // HTTPHandler returns the HTTP/JSON gateway over the same serving
@@ -14,8 +17,10 @@ import (
 // committer, reads through the pinned snapshot and result cache:
 //
 //	GET  /healthz                       liveness (503 while draining)
-//	GET  /metrics                       server counters as JSON
-//	GET  /debug/vars                    expvar
+//	GET  /metrics                       Prometheus text exposition
+//	GET  /debug/vars                    expvar (legacy JSON counters)
+//	GET  /debug/pprof/...               net/http/pprof profiles
+//	GET  /debug/trace                   event tracer ring as JSON
 //	GET  /v1/stats                      store shape
 //	GET  /v1/access?pos=P
 //	GET  /v1/rank?v=V&pos=P             also /v1/count?v=V
@@ -37,10 +42,32 @@ func (s *Server) HTTPHandler() http.Handler {
 		}
 		fmt.Fprintln(w, "ok")
 	})
+	// /metrics is Prometheus text exposition — scrapers expect exactly
+	// this under exactly this path. The legacy JSON counter dump lives
+	// wholly under /debug/vars (publish the server's Metrics through
+	// expvar, as cmd/wtserve does).
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, s.metrics.Snapshot())
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.Default().WritePrometheus(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	// The pprof handlers hang off the gateway mux explicitly (the
+	// net/http/pprof side-effect registration only covers
+	// http.DefaultServeMux, which this gateway never uses).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		data, err := obs.DefaultTracer.DumpJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		st := s.stats()
 		writeJSON(w, map[string]any{

@@ -49,6 +49,7 @@ const (
 	OpFlush
 	OpCompact
 	OpStats
+	OpMetrics
 
 	opLimit // one past the last valid opcode
 )
@@ -71,7 +72,8 @@ const (
 //	OpSelect, OpSelectPrefix     Value, Pos (the occurrence index)
 //	OpIterate                    Cursor (0 = open), Pos (start), Max
 //	OpCursorClose                Cursor
-//	OpFlush, OpCompact, OpStats  —
+//	OpFlush, OpCompact           —
+//	OpStats, OpMetrics           —
 type Request struct {
 	Op     byte
 	Value  string
@@ -111,7 +113,7 @@ func EncodeRequest(req Request) []byte {
 		w.Uvarint(uint64(req.Max))
 	case OpCursorClose:
 		w.Uvarint(req.Cursor)
-	case OpFlush, OpCompact, OpStats:
+	case OpFlush, OpCompact, OpStats, OpMetrics:
 	default:
 		panic(fmt.Sprintf("server: encoding unknown opcode %d", req.Op))
 	}
@@ -159,7 +161,7 @@ func ParseRequest(payload []byte) (Request, error) {
 		req.Max = readPos()
 	case OpCursorClose:
 		req.Cursor = r.Uvarint()
-	case OpFlush, OpCompact, OpStats:
+	case OpFlush, OpCompact, OpStats, OpMetrics:
 	}
 	if err := r.Err(); err != nil {
 		return req, err
@@ -182,15 +184,19 @@ type GenStat struct {
 }
 
 // Stats is the OpStats reply: the store's shape at the serving
-// snapshot.
+// snapshot, plus enough of the host's runtime shape (GOMAXPROCS,
+// NumCPU) for a remote client to judge throughput numbers — a 1-core
+// container and a 32-core host answer the same Stats otherwise.
 type Stats struct {
-	Len      int
-	Distinct int
-	Height   int
-	SizeBits int
-	MemLen   int
-	Shards   int
-	Gens     []GenStat
+	Len        int
+	Distinct   int
+	Height     int
+	SizeBits   int
+	MemLen     int
+	Shards     int
+	GoMaxProcs int
+	NumCPU     int
+	Gens       []GenStat
 }
 
 func encodeStats(w *wire.Writer, st Stats) {
@@ -200,6 +206,8 @@ func encodeStats(w *wire.Writer, st Stats) {
 	w.Uvarint(uint64(st.SizeBits))
 	w.Uvarint(uint64(st.MemLen))
 	w.Uvarint(uint64(st.Shards))
+	w.Uvarint(uint64(st.GoMaxProcs))
+	w.Uvarint(uint64(st.NumCPU))
 	w.Uvarint(uint64(len(st.Gens)))
 	for _, g := range st.Gens {
 		w.Uvarint(g.ID)
@@ -219,6 +227,8 @@ func parseStats(r *wire.Reader) Stats {
 	st.SizeBits = int(r.Uvarint())
 	st.MemLen = int(r.Uvarint())
 	st.Shards = int(r.Uvarint())
+	st.GoMaxProcs = int(r.Uvarint())
+	st.NumCPU = int(r.Uvarint())
 	n := r.Len()
 	for i := 0; i < n && r.Err() == nil; i++ {
 		st.Gens = append(st.Gens, GenStat{

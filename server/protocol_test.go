@@ -79,6 +79,7 @@ func TestParseRequestRejects(t *testing.T) {
 func TestStatsRoundTrip(t *testing.T) {
 	want := Stats{
 		Len: 100, Distinct: 12, Height: 9, SizeBits: 4096, MemLen: 40, Shards: 4,
+		GoMaxProcs: 8, NumCPU: 16,
 		Gens: []GenStat{
 			{ID: 3, Len: 30, SizeBits: 2048, FilterBits: 128, MinValue: "a", MaxValue: "zz"},
 			{ID: 5, Len: 30, SizeBits: 2000, FilterBits: 120, MinValue: "", MaxValue: "q/x"},

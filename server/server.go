@@ -5,11 +5,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -36,6 +39,13 @@ type Options struct {
 	// MaxIterBatch caps the values returned by one Iterate call (also
 	// the default when the client asks for 0). Default 4096.
 	MaxIterBatch int
+	// SlowOp is the latency threshold above which a binary-protocol
+	// request is logged, naming the op, its key shape and the pinned
+	// snapshot's fingerprint. 0 disables the slow-op log.
+	SlowOp time.Duration
+	// SlowOpLog receives the slow-op lines; nil selects log.Printf.
+	// Mostly for tests and callers with structured logging.
+	SlowOpLog func(format string, args ...any)
 }
 
 func (o *Options) withDefaults() Options {
@@ -149,6 +159,7 @@ func New(b Backend, opts *Options) *Server {
 	s.wgCommit.Add(2)
 	go s.committer()
 	go s.janitor()
+	liveServers.add(s)
 	return s
 }
 
@@ -168,8 +179,10 @@ func (s *Server) janitor() {
 		case <-s.drainCh:
 			return
 		case now := <-tick.C:
+			smet.cursorSweeps.Inc()
 			if n := s.cursors.sweep(now); n > 0 {
 				s.metrics.CursorsExpired.Add(int64(n))
+				smet.cursorsExpired.Add(int64(n))
 			}
 		}
 	}
@@ -218,6 +231,7 @@ func (s *Server) Serve(l net.Listener) error {
 		s.mu.Unlock()
 		s.metrics.ConnsActive.Add(1)
 		s.metrics.ConnsTotal.Add(1)
+		smet.conns.Inc()
 		go func() {
 			defer func() {
 				s.mu.Lock()
@@ -248,15 +262,22 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		t0 := time.Now()
 		req, err := ParseRequest(payload)
 		var resp []byte
 		if err != nil {
 			s.metrics.Errors.Add(1)
+			smet.errors.Inc()
 			resp = errPayload(err.Error())
 		} else {
 			resp = s.respond(req)
 		}
 		s.metrics.Requests.Add(1)
+		smet.requests.Inc()
+		elapsed := time.Since(t0)
+		// req.Op is 0 when the parse failed — the "invalid" series.
+		smet.observeOp(req.Op, elapsed.Nanoseconds())
+		s.logSlowOp(req, elapsed)
 		conn.SetWriteDeadline(time.Now().Add(time.Minute))
 		if err := writeFrame(bw, resp); err != nil {
 			return
@@ -265,6 +286,22 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// logSlowOp emits the configured slow-op log line when a request's
+// service time crossed Options.SlowOp: the op, its key shape, the
+// latency, and the fingerprint of the snapshot state that served it —
+// enough to correlate with /metrics series and replay the query.
+func (s *Server) logSlowOp(req Request, elapsed time.Duration) {
+	if s.opts.SlowOp <= 0 || elapsed < s.opts.SlowOp {
+		return
+	}
+	logf := s.opts.SlowOpLog
+	if logf == nil {
+		logf = log.Printf
+	}
+	logf("server: slow op %s %s took %s (snapshot fp %016x, threshold %s)",
+		opName(req.Op), keyShape(req), elapsed, s.b.Snap().Fingerprint(), s.opts.SlowOp)
 }
 
 // errPayload builds a statusErr response payload.
@@ -282,6 +319,7 @@ func (s *Server) respond(req Request) (out []byte) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.metrics.Errors.Add(1)
+			smet.errors.Inc()
 			out = errPayload(fmt.Sprint(r))
 		}
 	}()
@@ -353,6 +391,10 @@ func (s *Server) respond(req Request) (out []byte) {
 		}
 	case OpStats:
 		encodeStats(w, s.stats())
+	case OpMetrics:
+		// The reply is the same Prometheus text the gateway's /metrics
+		// serves — one snapshot format across every surface.
+		w.Str(obs.Default().TextSnapshot())
 	default:
 		return errPayload(fmt.Sprintf("server: unknown opcode %d", req.Op))
 	}
@@ -381,9 +423,11 @@ func (s *Server) cachedNum(op byte, arg string, pos int, miss func(Snap) (int, b
 	key := cacheKey{fp: sn.Fingerprint(), op: op, arg: arg, pos: pos}
 	if v, hit := s.cache.get(key); hit {
 		s.metrics.CacheHits.Add(1)
+		smet.cacheHits.Inc()
 		return v.num, v.ok
 	}
 	s.metrics.CacheMisses.Add(1)
+	smet.cacheMisses.Inc()
 	n, ok := miss(sn)
 	s.cache.put(key, cacheVal{num: n, ok: ok})
 	return n, ok
@@ -399,9 +443,11 @@ func (s *Server) cachedStr(op byte, arg string, pos int, miss func(Snap) (string
 	key := cacheKey{fp: sn.Fingerprint(), op: op, arg: arg, pos: pos}
 	if v, hit := s.cache.get(key); hit {
 		s.metrics.CacheHits.Add(1)
+		smet.cacheHits.Inc()
 		return v.str, true
 	}
 	s.metrics.CacheMisses.Add(1)
+	smet.cacheMisses.Inc()
 	v, _, _ := miss(sn)
 	s.cache.put(key, cacheVal{str: v})
 	return v, true
@@ -423,6 +469,7 @@ func (s *Server) iterate(w *wire.Writer, req Request) error {
 			cur.next = cur.snap.Len()
 		}
 		s.metrics.CursorsOpened.Add(1)
+		smet.cursorsOpened.Inc()
 	} else {
 		var err error
 		cur, err = s.cursors.take(id)
@@ -479,12 +526,14 @@ func (s *Server) iterate(w *wire.Writer, req Request) error {
 func (s *Server) stats() Stats {
 	sn := s.b.Snap()
 	st := Stats{
-		Len:      sn.Len(),
-		Distinct: sn.AlphabetSize(),
-		Height:   sn.Height(),
-		SizeBits: sn.SizeBits(),
-		MemLen:   s.b.MemLen(),
-		Shards:   s.b.Shards(),
+		Len:        sn.Len(),
+		Distinct:   sn.AlphabetSize(),
+		Height:     sn.Height(),
+		SizeBits:   sn.SizeBits(),
+		MemLen:     s.b.MemLen(),
+		Shards:     s.b.Shards(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 	for _, g := range s.b.Generations() {
 		st.Gens = append(st.Gens, GenStat{
@@ -507,6 +556,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.draining.Swap(true) {
 		return nil
 	}
+	liveServers.remove(s)
 	close(s.drainCh)
 	s.mu.Lock()
 	for l := range s.listeners {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -461,9 +462,43 @@ func TestHTTPGateway(t *testing.T) {
 	if out := get("/v1/stats"); out["memtable_len"].(float64) != 0 || out["len"].(float64) != 4 {
 		t.Fatalf("stats = %v", out)
 	}
-	if out := get("/metrics"); out["requests"] == nil {
-		t.Fatalf("metrics = %v", out)
+	// /metrics is Prometheus text exposition, not JSON.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil || mresp.StatusCode != 200 {
+		t.Fatalf("metrics: %v %v", mresp.StatusCode, err)
 	}
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"# TYPE wt_server_requests_total counter",
+		"wt_server_op_seconds_bucket",
+		"wt_batcher_batch_size",
+		"wt_cache_hits_total",
+		"wt_wal_fsync_seconds",
+	} {
+		if !strings.Contains(string(mbody), want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, mbody)
+		}
+	}
+	// The tracer dump is JSON.
+	tresp, err := http.Get(ts.URL + "/debug/trace")
+	if err != nil || tresp.StatusCode != 200 {
+		t.Fatalf("debug/trace: %v %v", tresp.StatusCode, err)
+	}
+	var spans []map[string]any
+	if err := json.NewDecoder(tresp.Body).Decode(&spans); err != nil {
+		t.Fatalf("debug/trace not JSON: %v", err)
+	}
+	tresp.Body.Close()
+	// pprof is wired onto the gateway mux.
+	presp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil || presp.StatusCode != 200 {
+		t.Fatalf("debug/pprof: %v %v", presp.StatusCode, err)
+	}
+	presp.Body.Close()
 	// Bad positions are 400s, not crashes.
 	if resp, err := http.Get(ts.URL + "/v1/access?pos=99999"); err != nil || resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("oob access: %v %v", resp.StatusCode, err)

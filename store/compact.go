@@ -2,8 +2,10 @@ package store
 
 import (
 	"fmt"
+	"time"
 
 	wavelettrie "repro"
+	"repro/internal/obs"
 )
 
 // Compaction keeps the generation count bounded so merged reads stay
@@ -124,8 +126,11 @@ func pickRun(gens []*generation) (lo, hi, total int) {
 }
 
 // mergeRun replaces the victim run with one merged generation. The
-// caller holds compactMu (never adminMu).
+// caller holds compactMu (never adminMu). Every pre-commit exit is an
+// abort in the metrics: the prepared files (if any) become orphans.
 func (s *Store) mergeRun(st *storeState) error {
+	t0 := time.Now()
+	sp := obs.DefaultTracer.Start("compact")
 	lo, hi, _ := pickRun(st.gens)
 	victims := st.gens[lo : hi+1]
 
@@ -134,6 +139,7 @@ func (s *Store) mergeRun(st *storeState) error {
 	s.adminMu.Lock()
 	if s.closed.Load() {
 		s.adminMu.Unlock()
+		met.compactAborts.Inc()
 		return errClosed
 	}
 	gid := s.nextID
@@ -166,8 +172,10 @@ func (s *Store) mergeRun(st *storeState) error {
 	}
 	merged, err := writeGenerationFrom(s.dir, gid, fill)
 	if err != nil {
+		met.compactAborts.Inc()
 		return err
 	}
+	mergedBytes := merged.fileBytes
 	merged = s.maybeRemap(merged)
 
 	// Phase 2 — commit under adminMu, against the *current* state: a
@@ -184,16 +192,19 @@ func (s *Store) mergeRun(st *storeState) error {
 		if err == nil {
 			err = errClosed
 		}
+		met.compactAborts.Inc()
 		return err
 	}
 	cur := s.state.Load()
 	if hi >= len(cur.gens) {
 		s.adminMu.Unlock()
+		met.compactAborts.Inc()
 		return fmt.Errorf("store: compaction victim run moved (internal error)")
 	}
 	for i, g := range victims {
 		if cur.gens[lo+i].id != g.id {
 			s.adminMu.Unlock()
+			met.compactAborts.Inc()
 			return fmt.Errorf("store: compaction victim run moved (internal error)")
 		}
 	}
@@ -213,6 +224,7 @@ func (s *Store) mergeRun(st *storeState) error {
 	m := manifest{nextID: s.nextID, walID: walID, distinct: s.genDistinct, gens: genMetas(gens)}
 	if err := writeManifest(s.dir, m); err != nil {
 		s.adminMu.Unlock()
+		met.compactAborts.Inc()
 		return err
 	}
 	// The memtable pointers are stable while adminMu is held (only a
@@ -221,8 +233,17 @@ func (s *Store) mergeRun(st *storeState) error {
 	s.state.Store(&storeState{gens: gens, sealed: cur.sealed, mem: cur.mem})
 	s.adminMu.Unlock()
 
+	var readBytes int
 	for _, g := range victims {
+		readBytes += g.fileBytes
 		removeGenFiles(s.dir, g.id)
+	}
+	met.compactions.Inc()
+	met.compactBytesRead.Add(int64(readBytes))
+	met.compactBytesWritten.Add(int64(mergedBytes))
+	met.compactSeconds.ObserveSince(t0)
+	if sp.Active() {
+		sp.End(fmt.Sprintf("victims=%d read_bytes=%d written_bytes=%d", len(victims), readBytes, mergedBytes))
 	}
 	return nil
 }

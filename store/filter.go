@@ -144,6 +144,10 @@ func (f *probeFilter) mayContain(v string) bool {
 	if f == nil {
 		return true
 	}
+	return filterVerdict(f.containsExact(v))
+}
+
+func (f *probeFilter) containsExact(v string) bool {
 	if len(v) == 0 {
 		return f.min == "" // the empty string is stored iff it is the minimum
 	}
@@ -160,6 +164,10 @@ func (f *probeFilter) mayContainPrefix(p string) bool {
 	if f == nil || len(p) == 0 {
 		return true
 	}
+	return filterVerdict(f.containsPrefix(p))
+}
+
+func (f *probeFilter) containsPrefix(p string) bool {
 	if p > f.max {
 		return false
 	}
@@ -167,6 +175,19 @@ func (f *probeFilter) mayContainPrefix(p string) bool {
 		return false
 	}
 	return f.test(p[:min(len(p), filterMaxPrefix)])
+}
+
+// filterVerdict counts a filter probe's answer: a false is a pruned
+// generation (the win the filter exists for), a true is a probe the
+// trie must serve. Trivial answers (nil filter, empty prefix) are not
+// probes and are not counted.
+func filterVerdict(ok bool) bool {
+	if ok {
+		met.filterPasses.Inc()
+	} else {
+		met.filterNegatives.Inc()
+	}
+	return ok
 }
 
 func encodeFilter(f *probeFilter) []byte {

@@ -96,8 +96,10 @@ func (sn *Snapshot) Generations() int { return len(sn.segs) }
 // its start, trying the memoized last hit before the binary search.
 func (sn *Snapshot) locate(pos int) (int, int) {
 	if i := int(sn.lastSeg.Load()); i < len(sn.segs) && sn.offs[i] <= pos && pos < sn.offs[i+1] {
+		met.locateMemoHits.Inc()
 		return i, pos - sn.offs[i]
 	}
+	met.locateMemoMisses.Inc()
 	i := sort.SearchInts(sn.offs, pos+1) - 1
 	sn.lastSeg.Store(int32(i))
 	return i, pos - sn.offs[i]

@@ -5,12 +5,15 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	wavelettrie "repro"
+	"repro/internal/obs"
 )
 
 // Options tune a Store. The zero value (or a nil pointer) selects the
@@ -297,6 +300,7 @@ func openStore(dir string, opts *Options, hooks *shardHooks) (*Store, error) {
 		go s.background()
 		go s.compactor()
 	}
+	liveStores.add(s)
 	ok = true
 	return s, nil
 }
@@ -495,7 +499,7 @@ func (s *Store) appendBatchLocked(vs []string, seqs []uint64) (int64, error) {
 		}
 		buf = appendLogRecord(buf, payload)
 	}
-	if err := st.mem.wal.appendFramed(buf); err != nil {
+	if err := st.mem.wal.appendFramed(buf, len(vs)); err != nil {
 		s.fail(err)
 		return 0, err
 	}
@@ -656,6 +660,8 @@ func (s *Store) Flush() error {
 // oldWALs are the log files whose contents end up covered by the new
 // generation and manifest, deleted last.
 func (s *Store) flushLocked(oldWALs []uint64) error {
+	t0 := time.Now()
+	sp := obs.DefaultTracer.Start("flush")
 	if len(s.recoveredWALs) > 0 {
 		// Logs superseded by a deferred recovery checkpoint (sharded
 		// open): their records are in the memtable being sealed, so this
@@ -698,13 +704,28 @@ func (s *Store) flushLocked(oldWALs []uint64) error {
 	// Persist the sealed memtable as a frozen generation (skipped when it
 	// is empty — recovery checkpoints can be).
 	gens := st.gens
+	var frozenBytes int
 	if sealed.n.Load() > 0 {
 		gid := s.nextID
 		s.nextID++
+		// The builder-malloc delta needs two ReadMemStats (stop-the-world
+		// each); capture it only while metrics are live. Flushes are rare
+		// enough that the cost never shows on the append path.
+		var m0 runtime.MemStats
+		capture := met.reg.Enabled()
+		if capture {
+			runtime.ReadMemStats(&m0)
+		}
 		g, err := writeGenerationFrom(s.dir, gid, sealed.feedInto)
 		if err != nil {
 			return err
 		}
+		if capture {
+			var m1 runtime.MemStats
+			runtime.ReadMemStats(&m1)
+			met.flushMallocs.Add(int64(m1.Mallocs - m0.Mallocs))
+		}
+		frozenBytes = g.fileBytes
 		g = s.maybeRemap(g)
 		gens = append(append([]*generation(nil), st.gens...), g)
 	}
@@ -724,6 +745,12 @@ func (s *Store) flushLocked(oldWALs []uint64) error {
 		if id != newWALID {
 			os.Remove(filepath.Join(s.dir, walFileName(id)))
 		}
+	}
+	met.flushes.Inc()
+	met.flushBytes.Add(int64(frozenBytes))
+	met.flushSeconds.ObserveSince(t0)
+	if sp.Active() {
+		sp.End(fmt.Sprintf("sealed=%d frozen_bytes=%d wal=%d", sealed.n.Load(), frozenBytes, newWALID))
 	}
 	return nil
 }
@@ -752,6 +779,7 @@ func (s *Store) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
+	liveStores.remove(s)
 	if !s.opts.DisableAutoFlush {
 		close(s.stopCh)
 		s.bg.Wait()

@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"time"
 )
 
 // The write-ahead log is the only mutable file in the store: a 6-byte
@@ -160,26 +161,40 @@ func (w *wal) append(payload []byte) error {
 	if _, err := w.f.Write(rec); err != nil {
 		return err
 	}
+	met.walRecords.Inc()
+	met.walBytes.Add(int64(len(rec)))
 	if w.sync {
-		return w.f.Sync()
+		return w.timedSync()
 	}
 	return nil
+}
+
+// timedSync fsyncs the log, recording the call's latency — the
+// durability cost every synchronous append and group commit pays.
+func (w *wal) timedSync() error {
+	t0 := time.Now()
+	err := w.f.Sync()
+	met.walFsyncSeconds.ObserveSince(t0)
+	return err
 }
 
 // appendFramed writes a buffer of pre-framed records (built with
 // appendLogRecord) as one contiguous write and at most one fsync — the
 // group-commit write: a batch of appends costs the log exactly what a
-// single append costs, regardless of batch size. Per-payload size caps
-// are the caller's job (the frames are already built).
-func (w *wal) appendFramed(buf []byte) error {
+// single append costs, regardless of batch size. nrec is the record
+// count inside buf (the frames are already built, so the log cannot
+// count them itself); per-payload size caps are also the caller's job.
+func (w *wal) appendFramed(buf []byte, nrec int) error {
 	if len(buf) == 0 {
 		return nil
 	}
 	if _, err := w.f.Write(buf); err != nil {
 		return err
 	}
+	met.walRecords.Add(int64(nrec))
+	met.walBytes.Add(int64(len(buf)))
 	if w.sync {
-		return w.f.Sync()
+		return w.timedSync()
 	}
 	return nil
 }
@@ -188,7 +203,7 @@ func (w *wal) appendFramed(buf []byte) error {
 // per-record sync that still need an explicit durability point (the
 // sharded store's ROUTER log ahead of a shard flush).
 func (w *wal) commit() error {
-	return w.f.Sync()
+	return w.timedSync()
 }
 
 func (w *wal) close() error {
@@ -269,6 +284,11 @@ func recoverLog(path string, magic uint32, syncEach bool, valid func([]byte) boo
 	records, good, err := parseLog(data, magic, valid)
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	if len(data) > good {
+		// Bytes past the last valid record: a torn write or corruption
+		// the truncate below (or the fresh-header rewrite) discards.
+		met.walTornTails.Inc()
 	}
 	if good < walHeaderLen {
 		// Empty, missing, or torn before the header completed: start over.
