@@ -12,7 +12,7 @@
 //	wtbench -json               # machine-readable suite + config (BENCH_*.json)
 //
 // Experiments: figs, t1a, t1b, t2a, t2b, t2c, t3a, t3b, t4, t5, t6, q5,
-// cmp, abl, ser, store, compact, freeze, shard, serve, obs.
+// cmp, abl, ser, store, compact, freeze, shard, serve, obs, router.
 package main
 
 import (
@@ -51,6 +51,7 @@ var experiments = []experiment{
 	{"shard", "Sharded store: multi-writer append scaling, busy-reader latency, recovery", runSHARD},
 	{"serve", "Network server: group-commit ingest vs naive, cached point reads", runSERVE},
 	{"obs", "Observability: serve-grid overhead of live metrics/tracing (target <= 3%)", runOBS},
+	{"router", "Frozen wavelet-tree router: succinct bits/elem, frozen vs tail reads, k-way SelectPrefix", runROUTER},
 }
 
 func main() {

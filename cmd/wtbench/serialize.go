@@ -142,21 +142,22 @@ func runSER(quick bool) {
 // committed BENCH_*.json is self-describing instead of leaving the
 // configuration in stdout text.
 type benchConfig struct {
-	Quick        bool             `json:"quick"`
-	SerVariants  []string         `json:"ser_variants"`
-	SerSizes     []int            `json:"ser_sizes"`
-	SerIters     int              `json:"ser_iters"`
-	StoreSizes   []int            `json:"store_sizes"`
-	StoreIters   int              `json:"store_iters"`
-	CompactSizes []int            `json:"compact_sizes"`
-	CompactBatch int              `json:"compact_flush_batch"`
-	FreezeSizes  []int            `json:"freeze_sizes"`
-	FreezeBatch  int              `json:"freeze_flush_batch"`
-	GOMAXPROCS   int              `json:"gomaxprocs"`
-	NumCPU       int              `json:"num_cpu"`
-	Shard        shardBenchConfig `json:"shard"`
-	Serve        serveBenchConfig `json:"serve"`
-	Obs          obsBenchConfig   `json:"obs"`
+	Quick        bool              `json:"quick"`
+	SerVariants  []string          `json:"ser_variants"`
+	SerSizes     []int             `json:"ser_sizes"`
+	SerIters     int               `json:"ser_iters"`
+	StoreSizes   []int             `json:"store_sizes"`
+	StoreIters   int               `json:"store_iters"`
+	CompactSizes []int             `json:"compact_sizes"`
+	CompactBatch int               `json:"compact_flush_batch"`
+	FreezeSizes  []int             `json:"freeze_sizes"`
+	FreezeBatch  int               `json:"freeze_flush_batch"`
+	GOMAXPROCS   int               `json:"gomaxprocs"`
+	NumCPU       int               `json:"num_cpu"`
+	Shard        shardBenchConfig  `json:"shard"`
+	Serve        serveBenchConfig  `json:"serve"`
+	Obs          obsBenchConfig    `json:"obs"`
+	Router       routerBenchConfig `json:"router"`
 }
 
 // emitJSON writes the machine-readable benchmark suite to stdout: the
@@ -164,7 +165,8 @@ type benchConfig struct {
 // log-structured store, compaction and sharding experiments.
 func emitJSON(quick bool) {
 	cfg := benchConfig{Quick: quick, SerVariants: serVariants, Shard: shardConfig(quick), Serve: serveConfig(quick),
-		Obs: obsConfig(quick), GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+		Obs: obsConfig(quick), Router: routerConfig(quick),
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 	cfg.SerSizes, cfg.SerIters = serConfig(quick)
 	cfg.StoreSizes, cfg.StoreIters = storeConfig(quick)
 	cfg.CompactSizes, cfg.CompactBatch = compactConfig(quick)
@@ -182,11 +184,12 @@ func emitJSON(quick bool) {
 		ServeRecords   []serveBenchRecord   `json:"serve_records"`
 		ObsRecords     []obsBenchRecord     `json:"obs_records"`
 		ObsSummary     obsBenchSummary      `json:"obs_summary"`
+		RouterRecords  []routerBenchRecord  `json:"router_records"`
 	}{Suite: "wavelettrie-serialize", Quick: quick, Config: cfg,
 		Records: serRecords(quick), StoreRecords: storeBenchRecords(quick),
 		CompactRecords: compactBenchRecords(quick), FreezeRecords: freezeBenchRecords(quick),
 		ShardRecords: shardBenchRecords(quick), ServeRecords: serveBenchRecords(quick),
-		ObsRecords: obsRecs, ObsSummary: obsSum}
+		ObsRecords: obsRecs, ObsSummary: obsSum, RouterRecords: routerBenchRecords(quick)}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {

@@ -23,6 +23,7 @@
 //	select STR IDX
 //	rankprefix PREF POS   | countprefix PREF
 //	selectprefix PREF IDX
+//	iterprefix PREF FROM N                  stream prefix matches
 //	distinct L R          | majority L R | topk L R K | threshold L R T
 //	slice L R
 //	append STR            | insert POS STR | delete POS   (dynamic/append)
@@ -70,6 +71,25 @@ type shardedIndex interface {
 	ShardLen(i int) int
 	ShardMemLen(i int) int
 	ShardGenerations(i int) []store.GenInfo
+}
+
+// prefixIterator is the streamed prefix-match capability, served by
+// durable stores (plain and sharded) and remote connections.
+type prefixIterator interface {
+	IteratePrefix(p string, from int, fn func(idx, pos int) bool)
+}
+
+// routerReporter exposes the sharded router's representation split —
+// the frozen succinct prefix vs the live uint32 tail — so the memory
+// win of freezing is observable from the REPL.
+type routerReporter interface {
+	RouterInfo() store.RouterInfo
+}
+
+// routerLine renders a RouterInfo for the shards/stats commands.
+func routerLine(ri store.RouterInfo) string {
+	return fmt.Sprintf("router     %.2f bits/elem (%d bits; %d frozen + %d tail chunks)",
+		ri.BitsPerElem(), ri.Bits, ri.FrozenChunks, ri.TailChunks)
 }
 
 func main() {
@@ -277,6 +297,7 @@ func execute(st wavelettrie.StringIndex, args []string) (cur wavelettrie.StringI
 	case "help":
 		fmt.Println("access POS | rank STR POS | count STR | select STR IDX")
 		fmt.Println("rankprefix PREF POS | countprefix PREF | selectprefix PREF IDX")
+		fmt.Println("iterprefix PREF FROM N   (stream prefix matches; store/remote only)")
 		fmt.Println("distinct L R | majority L R | topk L R K | threshold L R T | slice L R")
 		fmt.Println("append STR | insert POS STR | delete POS")
 		fmt.Println("flush | compact | gens   (durable store only)")
@@ -311,6 +332,20 @@ func execute(st wavelettrie.StringIndex, args []string) (cur wavelettrie.StringI
 		} else {
 			fmt.Println("no such occurrence")
 		}
+	case "iterprefix":
+		need(3)
+		it, ok := st.(prefixIterator)
+		if !ok {
+			panic(fmt.Sprintf("iterprefix requires a -store or -connect session (not supported by %T)", st))
+		}
+		from, limit := atoi(args[2]), atoi(args[3])
+		shown := 0
+		it.IteratePrefix(args[1], from, func(idx, pos int) bool {
+			fmt.Printf("%8d  %8d  %s\n", idx, pos, st.Access(pos))
+			shown++
+			return shown < limit
+		})
+		fmt.Printf("%d match(es) from index %d\n", shown, from)
 	case "distinct":
 		need(2)
 		for _, d := range ranger().DistinctInRange(atoi(args[1]), atoi(args[2])) {
@@ -398,6 +433,9 @@ func execute(st wavelettrie.StringIndex, args []string) (cur wavelettrie.StringI
 				i, sh.ShardLen(i), len(sh.ShardGenerations(i)), sh.ShardMemLen(i))
 		}
 		fmt.Printf("total      n=%d across %d shards\n", st.Len(), sh.ShardCount())
+		if rr, ok := st.(routerReporter); ok {
+			fmt.Println(routerLine(rr.RouterInfo()))
+		}
 	case "insert":
 		need(2)
 		d, ok := st.(dynamicIndex)
@@ -439,6 +477,11 @@ func execute(st wavelettrie.StringIndex, args []string) (cur wavelettrie.StringI
 		}
 		fmt.Printf("%s  %.1f bits/elem (%d total)\n", line,
 			float64(st.SizeBits())/float64(max(1, st.Len())), st.SizeBits())
+		if rr, ok := st.(routerReporter); ok {
+			if ri := rr.RouterInfo(); ri.Bits > 0 {
+				fmt.Println(routerLine(ri))
+			}
+		}
 	case "metrics":
 		// Remote sessions fetch the server's snapshot over the binary
 		// protocol; everything else dumps this process's registry — the

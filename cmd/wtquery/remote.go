@@ -79,6 +79,27 @@ func (r *remoteIndex) SelectPrefix(p string, idx int) (int, bool) {
 	return pos, ok
 }
 
+// IteratePrefix streams prefix-match positions from the from-th match,
+// paginated statelessly over the binary protocol.
+func (r *remoteIndex) IteratePrefix(p string, from int, fn func(idx, pos int) bool) {
+	err := r.c.ScanPrefix(p, from, -1, 0, func(idx, pos int, _ string) bool { return fn(idx, pos) })
+	if err != nil {
+		panic(err)
+	}
+}
+
+// RouterInfo reconstructs the remote router's representation split
+// from the Stats reply (zero for unsharded servers).
+func (r *remoteIndex) RouterInfo() store.RouterInfo {
+	st := r.stats()
+	return store.RouterInfo{
+		Elems:        st.Len,
+		Bits:         st.RouterBits,
+		FrozenChunks: st.RouterFrozenChunks,
+		TailChunks:   st.RouterTailChunks,
+	}
+}
+
 // Append adds v at the end of the remote sequence (group-committed
 // server-side).
 func (r *remoteIndex) Append(v string) error { return r.c.Append(v) }

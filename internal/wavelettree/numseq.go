@@ -1,0 +1,216 @@
+package wavelettree
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// NumSeq is an immutable rank/select/access structure over a sequence
+// drawn from a small integer alphabet [0, sigma) — the degenerate
+// single-level wavelet tree: with only ⌈log₂ σ⌉ bits per symbol there
+// is nothing to recurse on, so the symbols are stored bit-packed and
+// rank/select run directly on the packed words with broadword field
+// comparison (one XOR-splat + carry-safe zero-field detection +
+// popcount per word) under sampled per-symbol prefix counts.
+//
+// Space is w·n + o(n) bits for w = max(1, ⌈log₂ σ⌉): fields never
+// straddle word boundaries (⌊64/w⌋ fields per word, ≤6% padding waste
+// for the worst w) and the samples add 32·σ bits per ~2048 positions.
+// Access is O(1); Rank and Select are O(1) samples + a bounded scan of
+// at most one sample block, ~32 words per probe.
+//
+// The zero value is not useful; build with NewNumSeq. NumSeq is
+// immutable after construction and safe for concurrent readers. n is
+// capped at 2^32−1 (the sample width); the intended use is bounded
+// blocks, e.g. the sharded store's frozen router chunks.
+type NumSeq struct {
+	n      int
+	sigma  int
+	w      uint // bits per field
+	fpw    int  // fields per 64-bit word
+	period int  // fields per sample block (word-aligned, ≈2048)
+	words  []uint64
+	// samples[k*sigma+s] = occurrences of s in positions [0, (k+1)*period).
+	samples []uint32
+
+	used uint64 // mask of the fpw·w packed bits in a word
+	msb  uint64 // per-field most-significant bit, over used fields
+	low  uint64 // per-field low w−1 bits (= used &^ msb)
+}
+
+// numSeqSampleTarget is the aimed-for sample block length in fields;
+// the actual period is the nearest word-aligned length at or below it.
+const numSeqSampleTarget = 2048
+
+// NewNumSeq builds the packed structure over ids, each in [0, sigma).
+// It panics on sigma outside [1, 256] or an out-of-range id — the
+// caller owns the alphabet contract (this is a builder, not a decoder).
+func NewNumSeq(ids []byte, sigma int) *NumSeq {
+	if sigma < 1 || sigma > 256 {
+		panic(fmt.Sprintf("wavelettree: NumSeq alphabet size %d outside [1,256]", sigma))
+	}
+	if len(ids) > math.MaxUint32 {
+		panic(fmt.Sprintf("wavelettree: NumSeq of %d elements exceeds the sample width", len(ids)))
+	}
+	w := uint(bits.Len(uint(sigma - 1)))
+	if w == 0 {
+		w = 1
+	}
+	fpw := 64 / int(w)
+	q := &NumSeq{
+		n:      len(ids),
+		sigma:  sigma,
+		w:      w,
+		fpw:    fpw,
+		period: fpw * max(1, numSeqSampleTarget/fpw),
+		words:  make([]uint64, (len(ids)+fpw-1)/fpw),
+	}
+	if int(w)*fpw == 64 {
+		q.used = ^uint64(0)
+	} else {
+		q.used = uint64(1)<<(w*uint(fpw)) - 1
+	}
+	lsb := q.used / (uint64(1)<<w - 1) // 1 at each field's LSB
+	q.msb = lsb << (w - 1)
+	q.low = q.used &^ q.msb
+
+	rows := 0
+	if q.n > 0 {
+		rows = (q.n - 1) / q.period
+	}
+	q.samples = make([]uint32, rows*sigma)
+	counts := make([]uint32, sigma)
+	for i, id := range ids {
+		if int(id) >= sigma {
+			panic(fmt.Sprintf("wavelettree: NumSeq id %d outside alphabet [0,%d)", id, sigma))
+		}
+		q.words[i/fpw] |= uint64(id) << (uint(i%fpw) * w)
+		counts[id]++
+		if (i+1)%q.period == 0 && (i+1)/q.period <= rows {
+			copy(q.samples[((i+1)/q.period-1)*sigma:], counts)
+		}
+	}
+	return q
+}
+
+// Len returns the sequence length.
+func (q *NumSeq) Len() int { return q.n }
+
+// Sigma returns the alphabet size the sequence was built with.
+func (q *NumSeq) Sigma() int { return q.sigma }
+
+// SizeBits reports the structure's in-memory footprint: packed words,
+// rank samples and fixed overhead.
+func (q *NumSeq) SizeBits() int {
+	return 64*len(q.words) + 32*len(q.samples) + 64*10
+}
+
+// Access returns the symbol at position pos. It panics if pos is out of
+// range, like a slice access.
+func (q *NumSeq) Access(pos int) int {
+	if pos < 0 || pos >= q.n {
+		panic(fmt.Sprintf("wavelettree: NumSeq.Access(%d) out of range [0,%d)", pos, q.n))
+	}
+	return int(q.words[pos/q.fpw]>>(uint(pos%q.fpw)*q.w)) & (1<<q.w - 1)
+}
+
+// splat returns sym replicated into every field of a word.
+func (q *NumSeq) splat(sym int) uint64 {
+	return uint64(sym) * (q.msb >> (q.w - 1))
+}
+
+// eqMask returns a word with each field's MSB position set where the
+// field equals the splatted symbol. The zero-field test is the
+// carry-safe form — adding the per-field value 2^(w−1)−1 to the low
+// bits sets a field's MSB iff any low bit was set, and cannot carry
+// into the next field — so, unlike the classic (x−L)&^x&H idiom, a
+// zero field never borrows from its neighbor.
+func (q *NumSeq) eqMask(word, splat uint64) uint64 {
+	diff := (word ^ splat) & q.used
+	nonzero := (((diff &^ q.msb) + q.low) | diff) & q.msb
+	return nonzero ^ q.msb
+}
+
+// maskTo returns the mask covering the first k fields of a word.
+func (q *NumSeq) maskTo(k int) uint64 {
+	if k >= q.fpw {
+		return q.used
+	}
+	return uint64(1)<<(uint(k)*q.w) - 1
+}
+
+// rows returns the number of complete sample blocks strictly inside
+// the sequence.
+func (q *NumSeq) rows() int {
+	if q.n == 0 {
+		return 0
+	}
+	return (q.n - 1) / q.period
+}
+
+// Rank counts occurrences of sym in positions [0, pos); pos may equal
+// Len. One sample row plus a scan of at most one block.
+func (q *NumSeq) Rank(sym, pos int) int {
+	if sym < 0 || sym >= q.sigma {
+		panic(fmt.Sprintf("wavelettree: NumSeq.Rank symbol %d outside alphabet [0,%d)", sym, q.sigma))
+	}
+	if pos < 0 || pos > q.n {
+		panic(fmt.Sprintf("wavelettree: NumSeq.Rank position %d out of range [0,%d]", pos, q.n))
+	}
+	block := pos / q.period
+	if rows := q.rows(); block > rows {
+		block = rows
+	}
+	total := 0
+	if block > 0 {
+		total = int(q.samples[(block-1)*q.sigma+sym])
+	}
+	splat := q.splat(sym)
+	f := block * q.period // word-aligned by construction
+	wi := f / q.fpw
+	for ; f+q.fpw <= pos; wi, f = wi+1, f+q.fpw {
+		total += bits.OnesCount64(q.eqMask(q.words[wi], splat))
+	}
+	if f < pos {
+		total += bits.OnesCount64(q.eqMask(q.words[wi], splat) & q.maskTo(pos-f))
+	}
+	return total
+}
+
+// Select returns the position of the idx-th (0-based) occurrence of
+// sym. The caller guarantees it exists — idx < Rank(sym, Len()) — and
+// an out-of-range idx panics, mirroring the router's selectShard
+// contract.
+func (q *NumSeq) Select(sym, idx int) int {
+	if sym < 0 || sym >= q.sigma {
+		panic(fmt.Sprintf("wavelettree: NumSeq.Select symbol %d outside alphabet [0,%d)", sym, q.sigma))
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("wavelettree: NumSeq.Select index %d negative", idx))
+	}
+	rows := q.rows()
+	k := 0
+	for k < rows && int(q.samples[k*q.sigma+sym]) <= idx {
+		k++
+	}
+	base := 0
+	if k > 0 {
+		base = int(q.samples[(k-1)*q.sigma+sym])
+	}
+	splat := q.splat(sym)
+	for f := k * q.period; f < q.n; f += q.fpw {
+		zm := q.eqMask(q.words[f/q.fpw], splat) & q.maskTo(q.n-f)
+		c := bits.OnesCount64(zm)
+		if base+c > idx {
+			for ; ; zm &= zm - 1 {
+				if base == idx {
+					return f + bits.TrailingZeros64(zm)/int(q.w)
+				}
+				base++
+			}
+		}
+		base += c
+	}
+	panic(fmt.Sprintf("wavelettree: NumSeq.Select(%d,%d) beyond occurrence count %d", sym, idx, base))
+}

@@ -1,0 +1,128 @@
+package wavelettree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveNum is the obvious reference implementation.
+type naiveNum []byte
+
+func (n naiveNum) access(pos int) int { return int(n[pos]) }
+
+func (n naiveNum) rank(sym, pos int) int {
+	c := 0
+	for _, id := range n[:pos] {
+		if int(id) == sym {
+			c++
+		}
+	}
+	return c
+}
+
+func (n naiveNum) sel(sym, idx int) int {
+	for pos, id := range n {
+		if int(id) == sym {
+			if idx == 0 {
+				return pos
+			}
+			idx--
+		}
+	}
+	return -1
+}
+
+// TestNumSeqDifferential checks Access/Rank/Select against the naive
+// model across alphabet sizes (covering every field width, including
+// the word-filling w=1,2,4,8 and the padded w=3,5,7) and lengths that
+// straddle word and sample-block boundaries.
+func TestNumSeqDifferential(t *testing.T) {
+	sizes := []int{0, 1, 2, 63, 64, 65, 127, 2047, 2048, 2049, 4096, 5000}
+	for _, sigma := range []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 21, 64, 100, 256} {
+		rng := rand.New(rand.NewSource(int64(sigma)))
+		for _, n := range sizes {
+			ids := make([]byte, n)
+			for i := range ids {
+				ids[i] = byte(rng.Intn(sigma))
+			}
+			q := NewNumSeq(ids, sigma)
+			model := naiveNum(ids)
+			if q.Len() != n || q.Sigma() != sigma {
+				t.Fatalf("sigma=%d n=%d: Len/Sigma = %d/%d", sigma, n, q.Len(), q.Sigma())
+			}
+			for pos := 0; pos < n; pos++ {
+				if got, want := q.Access(pos), model.access(pos); got != want {
+					t.Fatalf("sigma=%d n=%d: Access(%d) = %d, want %d", sigma, n, pos, got, want)
+				}
+			}
+			// Rank at every boundary-ish position plus random probes, for a
+			// few symbols including ones that never occur.
+			probes := []int{0, n / 3, n / 2, n - 1, n}
+			for i := 0; i < 12; i++ {
+				probes = append(probes, rng.Intn(n+1))
+			}
+			for _, sym := range []int{0, sigma / 2, sigma - 1} {
+				for _, pos := range probes {
+					if pos < 0 {
+						continue
+					}
+					if got, want := q.Rank(sym, pos), model.rank(sym, pos); got != want {
+						t.Fatalf("sigma=%d n=%d: Rank(%d,%d) = %d, want %d", sigma, n, sym, pos, got, want)
+					}
+				}
+				total := model.rank(sym, n)
+				for idx := 0; idx < total; idx++ {
+					if got, want := q.Select(sym, idx), model.sel(sym, idx); got != want {
+						t.Fatalf("sigma=%d n=%d: Select(%d,%d) = %d, want %d", sigma, n, sym, idx, got, want)
+					}
+				}
+			}
+			if n > 0 && q.SizeBits() <= 0 {
+				t.Fatalf("sigma=%d n=%d: SizeBits = %d", sigma, n, q.SizeBits())
+			}
+		}
+	}
+}
+
+// TestNumSeqSpace pins the point of the structure: at uniform data the
+// packed footprint stays near w bits/element, far below the 32
+// bits/element of a plain uint32 slab.
+func TestNumSeqSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct {
+		sigma   int
+		maxBits float64 // generous per-element budget incl. samples
+	}{{2, 1.3}, {4, 2.3}, {8, 3.5}, {16, 4.6}} {
+		n := 1 << 14
+		ids := make([]byte, n)
+		for i := range ids {
+			ids[i] = byte(rng.Intn(tc.sigma))
+		}
+		q := NewNumSeq(ids, tc.sigma)
+		if got := float64(q.SizeBits()) / float64(n); got > tc.maxBits {
+			t.Errorf("sigma=%d: %.2f bits/elem, want <= %.2f", tc.sigma, got, tc.maxBits)
+		}
+	}
+}
+
+func TestNumSeqPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	q := NewNumSeq([]byte{0, 1, 1, 0}, 2)
+	mustPanic("sigma 0", func() { NewNumSeq(nil, 0) })
+	mustPanic("sigma 257", func() { NewNumSeq(nil, 257) })
+	mustPanic("id out of range", func() { NewNumSeq([]byte{2}, 2) })
+	mustPanic("access -1", func() { q.Access(-1) })
+	mustPanic("access n", func() { q.Access(4) })
+	mustPanic("rank pos", func() { q.Rank(0, 5) })
+	mustPanic("rank sym", func() { q.Rank(2, 0) })
+	mustPanic("select beyond", func() { q.Select(1, 2) })
+	mustPanic("select sym", func() { q.Select(-1, 0) })
+}

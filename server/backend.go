@@ -21,6 +21,7 @@ type Snap interface {
 	CountPrefix(p string) int
 	SelectPrefix(p string, idx int) (int, bool)
 	Iterate(l, r int, fn func(pos int, s string) bool)
+	IteratePrefix(p string, from int, fn func(idx, pos int) bool)
 	Fingerprint() uint64
 }
 
@@ -36,6 +37,9 @@ type Backend interface {
 	MemLen() int
 	Generations() []store.GenInfo
 	Shards() int
+	// Router reports the sharded interleave router's representation
+	// split; the zero value for unsharded backends.
+	Router() store.RouterInfo
 	Snap() Snap
 }
 
@@ -47,10 +51,12 @@ func ForSharded(ss *store.ShardedStore) Backend { return shardedBackend{ss} }
 
 type storeBackend struct{ *store.Store }
 
-func (b storeBackend) Shards() int { return 1 }
-func (b storeBackend) Snap() Snap  { return b.Snapshot() }
+func (b storeBackend) Shards() int              { return 1 }
+func (b storeBackend) Router() store.RouterInfo { return store.RouterInfo{} }
+func (b storeBackend) Snap() Snap               { return b.Snapshot() }
 
 type shardedBackend struct{ *store.ShardedStore }
 
-func (b shardedBackend) Shards() int { return b.ShardCount() }
-func (b shardedBackend) Snap() Snap  { return b.Snapshot() }
+func (b shardedBackend) Shards() int              { return b.ShardCount() }
+func (b shardedBackend) Router() store.RouterInfo { return b.RouterInfo() }
+func (b shardedBackend) Snap() Snap               { return b.Snapshot() }

@@ -249,6 +249,68 @@ func (c *Client) Scan(start, n, batch int, fn func(pos int, v string) bool) erro
 	}
 }
 
+// ScanPrefix streams the elements with byte prefix p in ascending
+// position order, starting at the from-th (0-based) match and visiting
+// at most n matches; n < 0 streams to the end. fn receives the global
+// match index, the element's position and its value, and returns false
+// to stop. Pagination is stateless — the sequence is append-only, so a
+// match index permanently names the same element and each round trip
+// just echoes the next index; the server seeks to it through the
+// router's frozen prefix sums instead of holding a cursor. batch sizes
+// the per-round-trip match count; 0 uses the server's default.
+func (c *Client) ScanPrefix(p string, from, n, batch int, fn func(idx, pos int, v string) bool) error {
+	if n == 0 || from < 0 {
+		return nil
+	}
+	if batch <= 0 {
+		batch = 1024
+	}
+	remaining := n // negative = to the end
+	req := Request{Op: OpIteratePrefix, Value: p, Pos: from}
+	for {
+		req.Max = batch
+		if remaining >= 0 && remaining < batch {
+			req.Max = remaining
+		}
+		type match struct {
+			pos int
+			val string
+		}
+		var matches []match
+		var done bool
+		var start int
+		err := c.roundTrip(req, func(r *wire.Reader) error {
+			done = r.Byte() == 1
+			start = int(r.Uvarint())
+			k := r.Len()
+			for i := 0; i < k && r.Err() == nil; i++ {
+				matches = append(matches, match{pos: int(r.Uvarint()), val: r.Str()})
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for i, m := range matches {
+			if !fn(start+i, m.pos, m.val) {
+				return nil
+			}
+		}
+		if done {
+			return nil
+		}
+		if remaining > 0 {
+			if remaining -= len(matches); remaining == 0 {
+				return nil
+			}
+		}
+		if len(matches) == 0 {
+			return nil // defensive: a non-done empty batch must not spin
+		}
+		req.Pos = start + len(matches)
+	}
+}
+
 // Slice returns the elements of positions [l, r) as a fresh slice.
 func (c *Client) Slice(l, r int) ([]string, error) {
 	if r < l {

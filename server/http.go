@@ -28,6 +28,7 @@ import (
 //	GET  /v1/rankprefix?p=V&pos=P       also /v1/countprefix?p=V
 //	GET  /v1/selectprefix?p=V&idx=I
 //	GET  /v1/scan?start=P&n=N           at most the server's batch cap
+//	GET  /v1/scanprefix?p=V&from=I&n=N  prefix matches from the I-th on
 //	POST /v1/append                     {"values": ["..."]}
 //	POST /v1/flush | /v1/compact
 //
@@ -74,6 +75,9 @@ func (s *Server) HTTPHandler() http.Handler {
 			"len": st.Len, "distinct": st.Distinct, "height": st.Height,
 			"size_bits": st.SizeBits, "memtable_len": st.MemLen,
 			"shards": st.Shards, "generations": len(st.Gens),
+			"router_bits":          st.RouterBits,
+			"router_frozen_chunks": st.RouterFrozenChunks,
+			"router_tail_chunks":   st.RouterTailChunks,
 		})
 	})
 	mux.HandleFunc("/v1/access", s.guard(func(w http.ResponseWriter, r *http.Request) {
@@ -168,6 +172,38 @@ func (s *Server) HTTPHandler() http.Handler {
 		}
 		writeJSON(w, map[string]any{"start": start, "values": vals})
 	}))
+	mux.HandleFunc("/v1/scanprefix", s.guard(func(w http.ResponseWriter, r *http.Request) {
+		p := r.URL.Query().Get("p")
+		// from defaults to 0 (start of the match stream) and n to the
+		// iteration batch cap — ?p= alone is a valid first page.
+		from, err := optIntParam(r, "from", 0)
+		if err != nil || from < 0 {
+			httpErr(w, fmt.Errorf("bad ?from="))
+			return
+		}
+		n, err := optIntParam(r, "n", s.opts.MaxIterBatch)
+		if err != nil {
+			httpErr(w, err)
+			return
+		}
+		if n <= 0 || n > s.opts.MaxIterBatch {
+			n = s.opts.MaxIterBatch
+		}
+		sn := s.b.Snap()
+		positions := make([]int, 0, min(n, 64))
+		vals := make([]string, 0, min(n, 64))
+		done := true
+		sn.IteratePrefix(p, from, func(_, pos int) bool {
+			if len(vals) >= n {
+				done = false
+				return false
+			}
+			positions = append(positions, pos)
+			vals = append(vals, sn.Access(pos))
+			return true
+		})
+		writeJSON(w, map[string]any{"from": from, "positions": positions, "values": vals, "done": done})
+	}))
 	mux.HandleFunc("/v1/append", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -240,6 +276,14 @@ func intParam(r *http.Request, name string) (int, error) {
 		return 0, fmt.Errorf("bad ?%s=%q", name, raw)
 	}
 	return v, nil
+}
+
+// optIntParam is intParam with a default for an absent parameter.
+func optIntParam(r *http.Request, name string, def int) (int, error) {
+	if r.URL.Query().Get(name) == "" {
+		return def, nil
+	}
+	return intParam(r, name)
 }
 
 func httpErr(w http.ResponseWriter, err error) {

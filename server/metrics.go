@@ -143,23 +143,24 @@ func (m *serverMetrics) observeOp(op byte, ns int64) {
 // opNames maps opcodes to their Prometheus label values (and slow-op
 // log names). Slot 0 is the unparseable-request series.
 var opNames = [opLimit]string{
-	0:              "invalid",
-	OpPing:         "ping",
-	OpAppend:       "append",
-	OpAppendBatch:  "append_batch",
-	OpAccess:       "access",
-	OpRank:         "rank",
-	OpCount:        "count",
-	OpSelect:       "select",
-	OpRankPrefix:   "rank_prefix",
-	OpCountPrefix:  "count_prefix",
-	OpSelectPrefix: "select_prefix",
-	OpIterate:      "iterate",
-	OpCursorClose:  "cursor_close",
-	OpFlush:        "flush",
-	OpCompact:      "compact",
-	OpStats:        "stats",
-	OpMetrics:      "metrics",
+	0:               "invalid",
+	OpPing:          "ping",
+	OpAppend:        "append",
+	OpAppendBatch:   "append_batch",
+	OpAccess:        "access",
+	OpRank:          "rank",
+	OpCount:         "count",
+	OpSelect:        "select",
+	OpRankPrefix:    "rank_prefix",
+	OpCountPrefix:   "count_prefix",
+	OpSelectPrefix:  "select_prefix",
+	OpIterate:       "iterate",
+	OpCursorClose:   "cursor_close",
+	OpFlush:         "flush",
+	OpCompact:       "compact",
+	OpStats:         "stats",
+	OpMetrics:       "metrics",
+	OpIteratePrefix: "iterate_prefix",
 }
 
 // opName returns the label value for an opcode ("invalid" for anything
@@ -211,6 +212,12 @@ func keyShape(req Request) string {
 		return fmt.Sprintf("pos=%d", req.Pos)
 	case OpIterate:
 		return fmt.Sprintf("cursor=%d start=%d max=%d", req.Cursor, req.Pos, req.Max)
+	case OpIteratePrefix:
+		p := req.Value
+		if len(p) > 32 {
+			p = p[:32] + "…"
+		}
+		return fmt.Sprintf("prefix=%q from=%d max=%d", p, req.Pos, req.Max)
 	case OpCursorClose:
 		return fmt.Sprintf("cursor=%d", req.Cursor)
 	default:

@@ -50,6 +50,7 @@ const (
 	OpCompact
 	OpStats
 	OpMetrics
+	OpIteratePrefix // appended in later revisions: earlier opcodes stay wire-stable
 
 	opLimit // one past the last valid opcode
 )
@@ -71,6 +72,7 @@ const (
 //	OpCount, OpCountPrefix       Value
 //	OpSelect, OpSelectPrefix     Value, Pos (the occurrence index)
 //	OpIterate                    Cursor (0 = open), Pos (start), Max
+//	OpIteratePrefix              Value (prefix), Pos (match offset), Max
 //	OpCursorClose                Cursor
 //	OpFlush, OpCompact           —
 //	OpStats, OpMetrics           —
@@ -109,6 +111,10 @@ func EncodeRequest(req Request) []byte {
 		w.Str(req.Value)
 	case OpIterate:
 		w.Uvarint(req.Cursor)
+		w.Uvarint(uint64(req.Pos))
+		w.Uvarint(uint64(req.Max))
+	case OpIteratePrefix:
+		w.Str(req.Value)
 		w.Uvarint(uint64(req.Pos))
 		w.Uvarint(uint64(req.Max))
 	case OpCursorClose:
@@ -159,6 +165,10 @@ func ParseRequest(payload []byte) (Request, error) {
 		req.Cursor = r.Uvarint()
 		req.Pos = readPos()
 		req.Max = readPos()
+	case OpIteratePrefix:
+		req.Value = r.Str()
+		req.Pos = readPos()
+		req.Max = readPos()
 	case OpCursorClose:
 		req.Cursor = r.Uvarint()
 	case OpFlush, OpCompact, OpStats, OpMetrics:
@@ -196,7 +206,13 @@ type Stats struct {
 	Shards     int
 	GoMaxProcs int
 	NumCPU     int
-	Gens       []GenStat
+	// Router representation split (sharded backends; zero otherwise):
+	// total router footprint in bits and the frozen-vs-live chunk count,
+	// so the succinct-router memory win is observable remotely.
+	RouterBits         int
+	RouterFrozenChunks int
+	RouterTailChunks   int
+	Gens               []GenStat
 }
 
 func encodeStats(w *wire.Writer, st Stats) {
@@ -208,6 +224,9 @@ func encodeStats(w *wire.Writer, st Stats) {
 	w.Uvarint(uint64(st.Shards))
 	w.Uvarint(uint64(st.GoMaxProcs))
 	w.Uvarint(uint64(st.NumCPU))
+	w.Uvarint(uint64(st.RouterBits))
+	w.Uvarint(uint64(st.RouterFrozenChunks))
+	w.Uvarint(uint64(st.RouterTailChunks))
 	w.Uvarint(uint64(len(st.Gens)))
 	for _, g := range st.Gens {
 		w.Uvarint(g.ID)
@@ -229,6 +248,9 @@ func parseStats(r *wire.Reader) Stats {
 	st.Shards = int(r.Uvarint())
 	st.GoMaxProcs = int(r.Uvarint())
 	st.NumCPU = int(r.Uvarint())
+	st.RouterBits = int(r.Uvarint())
+	st.RouterFrozenChunks = int(r.Uvarint())
+	st.RouterTailChunks = int(r.Uvarint())
 	n := r.Len()
 	for i := 0; i < n && r.Err() == nil; i++ {
 		st.Gens = append(st.Gens, GenStat{

@@ -26,6 +26,8 @@ func requestCases() []Request {
 		{Op: OpSelectPrefix, Value: "p", Pos: 0},
 		{Op: OpIterate, Cursor: 0, Pos: 10, Max: 256},
 		{Op: OpIterate, Cursor: 99, Pos: 0, Max: 0},
+		{Op: OpIteratePrefix, Value: "api/", Pos: 5, Max: 100},
+		{Op: OpIteratePrefix, Value: "", Pos: 0, Max: 0},
 		{Op: OpCursorClose, Cursor: 42},
 		{Op: OpFlush},
 		{Op: OpCompact},
@@ -80,6 +82,7 @@ func TestStatsRoundTrip(t *testing.T) {
 	want := Stats{
 		Len: 100, Distinct: 12, Height: 9, SizeBits: 4096, MemLen: 40, Shards: 4,
 		GoMaxProcs: 8, NumCPU: 16,
+		RouterBits: 9999, RouterFrozenChunks: 3, RouterTailChunks: 1,
 		Gens: []GenStat{
 			{ID: 3, Len: 30, SizeBits: 2048, FilterBits: 128, MinValue: "a", MaxValue: "zz"},
 			{ID: 5, Len: 30, SizeBits: 2000, FilterBits: 120, MinValue: "", MaxValue: "q/x"},

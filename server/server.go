@@ -379,6 +379,8 @@ func (s *Server) respond(req Request) (out []byte) {
 		if err := s.iterate(w, req); err != nil {
 			return errPayload(err.Error())
 		}
+	case OpIteratePrefix:
+		s.iteratePrefix(w, req)
 	case OpCursorClose:
 		s.cursors.close(req.Cursor)
 	case OpFlush:
@@ -522,6 +524,50 @@ func (s *Server) iterate(w *wire.Writer, req Request) error {
 	return nil
 }
 
+// iteratePrefix serves one OpIteratePrefix batch: positions (and
+// values) of elements with the requested prefix, starting at the Pos-th
+// match. Unlike OpIterate there is no cursor lease: the sequence is
+// append-only, so a match index permanently names the same element and
+// the client resumes statelessly by echoing the next index — the store
+// seeks to it through the router's frozen prefix sums rather than
+// replaying the stream.
+func (s *Server) iteratePrefix(w *wire.Writer, req Request) {
+	maxVals := req.Max
+	if maxVals <= 0 || maxVals > s.opts.MaxIterBatch {
+		maxVals = s.opts.MaxIterBatch
+	}
+	sn := s.b.Snap()
+	// Same byte bound as iterate: stop before the frame could overflow.
+	const iterByteBudget = 4 << 20
+	type match struct {
+		pos int
+		val string
+	}
+	matches := make([]match, 0, min(maxVals, 64))
+	bytes, done := 0, true
+	sn.IteratePrefix(req.Value, req.Pos, func(_, pos int) bool {
+		if len(matches) >= maxVals || bytes >= iterByteBudget {
+			done = false // more matches exist past the batch
+			return false
+		}
+		v := sn.Access(pos)
+		matches = append(matches, match{pos, v})
+		bytes += len(v) + 18 // value plus worst-case position + prefix
+		return true
+	})
+	if done {
+		w.Byte(1)
+	} else {
+		w.Byte(0)
+	}
+	w.Uvarint(uint64(req.Pos))
+	w.Uvarint(uint64(len(matches)))
+	for _, m := range matches {
+		w.Uvarint(uint64(m.pos))
+		w.Str(m.val)
+	}
+}
+
 // stats builds the OpStats reply.
 func (s *Server) stats() Stats {
 	sn := s.b.Snap()
@@ -535,6 +581,10 @@ func (s *Server) stats() Stats {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 	}
+	ri := s.b.Router()
+	st.RouterBits = ri.Bits
+	st.RouterFrozenChunks = ri.FrozenChunks
+	st.RouterTailChunks = ri.TailChunks
 	for _, g := range s.b.Generations() {
 		st.Gens = append(st.Gens, GenStat{
 			ID: g.ID, Len: g.Len, SizeBits: g.SizeBits,

@@ -458,6 +458,14 @@ func TestHTTPGateway(t *testing.T) {
 	if out := get("/v1/scan?start=1&n=2"); len(out["values"].([]any)) != 2 {
 		t.Fatalf("scan = %v", out)
 	}
+	// ?p= alone is a valid first page: from defaults to 0, n to the cap.
+	if out := get("/v1/scanprefix?p=x/"); len(out["values"].([]any)) != 3 || out["done"].(bool) != true {
+		t.Fatalf("scanprefix = %v", out)
+	}
+	if out := get("/v1/scanprefix?p=x/&from=1&n=1"); out["done"].(bool) != false ||
+		out["values"].([]any)[0].(string) != "x/b" || out["positions"].([]any)[0].(float64) != 1 {
+		t.Fatalf("scanprefix paged = %v", out)
+	}
 	post("/v1/flush", "")
 	if out := get("/v1/stats"); out["memtable_len"].(float64) != 0 || out["len"].(float64) != 4 {
 		t.Fatalf("stats = %v", out)
@@ -532,5 +540,88 @@ func TestScanLargeValues(t *testing.T) {
 	}
 	if got != len(vals) {
 		t.Fatalf("Scan saw %d values, want %d", got, len(vals))
+	}
+}
+
+// TestScanPrefix drives the stateless prefix iteration end to end on
+// both backends: paginated resume by match index, early stop, bounded
+// n, and absent prefixes. The sharded run also checks that Stats
+// surfaces the router representation split.
+func TestScanPrefix(t *testing.T) {
+	for _, shards := range []int{0, 3} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			_, addr := startServer(t, shards, nil, nil)
+			c := dial(t, addr)
+
+			vals := make([]string, 500)
+			for i := range vals {
+				vals[i] = fmt.Sprintf("p%d/%03d", i%3, i)
+			}
+			if err := c.AppendBatch(vals); err != nil {
+				t.Fatal(err)
+			}
+			var want []int
+			for pos, v := range vals {
+				if strings.HasPrefix(v, "p1/") {
+					want = append(want, pos)
+				}
+			}
+			// Small batch forces several round trips of stateless resume.
+			var got []int
+			err := c.ScanPrefix("p1/", 0, -1, 7, func(idx, pos int, v string) bool {
+				if idx != len(got) || v != vals[pos] {
+					t.Fatalf("ScanPrefix yield idx=%d pos=%d v=%q, have %d matches", idx, pos, v, len(got))
+				}
+				got = append(got, pos)
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("ScanPrefix positions = %v, want %v", got, want)
+			}
+			// Offset + bounded n: matches [5, 5+9).
+			var window []int
+			err = c.ScanPrefix("p1/", 5, 9, 4, func(idx, pos int, _ string) bool {
+				if idx != 5+len(window) {
+					t.Fatalf("window yield idx=%d, want %d", idx, 5+len(window))
+				}
+				window = append(window, pos)
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(window) != fmt.Sprint(want[5:14]) {
+				t.Fatalf("window = %v, want %v", window, want[5:14])
+			}
+			// Early stop and absent prefix.
+			calls := 0
+			if err := c.ScanPrefix("p", 0, -1, 16, func(int, int, string) bool { calls++; return calls < 3 }); err != nil {
+				t.Fatal(err)
+			}
+			if calls != 3 {
+				t.Fatalf("early stop after %d calls", calls)
+			}
+			if err := c.ScanPrefix("zzz", 0, -1, 0, func(int, int, string) bool {
+				t.Fatal("absent prefix yielded a match")
+				return false
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			st, err := c.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if shards > 0 {
+				if st.RouterBits <= 0 || st.RouterTailChunks == 0 {
+					t.Fatalf("sharded stats missing router split: %+v", st)
+				}
+			} else if st.RouterBits != 0 {
+				t.Fatalf("plain stats reports router bits: %+v", st)
+			}
+		})
 	}
 }

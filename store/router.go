@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/wavelettree"
 )
 
 // The router is the sharded store's interleave map: the sequence of
@@ -18,14 +20,22 @@ import (
 //	global position of shard s's     = selectShard(s, i)
 //	  i-th local element
 //
-// In memory it is a chunked, append-only array of shard ids with
-// per-chunk prefix sums: writers fill disjoint slots lock-free (the slot
-// index is the record's global sequence number), and a watermark
-// publishes the longest contiguous filled prefix — the only part
-// snapshots may read. On disk it is the ROUTER log — the same
-// checksummed record framing as the WAL under its own magic, carrying
-// batches of shard-id bytes — persisted ahead of every shard flush (the
-// seal barrier) and rewritten fresh on every open.
+// In memory it is a two-region structure. The active tail is a chunked,
+// append-only array of uint32 shard ids: writers fill disjoint slots
+// lock-free (the slot index is the record's global sequence number),
+// and a watermark publishes the longest contiguous filled prefix — the
+// only part snapshots may read. Behind the tail, every chunk the
+// watermark has fully passed is frozen into a succinct bit-packed
+// rank/select structure (wavelettree.NumSeq, ~log₂(shards) bits per
+// element instead of 32) and its uint32 slab is released — the router
+// is itself the small-alphabet access/rank/select problem this repo
+// reproduces, so sealed regions use the repo's own machinery. See
+// routerfrozen.go for the freeze step.
+//
+// On disk it is the ROUTER log — the same checksummed record framing as
+// the WAL under its own magic, carrying batches of shard-id bytes —
+// persisted ahead of every shard flush (the seal barrier) and rewritten
+// fresh on every open.
 const (
 	routerMagic = 0x52545257 // "WRTR" little-endian
 	routerName  = "ROUTER"
@@ -37,64 +47,79 @@ const (
 	routerBatchLen = 1 << 15 // shard ids per ROUTER log record
 )
 
-// routerChunk is one fixed-size slab of the interleave map. Slots hold
-// shard id + 1; zero means not yet filled.
+// routerChunk is one fixed-size slab of the interleave map's tail.
+// Slots hold shard id + 1; zero means not yet filled.
 type routerChunk struct {
 	ids [routerChunkLen]atomic.Uint32
 }
 
+// routerView is the router's atomically-published read state. The three
+// slices advance together — swapping them as one pointer is what lets
+// freezing release a chunk's uint32 slab without readers observing a
+// frozen list from before the swap next to a nil slab from after it.
+//
+// Invariants: len(cum) == len(frozen)+1; chunks[i] == nil exactly when
+// i < len(frozen); len(chunks) >= len(frozen) whenever the watermark
+// has entered the tail.
+type routerView struct {
+	// chunks[i] is chunk i's live uint32 slab, nil once frozen.
+	chunks []*routerChunk
+	// frozen[i] is the succinct encoding of sealed chunk i.
+	frozen []*wavelettree.NumSeq
+	// cum[i][s] = occurrences of shard s in chunks [0, i); one row per
+	// frozen chunk boundary plus the leading zero row.
+	cum [][]int32
+}
+
 // router is the in-memory interleave map. All methods are safe for
-// concurrent use; rank/selectShard/at may only be asked about positions
-// below a watermark value the caller has already loaded.
+// concurrent use; rank/selectShard/at/locate may only be asked about
+// positions below a watermark value the caller has already loaded.
 type router struct {
 	shards    int
 	watermark atomic.Uint64
-	chunks    atomic.Pointer[[]*routerChunk]
-	// cum[i][s] = occurrences of shard s in chunks [0, i); len(cum)-1 is
-	// the number of summed ("sealed") chunks. Extended copy-on-write
-	// under growMu as the watermark crosses chunk boundaries; readers
-	// fall back to scanning chunks the summing hasn't caught up with.
-	cum    atomic.Pointer[[][]int32]
-	growMu sync.Mutex
+	view      atomic.Pointer[routerView]
+	growMu    sync.Mutex
 }
 
 func newRouter(shards int) *router {
 	r := &router{shards: shards}
-	chunks := []*routerChunk{}
-	r.chunks.Store(&chunks)
-	cum := [][]int32{make([]int32, shards)}
-	r.cum.Store(&cum)
+	r.view.Store(&routerView{cum: [][]int32{make([]int32, shards)}})
 	return r
 }
 
 // fill records that global position g belongs to shard, then advances
 // the watermark over every contiguously filled slot. Distinct positions
-// are written by distinct appenders, so fills never contend on a slot.
+// are written by distinct appenders, so fills never contend on a slot;
+// g is at or above the watermark, so its chunk is never frozen.
 func (r *router) fill(g uint64, shard int) {
 	ci := int(g >> routerChunkShift)
-	chunks := *r.chunks.Load()
-	if ci >= len(chunks) {
-		chunks = r.grow(ci)
+	v := r.view.Load()
+	if ci >= len(v.chunks) {
+		v = r.grow(ci)
 	}
-	chunks[ci].ids[g&routerChunkMask].Store(uint32(shard) + 1)
+	v.chunks[ci].ids[g&routerChunkMask].Store(uint32(shard) + 1)
 	r.advance()
 }
 
 // grow extends the chunk list through index ci, copy-on-write.
-func (r *router) grow(ci int) []*routerChunk {
+func (r *router) grow(ci int) *routerView {
 	r.growMu.Lock()
 	defer r.growMu.Unlock()
-	chunks := *r.chunks.Load()
-	if ci < len(chunks) {
-		return chunks
+	v := r.view.Load()
+	if ci < len(v.chunks) {
+		return v
 	}
-	grown := make([]*routerChunk, ci+1)
-	copy(grown, chunks)
-	for i := len(chunks); i <= ci; i++ {
-		grown[i] = &routerChunk{}
+	nv := &routerView{
+		chunks: make([]*routerChunk, ci+1),
+		frozen: v.frozen,
+		cum:    v.cum,
 	}
-	r.chunks.Store(&grown)
-	return grown
+	copy(nv.chunks, v.chunks)
+	for i := len(v.chunks); i <= ci; i++ {
+		nv.chunks[i] = &routerChunk{}
+	}
+	r.view.Store(nv)
+	return nv
 }
 
 // advance publishes the longest contiguous filled prefix, one CAS per
@@ -104,9 +129,17 @@ func (r *router) grow(ci int) []*routerChunk {
 func (r *router) advance() {
 	for {
 		w := r.watermark.Load()
-		chunks := *r.chunks.Load()
+		v := r.view.Load()
 		ci := int(w >> routerChunkShift)
-		if ci >= len(chunks) || chunks[ci].ids[w&routerChunkMask].Load() == 0 {
+		if ci >= len(v.chunks) {
+			return
+		}
+		if ci < len(v.frozen) {
+			// Stale w: the chunk froze — and its slab was released —
+			// between the two loads above. Retry with a fresh watermark.
+			continue
+		}
+		if v.chunks[ci].ids[w&routerChunkMask].Load() == 0 {
 			return
 		}
 		if r.watermark.CompareAndSwap(w, w+1) && (w+1)&routerChunkMask == 0 {
@@ -115,71 +148,78 @@ func (r *router) advance() {
 	}
 }
 
-// seal extends the prefix sums over every chunk now fully below the
-// watermark.
-func (r *router) seal() {
-	r.growMu.Lock()
-	defer r.growMu.Unlock()
-	full := int(r.watermark.Load() >> routerChunkShift)
-	cum := *r.cum.Load()
-	if len(cum)-1 >= full {
-		return
-	}
-	chunks := *r.chunks.Load()
-	grown := make([][]int32, len(cum), full+1)
-	copy(grown, cum)
-	for i := len(grown) - 1; i < full; i++ {
-		next := make([]int32, r.shards)
-		copy(next, grown[i])
-		c := chunks[i]
-		for j := 0; j < routerChunkLen; j++ {
-			next[c.ids[j].Load()-1]++
-		}
-		grown = append(grown, next)
-	}
-	r.cum.Store(&grown)
-}
-
 // at returns the shard owning global position g (g below a loaded
-// watermark).
+// watermark): O(1) field extraction on the frozen prefix, a slot load
+// on the tail.
 func (r *router) at(g uint64) int {
-	chunks := *r.chunks.Load()
-	return int(chunks[g>>routerChunkShift].ids[g&routerChunkMask].Load()) - 1
+	v := r.view.Load()
+	ci := int(g >> routerChunkShift)
+	if ci < len(v.frozen) {
+		return v.frozen[ci].Access(int(g & routerChunkMask))
+	}
+	return int(v.chunks[ci].ids[g&routerChunkMask].Load()) - 1
 }
 
-// rank counts positions of shard in [0, pos): sealed prefix sums plus a
-// bounded scan over the chunks the summing hasn't covered yet.
-func (r *router) rank(shard int, pos uint64) int {
-	cum := *r.cum.Load()
-	chunks := *r.chunks.Load()
-	start := int(pos >> routerChunkShift)
-	if sealed := len(cum) - 1; start > sealed {
-		start = sealed
+// locate resolves global position g to (owning shard, local position in
+// that shard) in one pass — at(g) and rank(at(g), g) fused, so the view
+// load and chunk dispatch happen once per Access instead of twice.
+func (r *router) locate(g uint64) (shard, local int) {
+	v := r.view.Load()
+	ci := int(g >> routerChunkShift)
+	if ci < len(v.frozen) {
+		f := v.frozen[ci]
+		off := int(g & routerChunkMask)
+		shard = f.Access(off)
+		return shard, int(v.cum[ci][shard]) + f.Rank(shard, off)
 	}
-	total := int(cum[start][shard])
+	shard = int(v.chunks[ci].ids[g&routerChunkMask].Load()) - 1
+	return shard, v.tailRank(shard, g)
+}
+
+// tailRank counts positions of shard in [0, pos) given that pos lies in
+// the unfrozen tail of view v: the last frozen prefix sum plus a scan
+// of the live slabs.
+func (v *routerView) tailRank(shard int, pos uint64) int {
+	sealed := len(v.cum) - 1
+	total := int(v.cum[sealed][shard])
 	want := uint32(shard) + 1
-	for g := uint64(start) << routerChunkShift; g < pos; g++ {
-		if chunks[g>>routerChunkShift].ids[g&routerChunkMask].Load() == want {
+	for g := uint64(sealed) << routerChunkShift; g < pos; g++ {
+		if v.chunks[g>>routerChunkShift].ids[g&routerChunkMask].Load() == want {
 			total++
 		}
 	}
 	return total
 }
 
+// rank counts positions of shard in [0, pos): sampled prefix sums plus
+// an O(1)+popcount block rank on the frozen prefix, a bounded scan on
+// the tail.
+func (r *router) rank(shard int, pos uint64) int {
+	v := r.view.Load()
+	ci := int(pos >> routerChunkShift)
+	if ci < len(v.frozen) {
+		return int(v.cum[ci][shard]) + v.frozen[ci].Rank(shard, int(pos&routerChunkMask))
+	}
+	return v.tailRank(shard, pos)
+}
+
 // selectShard returns the global position of shard's idx-th (0-based)
 // local element. The caller guarantees it exists below the watermark —
 // i.e. idx < rank(shard, watermark).
 func (r *router) selectShard(shard, idx int) int {
-	cum := *r.cum.Load()
-	chunks := *r.chunks.Load()
-	// The last sealed chunk boundary with at most idx occurrences before
-	// it: the answer lies at or after it.
-	i := sort.Search(len(cum), func(i int) bool { return int(cum[i][shard]) > idx }) - 1
-	seen := int(cum[i][shard])
+	v := r.view.Load()
+	// The last chunk boundary with at most idx occurrences before it:
+	// the answer lies at or after it, and — because the next boundary
+	// has more than idx — within one chunk when that chunk is frozen.
+	i := sort.Search(len(v.cum), func(i int) bool { return int(v.cum[i][shard]) > idx }) - 1
+	if i < len(v.frozen) {
+		return i<<routerChunkShift + v.frozen[i].Select(shard, idx-int(v.cum[i][shard]))
+	}
+	seen := int(v.cum[i][shard])
 	want := uint32(shard) + 1
-	end := uint64(len(chunks)) << routerChunkShift
+	end := uint64(len(v.chunks)) << routerChunkShift
 	for g := uint64(i) << routerChunkShift; g < end; g++ {
-		if chunks[g>>routerChunkShift].ids[g&routerChunkMask].Load() == want {
+		if v.chunks[g>>routerChunkShift].ids[g&routerChunkMask].Load() == want {
 			if seen == idx {
 				return int(g)
 			}
@@ -190,24 +230,17 @@ func (r *router) selectShard(shard, idx int) int {
 }
 
 // bulkLoad installs a recovered global order wholesale — open-time only,
-// before any concurrent use.
+// before any concurrent use. Every full chunk freezes immediately.
 func (r *router) bulkLoad(order []byte) {
 	if len(order) == 0 {
 		return
 	}
-	chunks := r.grow((len(order) - 1) >> routerChunkShift)
+	v := r.grow((len(order) - 1) >> routerChunkShift)
 	for g, s := range order {
-		chunks[g>>routerChunkShift].ids[uint64(g)&routerChunkMask].Store(uint32(s) + 1)
+		v.chunks[g>>routerChunkShift].ids[uint64(g)&routerChunkMask].Store(uint32(s) + 1)
 	}
 	r.watermark.Store(uint64(len(order)))
 	r.seal()
-}
-
-// sizeBits reports the router's in-memory footprint.
-func (r *router) sizeBits() int {
-	chunks := *r.chunks.Load()
-	cum := *r.cum.Load()
-	return len(chunks)*routerChunkLen*32 + len(cum)*r.shards*32
 }
 
 func routerPath(dir string) string { return filepath.Join(dir, routerName) }

@@ -777,6 +777,30 @@ func (ss *ShardedStore) SelectPrefix(p string, idx int) (int, bool) {
 	return ss.Snapshot().SelectPrefix(p, idx)
 }
 
+// IteratePrefix streams the global positions of elements with byte
+// prefix p in ascending order starting from the from-th match — a k-way
+// merge over per-shard prefix streams; see ShardedSnapshot.IteratePrefix.
+func (ss *ShardedStore) IteratePrefix(p string, from int, fn func(idx, pos int) bool) {
+	ss.Snapshot().IteratePrefix(p, from, fn)
+}
+
+// RouterInfo reports how the interleave router is represented right
+// now: the frozen-vs-tail chunk split and the footprint of each part.
+func (ss *ShardedStore) RouterInfo() RouterInfo { return ss.router.info() }
+
+// RouterProbe round-trips global position pos through the router's
+// primitive operations — locate (access + rank fused) followed by
+// selectShard — and returns the routed shard, the shard-local index,
+// and the recovered global position (always pos again). It exists so
+// wtbench's router experiment can time the succinct frozen
+// representation against the scanned tail in isolation, without the
+// per-shard trie work that dominates a full snapshot read. pos must be
+// below Len, like Access.
+func (ss *ShardedStore) RouterProbe(pos int) (shard, local, roundTrip int) {
+	shard, local = ss.router.locate(uint64(pos))
+	return shard, local, ss.router.selectShard(shard, local)
+}
+
 // MarshalBinary exports a point-in-time snapshot of the whole global
 // sequence as a single Frozen index — see Snapshot.MarshalBinary.
 func (ss *ShardedStore) MarshalBinary() ([]byte, error) { return ss.Snapshot().MarshalBinary() }

@@ -82,13 +82,14 @@ func (sn *ShardedSnapshot) pick(v string) int {
 }
 
 // Access returns the string at global position pos. It panics if pos is
-// out of range, like a slice access.
+// out of range, like a slice access. The router resolves the owning
+// shard and the local position in a single locate pass.
 func (sn *ShardedSnapshot) Access(pos int) string {
 	if pos < 0 || pos >= sn.n {
 		panic(fmt.Sprintf("store: Access(%d) out of range [0,%d)", pos, sn.n))
 	}
-	s := sn.r.at(uint64(pos))
-	return sn.shards[s].Access(sn.r.rank(s, uint64(pos)))
+	s, local := sn.r.locate(uint64(pos))
+	return sn.shards[s].Access(local)
 }
 
 func (sn *ShardedSnapshot) checkPos(op string, pos int) {
@@ -137,17 +138,127 @@ func (sn *ShardedSnapshot) CountPrefix(p string) int { return sn.RankPrefix(p, s
 
 // SelectPrefix returns the global position of the idx-th (0-based)
 // element with byte prefix p, with ok=false when there are not that
-// many. Prefix occurrences are spread across shards in global order, so
-// the position is found by binary search on the monotone RankPrefix —
-// O(shards · log n) shard probes.
+// many. It is the prefix merge's seek run to completion: prefixLand
+// terminates exactly on the idx-th match, so the lookup needs no
+// per-shard select and no global binary search over the full sequence
+// — the degenerate k-way merge whose streams never produce a head.
 func (sn *ShardedSnapshot) SelectPrefix(p string, idx int) (int, bool) {
-	if idx < 0 || idx >= sn.CountPrefix(p) {
+	if idx < 0 {
 		return 0, false
 	}
-	// Smallest pos with RankPrefix(p, pos) = idx+1; the element is the
-	// one just before it.
-	pos := sort.Search(sn.n+1, func(pos int) bool { return sn.RankPrefix(p, pos) > idx })
-	return pos - 1, true
+	return sn.prefixLand(p, idx)
+}
+
+// prefixLand finds the global position of the idx-th prefix match, with
+// found=false when there are fewer than idx+1 matches: a chunk-level
+// binary search over the router's sealed boundaries (the frozen prefix
+// sums hand every shard its local cut at a boundary for free), then a
+// position-level binary search inside the landing chunk, where router
+// rank maps any global position to per-shard cuts — O(1) in the frozen
+// region, a bounded slot scan in the tail. Total cost is
+// O(shards · log n) shard rank probes, confined to one chunk after the
+// boundary phase.
+func (sn *ShardedSnapshot) prefixLand(p string, idx int) (at int, found bool) {
+	if sn.n == 0 {
+		return 0, false
+	}
+	v := sn.r.view.Load()
+	bmax := min(len(v.cum)-1, sn.n>>routerChunkShift)
+	countAt := func(b int) int {
+		total := 0
+		for s, sh := range sn.shards {
+			total += sh.RankPrefix(p, int(v.cum[b][s]))
+		}
+		return total
+	}
+	b := sort.Search(bmax+1, func(b int) bool { return countAt(b) > idx }) - 1
+	lo, hi := b<<routerChunkShift, min(sn.n, (b+1)<<routerChunkShift)
+	countPos := func(pos int) int {
+		total := 0
+		for s, sh := range sn.shards {
+			total += sh.RankPrefix(p, sn.r.rank(s, uint64(pos)))
+		}
+		return total
+	}
+	// Smallest d with more than idx matches before lo+d, minus one, is
+	// the match itself; countAt(b) <= idx rules out d == 0. The match
+	// can also sit at hi-1 with every in-range probe false — one probe
+	// at hi distinguishes that from idx being past the last match.
+	d := sort.Search(hi-lo, func(d int) bool { return countPos(lo+d) > idx })
+	if d == hi-lo {
+		if countPos(hi) <= idx {
+			return 0, false
+		}
+		return hi - 1, true
+	}
+	return lo + d - 1, true
+}
+
+// seekPrefix positions a prefix merge exactly at the idx-th match: it
+// lands there with prefixLand, then derives each shard's local match
+// cursor at the landing position and the number of matches before it
+// (== idx whenever the match exists; when it does not, the cursors
+// exhaust every stream and the merge yields nothing). The merge resumes
+// with zero replay — no skipped matches are re-derived.
+func (sn *ShardedSnapshot) seekPrefix(p string, idx int) (j []int, before int) {
+	cut := sn.n
+	if at, found := sn.prefixLand(p, idx); found {
+		cut = at
+	}
+	j = make([]int, len(sn.shards))
+	for s, sh := range sn.shards {
+		j[s] = sh.RankPrefix(p, sn.r.rank(s, uint64(cut)))
+		before += j[s]
+	}
+	return j, before
+}
+
+// prefixHead returns the global position of shard s's j-th local prefix
+// match, or -1 when the shard has no more matches in this snapshot.
+func (sn *ShardedSnapshot) prefixHead(p string, s, j int) int {
+	local, ok := sn.shards[s].SelectPrefix(p, j)
+	if !ok {
+		return -1
+	}
+	return sn.r.selectShard(s, local)
+}
+
+// IteratePrefix streams the global positions of elements with byte
+// prefix p, in ascending order, starting from the from-th (0-based)
+// match; fn receives the match index and global position and returns
+// false to stop. The walk is a k-way merge over per-shard prefix-match
+// position streams: each shard contributes its next local match through
+// SelectPrefix, the router's selectShard maps it to a global position,
+// and the smallest head wins each round — so a stream of m matches
+// costs O(m) shard selects instead of m global binary searches, and the
+// from offset is skipped by seekPrefix's exact seek rather than
+// replayed. It panics if from is negative.
+func (sn *ShardedSnapshot) IteratePrefix(p string, from int, fn func(idx, pos int) bool) {
+	if from < 0 {
+		panic(fmt.Sprintf("store: IteratePrefix from %d negative", from))
+	}
+	j, idx := sn.seekPrefix(p, from)
+	heads := make([]int, len(sn.shards))
+	for s := range heads {
+		heads[s] = sn.prefixHead(p, s, j[s])
+	}
+	for {
+		best := -1
+		for s, h := range heads {
+			if h >= 0 && (best < 0 || h < heads[best]) {
+				best = s
+			}
+		}
+		if best < 0 {
+			return
+		}
+		if idx >= from && !fn(idx, heads[best]) {
+			return
+		}
+		idx++
+		j[best]++
+		heads[best] = sn.prefixHead(p, best, j[best])
+	}
 }
 
 // Iterate streams the elements of global positions [l, r) in order,

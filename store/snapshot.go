@@ -234,6 +234,40 @@ func (sn *Snapshot) sel(idx int, mayHave func(*probeFilter) bool, segCount func(
 	return 0, false
 }
 
+// IteratePrefix streams the positions of elements with byte prefix p in
+// ascending order, starting from the from-th (0-based) match; fn
+// receives the match index and position and returns false to stop.
+// Segments are concatenated in position order, so the walk visits each
+// segment's matches in turn, skipping generations whose filters rule
+// the prefix out and fast-forwarding whole segments below the from
+// offset by their match counts. It panics if from is negative.
+func (sn *Snapshot) IteratePrefix(p string, from int, fn func(idx, pos int) bool) {
+	if from < 0 {
+		panic(fmt.Sprintf("store: IteratePrefix from %d negative", from))
+	}
+	idx := 0
+	for i, seg := range sn.segs {
+		if seg.filter != nil && !seg.filter.mayContainPrefix(p) {
+			continue
+		}
+		c := seg.RankPrefix(p, seg.Len())
+		if from >= idx+c {
+			idx += c
+			continue
+		}
+		for j := max(0, from-idx); j < c; j++ {
+			pos, ok := seg.SelectPrefix(p, j)
+			if !ok {
+				return
+			}
+			if !fn(idx+j, sn.offs[i]+pos) {
+				return
+			}
+		}
+		idx += c
+	}
+}
+
 // Iterate streams the elements of positions [l, r) in order, stopping
 // early if fn returns false. Frozen generations are walked with their
 // streaming enumerator (one trie walk per generation instead of one

@@ -911,6 +911,13 @@ func (s *Store) CountPrefix(p string) int { return s.Snapshot().CountPrefix(p) }
 // SelectPrefix returns the position of the idx-th element with prefix p.
 func (s *Store) SelectPrefix(p string, idx int) (int, bool) { return s.Snapshot().SelectPrefix(p, idx) }
 
+// IteratePrefix streams the positions of elements with byte prefix p in
+// ascending order starting from the from-th match; see
+// Snapshot.IteratePrefix.
+func (s *Store) IteratePrefix(p string, from int, fn func(idx, pos int) bool) {
+	s.Snapshot().IteratePrefix(p, from, fn)
+}
+
 // MarshalBinary exports a point-in-time snapshot of the whole sequence
 // as a single Frozen index in the unified persistence container —
 // loadable with wavelettrie.LoadFrozen (or Load) anywhere, independent
