@@ -12,7 +12,7 @@
 //	wtbench -json               # machine-readable suite + config (BENCH_*.json)
 //
 // Experiments: figs, t1a, t1b, t2a, t2b, t2c, t3a, t3b, t4, t5, t6, q5,
-// cmp, abl, ser, store, compact, freeze, shard, serve, obs, router.
+// cmp, abl, ser, store, compact, freeze, shard, serve, repl, obs, router.
 package main
 
 import (
@@ -50,6 +50,7 @@ var experiments = []experiment{
 	{"freeze", "Streaming freeze: builder vs materialize+NewStatic peak memory, mmap vs heap Open", runFREEZE},
 	{"shard", "Sharded store: multi-writer append scaling, busy-reader latency, recovery", runSHARD},
 	{"serve", "Network server: group-commit ingest vs naive, cached point reads", runSERVE},
+	{"repl", "Replication: follower catch-up, steady-state lag, follower read latency", runREPL},
 	{"obs", "Observability: serve-grid overhead of live metrics/tracing (target <= 3%)", runOBS},
 	{"router", "Frozen wavelet-tree router: succinct bits/elem, frozen vs tail reads, k-way SelectPrefix", runROUTER},
 }

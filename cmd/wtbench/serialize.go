@@ -156,6 +156,7 @@ type benchConfig struct {
 	NumCPU       int               `json:"num_cpu"`
 	Shard        shardBenchConfig  `json:"shard"`
 	Serve        serveBenchConfig  `json:"serve"`
+	Repl         replBenchConfig   `json:"repl"`
 	Obs          obsBenchConfig    `json:"obs"`
 	Router       routerBenchConfig `json:"router"`
 }
@@ -165,7 +166,7 @@ type benchConfig struct {
 // log-structured store, compaction and sharding experiments.
 func emitJSON(quick bool) {
 	cfg := benchConfig{Quick: quick, SerVariants: serVariants, Shard: shardConfig(quick), Serve: serveConfig(quick),
-		Obs: obsConfig(quick), Router: routerConfig(quick),
+		Repl: replConfig(quick), Obs: obsConfig(quick), Router: routerConfig(quick),
 		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 	cfg.SerSizes, cfg.SerIters = serConfig(quick)
 	cfg.StoreSizes, cfg.StoreIters = storeConfig(quick)
@@ -182,6 +183,7 @@ func emitJSON(quick bool) {
 		FreezeRecords  []freezeBenchRecord  `json:"freeze_records"`
 		ShardRecords   []shardBenchRecord   `json:"shard_records"`
 		ServeRecords   []serveBenchRecord   `json:"serve_records"`
+		ReplRecords    []replBenchRecord    `json:"repl_records"`
 		ObsRecords     []obsBenchRecord     `json:"obs_records"`
 		ObsSummary     obsBenchSummary      `json:"obs_summary"`
 		RouterRecords  []routerBenchRecord  `json:"router_records"`
@@ -189,7 +191,8 @@ func emitJSON(quick bool) {
 		Records: serRecords(quick), StoreRecords: storeBenchRecords(quick),
 		CompactRecords: compactBenchRecords(quick), FreezeRecords: freezeBenchRecords(quick),
 		ShardRecords: shardBenchRecords(quick), ServeRecords: serveBenchRecords(quick),
-		ObsRecords: obsRecs, ObsSummary: obsSum, RouterRecords: routerBenchRecords(quick)}
+		ReplRecords: replBenchRecords(quick),
+		ObsRecords:  obsRecs, ObsSummary: obsSum, RouterRecords: routerBenchRecords(quick)}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {

@@ -18,6 +18,8 @@
 //	wtserve -dir data/ -sync                # fsync per group commit
 //	wtserve -dir data/ -listen :7070 -http :7071
 //	wtserve -dir data/ -slow-op 50ms          # log ops slower than 50ms
+//	wtserve -dir replica/ -follow host:7070   # read-only replication
+//	                                          #  follower of that primary
 //	curl localhost:7071/healthz
 //	curl localhost:7071/metrics
 //	curl localhost:7071/v1/count?v=GET%20/index.html
@@ -57,6 +59,10 @@ func main() {
 	cursorTTL := flag.Duration("cursor-ttl", 30*time.Second, "idle lease on iterate cursors")
 	slowOp := flag.Duration("slow-op", 0, "log binary-protocol ops slower than this (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown bound")
+	follow := flag.String("follow", "", "run as a read-only replication follower of this primary address")
+	followerID := flag.String("follower-id", "", "follower identity in the primary's watermark book (default host-pid)")
+	replHeartbeat := flag.Duration("repl-heartbeat", 2*time.Second, "replication heartbeat cadence")
+	replRetain := flag.Int64("repl-retain", 64<<20, "WAL bytes retained for replication catch-up (negative disables retention)")
 	flag.Parse()
 
 	if *dir == "" {
@@ -76,6 +82,8 @@ func main() {
 		MaxBatch:           *maxBatch,
 		CursorTTL:          *cursorTTL,
 		SlowOp:             *slowOp,
+		ReplHeartbeat:      *replHeartbeat,
+		ReplRetainBytes:    *replRetain,
 	})
 	expvar.Publish("wtserve", expvar.Func(func() any { return srv.Metrics().Snapshot() }))
 
@@ -83,7 +91,14 @@ func main() {
 	if err != nil {
 		log.Fatalf("wtserve: %v", err)
 	}
-	log.Printf("wtserve: serving %s (%s) on %s", *dir, db.kind, l.Addr())
+	role := "primary"
+	if *follow != "" {
+		if err := srv.Follow(*follow, *followerID); err != nil {
+			log.Fatalf("wtserve: %v", err)
+		}
+		role = fmt.Sprintf("follower of %s", *follow)
+	}
+	log.Printf("wtserve: serving %s (%s, %s) on %s", *dir, db.kind, role, l.Addr())
 
 	var hs *http.Server
 	if *httpAddr != "" {

@@ -23,6 +23,12 @@ type Snap interface {
 	Iterate(l, r int, fn func(pos int, s string) bool)
 	IteratePrefix(p string, from int, fn func(idx, pos int) bool)
 	Fingerprint() uint64
+	// ContentFingerprint hashes the visible values themselves, so two
+	// different stores (a primary and its follower) can be compared.
+	ContentFingerprint() uint64
+	// MarshalBinary exports the pinned sequence as a loadable Frozen —
+	// the replication bootstrap payload.
+	MarshalBinary() ([]byte, error)
 }
 
 // Backend is the store surface the server drives — satisfied by
@@ -41,6 +47,15 @@ type Backend interface {
 	// split; the zero value for unsharded backends.
 	Router() store.RouterInfo
 	Snap() Snap
+	// SetWALRetention installs (or, with nil, removes) the WAL
+	// retention policy replication's catch-up floor rides on.
+	SetWALRetention(r *store.WALRetention)
+	// PruneRetainedWALs re-applies the retention policy; the hub calls
+	// it as follower acks advance the floor.
+	PruneRetainedWALs()
+	// RetainedWALs describes the segments currently held back — the
+	// /v1/repl surface.
+	RetainedWALs() []store.RetainedWALInfo
 }
 
 // ForStore adapts a plain store into a server Backend.

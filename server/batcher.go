@@ -25,7 +25,15 @@ import (
 // channel its commit result comes back on.
 type appendReq struct {
 	vals []string
-	errc chan error
+	resc chan commitResult
+}
+
+// commitResult is what a waiter gets back: the global sequence number
+// its batch is covered by (the new head — its ack token for
+// read-your-writes sessions) or the commit error.
+type commitResult struct {
+	seq uint64
+	err error
 }
 
 // committer is the group-commit loop. It exits when the append channel
@@ -34,7 +42,7 @@ func (s *Server) committer() {
 	defer s.wgCommit.Done()
 	for first := range s.appendCh {
 		vals := first.vals
-		waiters := append(make([]chan error, 0, 8), first.errc)
+		waiters := append(make([]chan commitResult, 0, 8), first.resc)
 		// Coalesce everything already queued, up to the batch cap.
 	drain:
 		for len(vals) < s.opts.MaxBatch {
@@ -44,14 +52,14 @@ func (s *Server) committer() {
 					break drain
 				}
 				vals = append(vals, req.vals...)
-				waiters = append(waiters, req.errc)
+				waiters = append(waiters, req.resc)
 			default:
 				break drain
 			}
 		}
 		sp := obs.DefaultTracer.Start("group_commit")
 		t0 := time.Now()
-		err := s.b.AppendBatch(vals)
+		seq, err := s.commitPublish(vals)
 		smet.commitSeconds.ObserveSince(t0)
 		smet.groupCommits.Inc()
 		smet.commitValues.Add(int64(len(vals)))
@@ -66,27 +74,31 @@ func (s *Server) committer() {
 			sp.End(fmt.Sprintf("values=%d waiters=%d", len(vals), len(waiters)))
 		}
 		for _, c := range waiters {
-			c <- err
+			c <- commitResult{seq: seq, err: err}
 		}
 	}
 }
 
-// submitAppend routes values through the group-commit path (or straight
-// to the backend when group commit is disabled) and waits for the
-// commit.
-func (s *Server) submitAppend(vals []string) error {
+// submitAppend routes values through the group-commit path (or
+// straight to commitPublish when group commit is disabled) and waits
+// for the commit. Returns the global sequence number the write is
+// covered by — the client's read-your-writes token. Writes are refused
+// on a replication follower; the primary owns sequence assignment.
+func (s *Server) submitAppend(vals []string) (uint64, error) {
 	if len(vals) == 0 {
-		return nil
+		return s.repl.watermark(), nil
+	}
+	if fs := s.follow.Load(); fs != nil {
+		return 0, &FollowerWriteError{Primary: fs.addr}
 	}
 	s.metrics.Appends.Add(int64(len(vals)))
 	smet.appendValues.Add(int64(len(vals)))
 	if s.opts.DisableGroupCommit {
-		if len(vals) == 1 {
-			return s.b.Append(vals[0])
-		}
-		return s.b.AppendBatch(vals)
+		// Still one commitPublish per request — sequence assignment and
+		// fan-out need the hub even without coalescing.
+		return s.commitPublish(vals)
 	}
-	req := appendReq{vals: vals, errc: make(chan error, 1)}
+	req := appendReq{vals: vals, resc: make(chan commitResult, 1)}
 	// The read-locked gate pairs with Shutdown: once every connection
 	// handler has exited, Shutdown flips sendOff under the write lock
 	// and closes the channel — so a submit either lands before the
@@ -95,7 +107,7 @@ func (s *Server) submitAppend(vals []string) error {
 	s.sendMu.RLock()
 	if s.sendOff {
 		s.sendMu.RUnlock()
-		return errDraining
+		return 0, errDraining
 	}
 	// A full queue means the store has fallen behind the writers — the
 	// send below still blocks (that IS the backpressure), the counter
@@ -107,5 +119,6 @@ func (s *Server) submitAppend(vals []string) error {
 		s.appendCh <- req
 	}
 	s.sendMu.RUnlock()
-	return <-req.errc
+	res := <-req.resc
+	return res.seq, res.err
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/wire"
@@ -20,6 +21,10 @@ type Client struct {
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
+
+	// lastAck is the highest append ack sequence number this client has
+	// seen — its read-your-writes session token. See LastAcked.
+	lastAck atomic.Uint64
 }
 
 // Dial connects to a wtserve binary-protocol address and verifies the
@@ -95,17 +100,97 @@ func (c *Client) Ping() error {
 // Append adds v at the end of the sequence. The call returns once the
 // server has committed it (grouped with concurrent appends).
 func (c *Client) Append(v string) error {
-	return c.roundTrip(Request{Op: OpAppend, Value: v}, nil)
+	_, err := c.AppendSeq(v)
+	return err
+}
+
+// AppendSeq is Append returning the global sequence number the write
+// is covered by: once any server's watermark reaches it (WaitFor),
+// reads there see this write. The client also remembers it as its
+// session token (LastAcked).
+func (c *Client) AppendSeq(v string) (uint64, error) {
+	var seq uint64
+	err := c.roundTrip(Request{Op: OpAppend, Value: v}, func(r *wire.Reader) error {
+		seq = r.Uvarint()
+		return nil
+	})
+	if err == nil {
+		c.noteAck(seq)
+	}
+	return seq, err
 }
 
 // AppendBatch adds vs at the end of the sequence as one atomic,
 // order-preserving batch — the efficient ingest path: one round trip
 // and (server-side) one group commit for the whole batch.
 func (c *Client) AppendBatch(vs []string) error {
+	_, err := c.AppendBatchSeq(vs)
+	return err
+}
+
+// AppendBatchSeq is AppendBatch returning the covering sequence
+// number; see AppendSeq.
+func (c *Client) AppendBatchSeq(vs []string) (uint64, error) {
 	if len(vs) == 0 {
-		return nil
+		return c.lastAck.Load(), nil
 	}
-	return c.roundTrip(Request{Op: OpAppendBatch, Values: vs}, nil)
+	var seq uint64
+	err := c.roundTrip(Request{Op: OpAppendBatch, Values: vs}, func(r *wire.Reader) error {
+		r.Uvarint() // accepted count, fixed by the request itself
+		seq = r.Uvarint()
+		return nil
+	})
+	if err == nil {
+		c.noteAck(seq)
+	}
+	return seq, err
+}
+
+// noteAck advances the session token to seq if it is newer.
+func (c *Client) noteAck(seq uint64) {
+	for {
+		cur := c.lastAck.Load()
+		if seq <= cur || c.lastAck.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// LastAcked returns the client's read-your-writes session token: the
+// highest sequence number its acknowledged appends are covered by.
+// Hand it to WaitFor on a follower connection (or to the HTTP
+// gateway's X-WT-Consistency-Token header) before reading to guarantee
+// the session's own writes are visible there.
+func (c *Client) LastAcked() uint64 { return c.lastAck.Load() }
+
+// WaitFor blocks until the server's watermark covers seq or the
+// timeout lapses, returning the watermark and whether seq is covered.
+// The server bounds one wait at 30s; callers needing more re-issue.
+func (c *Client) WaitFor(seq uint64, timeout time.Duration) (uint64, bool, error) {
+	ms := int(timeout / time.Millisecond)
+	if ms < 0 {
+		ms = 0
+	}
+	var wm uint64
+	var ok bool
+	err := c.roundTrip(Request{Op: OpReplWait, Cursor: seq, Max: ms}, func(r *wire.Reader) error {
+		ok = r.Byte() == 1
+		wm = r.Uvarint()
+		return nil
+	})
+	return wm, ok, err
+}
+
+// Promote asks a follower to stop following and accept writes.
+// Reports whether the server was in fact following (false: it already
+// was a primary).
+func (c *Client) Promote() (bool, error) {
+	var was bool
+	err := c.roundTrip(Request{Op: OpPromote}, func(r *wire.Reader) error {
+		was = r.Byte() == 1
+		return nil
+	})
+	return was, err
 }
 
 // Access returns the string at position pos.

@@ -78,18 +78,7 @@ func TestServerKill9Recovery(t *testing.T) {
 		}
 	}()
 
-	var addr string
-	for i := 0; i < 200; i++ {
-		data, err := os.ReadFile(addrFile)
-		if err == nil && len(data) > 0 {
-			addr = string(data)
-			break
-		}
-		time.Sleep(25 * time.Millisecond)
-	}
-	if addr == "" {
-		t.Fatal("child never published its address")
-	}
+	addr := waitAddrFile(t, addrFile)
 
 	// Clients stream acknowledged batches until the parent kills the
 	// child out from under them, so the kill lands mid batch stream.
@@ -197,4 +186,275 @@ func TestServerKill9Recovery(t *testing.T) {
 	}
 	t.Logf("killed mid-stream with %d+%d+%d acked; %d records survived",
 		len(acked[0]), len(acked[1]), len(acked[2]), len(seq))
+}
+
+// waitAddrFile polls for a child's atomically-published address file.
+func waitAddrFile(t *testing.T, path string) string {
+	t.Helper()
+	for i := 0; i < 400; i++ {
+		data, err := os.ReadFile(path)
+		if err == nil && len(data) > 0 {
+			return string(data)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("child never published %s", path)
+	return ""
+}
+
+// TestWTServeFollowerChild is the follower half of the failover test:
+// it opens its own store, follows the primary named in the env, and
+// serves the read surface until the parent kills it.
+func TestWTServeFollowerChild(t *testing.T) {
+	dir := os.Getenv("WTSERVE_FOLLOW_DIR")
+	if dir == "" {
+		t.Skip("failover-test child; run via TestFailoverPromoteFollower")
+	}
+	st, err := store.Open(dir, &store.Options{FlushThreshold: 1 << 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.ForStore(st), &server.Options{ReplHeartbeat: 100 * time.Millisecond})
+	if err := srv.Follow(os.Getenv("WTSERVE_FOLLOW_PRIMARY"), "failover-follower"); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrFile := os.Getenv("WTSERVE_FOLLOW_ADDRFILE")
+	tmp := addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(l.Addr().String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, addrFile); err != nil {
+		t.Fatal(err)
+	}
+	srv.Serve(l)
+	select {} // never exit cleanly; the parent kills us
+}
+
+// TestFailoverPromoteFollower is the failover-grade crash test: a real
+// primary process replicates to a real follower process while clients
+// stream acknowledged batches and a confirmer tracks the follower's
+// watermark (the read-your-writes confirmations). The parent SIGKILLs
+// the primary mid-stream, promotes the follower over the wire, and
+// verifies: every RYW-confirmed append survived on the promoted
+// follower, the follower's content is an exact prefix of the dead
+// primary's durable sequence, the full op surface agrees with a flat
+// oracle, and the promoted server accepts writes.
+func TestFailoverPromoteFollower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	base := t.TempDir()
+	primDir := filepath.Join(base, "primary")
+	folDir := filepath.Join(base, "follower")
+	primAddrFile := filepath.Join(base, "prim.addr")
+	folAddrFile := filepath.Join(base, "fol.addr")
+
+	primCmd := exec.Command(os.Args[0], "-test.run=^TestWTServeCrashChild$", "-test.v")
+	primCmd.Env = append(os.Environ(),
+		"WTSERVE_CRASH_DIR="+primDir,
+		"WTSERVE_CRASH_ADDRFILE="+primAddrFile,
+	)
+	if err := primCmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	primKilled := false
+	defer func() {
+		if !primKilled {
+			primCmd.Process.Kill()
+			primCmd.Wait()
+		}
+	}()
+	primAddr := waitAddrFile(t, primAddrFile)
+
+	folCmd := exec.Command(os.Args[0], "-test.run=^TestWTServeFollowerChild$", "-test.v")
+	folCmd.Env = append(os.Environ(),
+		"WTSERVE_FOLLOW_DIR="+folDir,
+		"WTSERVE_FOLLOW_ADDRFILE="+folAddrFile,
+		"WTSERVE_FOLLOW_PRIMARY="+primAddr,
+	)
+	if err := folCmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		folCmd.Process.Kill()
+		folCmd.Wait()
+	}()
+	folAddr := waitAddrFile(t, folAddrFile)
+
+	// Writers stream acknowledged batches at the primary; the confirmer
+	// rides the follower's watermark. Everything at or below `confirmed`
+	// is a read-your-writes-confirmed append: a client was told the
+	// follower holds it.
+	const clients = 3
+	acked := make([][]string, clients)
+	var mu sync.Mutex
+	var maxSeq, confirmed uint64
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := server.Dial(primAddr)
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			for j := 0; ; j += 4 {
+				batch := make([]string, 4)
+				for k := range batch {
+					batch[k] = fmt.Sprintf("c%d/%06d", g, j+k)
+				}
+				seq, err := c.AppendBatchSeq(batch)
+				if err != nil {
+					return // the kill arrived
+				}
+				mu.Lock()
+				acked[g] = append(acked[g], batch...)
+				if seq > maxSeq {
+					maxSeq = seq
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	stopConfirm := make(chan struct{})
+	confirmDone := make(chan struct{})
+	go func() {
+		defer close(confirmDone)
+		fc, err := server.Dial(folAddr)
+		if err != nil {
+			return
+		}
+		defer fc.Close()
+		for {
+			select {
+			case <-stopConfirm:
+				return
+			default:
+			}
+			mu.Lock()
+			target := maxSeq
+			mu.Unlock()
+			if target == 0 {
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
+			wm, _, err := fc.WaitFor(target, 300*time.Millisecond)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			if wm > confirmed {
+				confirmed = wm
+			}
+			mu.Unlock()
+		}
+	}()
+
+	// Kill only once every client has banked acknowledged batches AND
+	// the follower has confirmed a healthy chunk of the stream — so the
+	// zero-loss assertion below has teeth.
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		mu.Lock()
+		enough := confirmed >= 100
+		for g := 0; g < clients; g++ {
+			if len(acked[g]) < 40 {
+				enough = false
+			}
+		}
+		mu.Unlock()
+		if enough {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("clients/confirmer never banked enough progress")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := primCmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	primCmd.Wait()
+	primKilled = true
+	wg.Wait()
+	close(stopConfirm)
+	<-confirmDone
+	mu.Lock()
+	confirmedWM := confirmed
+	mu.Unlock()
+
+	// Promote the surviving follower over the wire and read everything
+	// it holds.
+	fc := dial(t, folAddr)
+	was, err := fc.Promote()
+	if err != nil || !was {
+		t.Fatalf("Promote = %v, %v; want true", was, err)
+	}
+	fst, err := fc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(fst.Len) < confirmedWM {
+		t.Fatalf("promoted follower holds %d records, lost RYW-confirmed history up to %d",
+			fst.Len, confirmedWM)
+	}
+	folSeq, err := fc.Slice(0, fst.Len)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The follower's content must be an exact prefix of the dead
+	// primary's durable sequence: replication ships only committed
+	// (WAL-synced) records.
+	st, err := store.Open(primDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	psn := st.Snapshot()
+	if psn.Len() < len(folSeq) {
+		t.Fatalf("primary recovered %d records, follower holds %d", psn.Len(), len(folSeq))
+	}
+	for pos, v := range folSeq {
+		if pv := psn.Access(pos); pv != v {
+			t.Fatalf("position %d: follower %q, primary %q", pos, v, pv)
+		}
+	}
+
+	// Per-client ordering: each client's surviving values are an
+	// in-order prefix of what it sent.
+	next := make([]int, clients)
+	for pos, v := range folSeq {
+		var g, j int
+		if _, err := fmt.Sscanf(v, "c%d/%06d", &g, &j); err != nil || g < 0 || g >= clients {
+			t.Fatalf("position %d holds unknown value %q", pos, v)
+		}
+		if j != next[g] {
+			t.Fatalf("position %d: client %d value %q out of order (expected index %06d)", pos, g, v, next[g])
+		}
+		next[g]++
+	}
+
+	// Differential op surface on the promoted follower vs the flat
+	// oracle of what it holds.
+	probeOpSurface(t, fc, folSeq, 200)
+
+	// The promoted follower is a real primary now: writes are accepted
+	// and land right after the surviving history.
+	seq2, err := fc.AppendSeq("promoted/write")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq2 != uint64(len(folSeq))+1 {
+		t.Fatalf("post-promotion seq = %d, want %d", seq2, len(folSeq)+1)
+	}
+	if got, err := fc.Access(len(folSeq)); err != nil || got != "promoted/write" {
+		t.Fatalf("Access(tail) = %q, %v", got, err)
+	}
+	t.Logf("killed primary with %d+%d+%d acked, %d RYW-confirmed; follower survived with %d records",
+		len(acked[0]), len(acked[1]), len(acked[2]), confirmedWM, len(folSeq))
 }

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -216,7 +217,8 @@ func (s *Server) HTTPHandler() http.Handler {
 			httpErr(w, err)
 			return
 		}
-		if err := s.submitAppend(body.Values); err != nil {
+		seq, err := s.submitAppend(body.Values)
+		if err != nil {
 			// A drain refusal is the server's state, not the client's
 			// mistake: 503 tells balancers and clients to retry
 			// elsewhere, matching /healthz.
@@ -224,10 +226,43 @@ func (s *Server) HTTPHandler() http.Handler {
 				http.Error(w, err.Error(), http.StatusServiceUnavailable)
 				return
 			}
+			// A follower answers writes with 421 and the primary's
+			// address, so a client (or proxy) can re-aim the request.
+			var fwe *FollowerWriteError
+			if errors.As(err, &fwe) {
+				w.Header().Set("X-WT-Primary", fwe.Primary)
+				http.Error(w, err.Error(), http.StatusMisdirectedRequest)
+				return
+			}
 			httpErr(w, err)
 			return
 		}
-		writeJSON(w, map[string]any{"appended": len(body.Values)})
+		// The covering sequence number doubles as the session's
+		// consistency token: echo it back to X-WT-Consistency-Token on a
+		// follower's gateway to read your own writes there.
+		w.Header().Set("X-WT-Seq", strconv.FormatUint(seq, 10))
+		writeJSON(w, map[string]any{"appended": len(body.Values), "seq": seq})
+	})
+	mux.HandleFunc("/v1/repl", func(w http.ResponseWriter, r *http.Request) {
+		role := "primary"
+		if s.Following() != "" {
+			role = "follower"
+		}
+		var retainedSegs int
+		var retainedBytes int64
+		for _, seg := range s.b.RetainedWALs() {
+			retainedSegs++
+			retainedBytes += seg.Bytes
+		}
+		writeJSON(w, map[string]any{
+			"role":               role,
+			"following":          s.Following(),
+			"watermark":          s.repl.watermark(),
+			"lag_records":        s.replLagRecords(),
+			"followers":          s.repl.followerAcked(),
+			"retained_wal_segs":  retainedSegs,
+			"retained_wal_bytes": retainedBytes,
+		})
 	})
 	mux.HandleFunc("/v1/flush", s.admin((*Server).flushOp))
 	mux.HandleFunc("/v1/compact", s.admin((*Server).compactOp))
@@ -252,10 +287,39 @@ func (s *Server) admin(op func(*Server) error) http.HandlerFunc {
 	}
 }
 
-// guard turns a read handler's panic (out-of-range position) into a
-// 400, mirroring the binary protocol's error responses.
+// httpTokenWait bounds how long a gateway read blocks on a
+// consistency token before telling the client to retry.
+const httpTokenWait = 5 * time.Second
+
+// guard wraps every gateway read handler: it honors the
+// read-your-writes consistency token, and turns a handler's panic
+// (out-of-range position) into a 400, mirroring the binary protocol's
+// error responses.
+//
+// A request carrying X-WT-Consistency-Token: <seq> (the seq from an
+// append response, on any server of the group) blocks until this
+// server's watermark covers it — on a lagging follower the read waits
+// for replication to catch up rather than serving a view missing the
+// session's own writes. If the token is not covered within
+// httpTokenWait, the reply is 503 with Retry-After and the current
+// watermark in X-WT-Seq, so the client can retry or fall back to the
+// primary.
 func (s *Server) guard(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if tok := r.Header.Get("X-WT-Consistency-Token"); tok != "" {
+			seq, err := strconv.ParseUint(tok, 10, 64)
+			if err != nil {
+				http.Error(w, "bad X-WT-Consistency-Token", http.StatusBadRequest)
+				return
+			}
+			if !s.waitWatermark(seq, httpTokenWait) {
+				w.Header().Set("X-WT-Seq", strconv.FormatUint(s.repl.watermark(), 10))
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, fmt.Sprintf("watermark %d not yet caught up to token %d", s.repl.watermark(), seq),
+					http.StatusServiceUnavailable)
+				return
+			}
+		}
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.metrics.Errors.Add(1)

@@ -41,6 +41,16 @@ type serverMetrics struct {
 	cursorsOpened  *obs.Counter
 	cursorsExpired *obs.Counter
 	cursorSweeps   *obs.Counter
+
+	// Replication: the primary's shipping side, the follower's applying
+	// side, and the churn between them.
+	replShippedRecords *obs.Counter
+	replShippedBytes   *obs.Counter
+	replSnapBytes      *obs.Counter
+	replAcks           *obs.Counter
+	replEvictedSubs    *obs.Counter
+	replReconnects     *obs.Counter
+	replAppliedRecords *obs.Counter
 }
 
 func newServerMetrics(r *obs.Registry) *serverMetrics {
@@ -82,6 +92,21 @@ func newServerMetrics(r *obs.Registry) *serverMetrics {
 			"Cursors dropped by lease expiry."),
 		cursorSweeps: r.NewCounter("wt_cursor_sweeps_total",
 			"Janitor sweeps over the cursor table."),
+
+		replShippedRecords: r.NewCounter("wt_repl_shipped_records_total",
+			"Records shipped to replication subscribers (live and catch-up frames)."),
+		replShippedBytes: r.NewCounter("wt_repl_shipped_bytes_total",
+			"Framed bytes of record frames shipped to replication subscribers."),
+		replSnapBytes: r.NewCounter("wt_repl_snapshot_bytes_total",
+			"Snapshot bootstrap bytes shipped to replication subscribers."),
+		replAcks: r.NewCounter("wt_repl_acks_total",
+			"Watermark acknowledgements received from followers."),
+		replEvictedSubs: r.NewCounter("wt_repl_evicted_subscribers_total",
+			"Subscribers evicted because their connection could not keep up with commits."),
+		replReconnects: r.NewCounter("wt_repl_reconnects_total",
+			"Follower reconnect attempts after a broken replication stream."),
+		replAppliedRecords: r.NewCounter("wt_repl_applied_records_total",
+			"Records applied from a replication stream (bootstrap and live)."),
 	}
 
 	ops := r.NewHistogramVec("wt_server_op_seconds",
@@ -114,6 +139,33 @@ func newServerMetrics(r *obs.Registry) *serverMetrics {
 			var n int64
 			for _, s := range liveServers.all() {
 				n += int64(s.cursors.len())
+			}
+			return n
+		})
+	r.NewGaugeFunc("wt_repl_followers",
+		"Distinct follower ids currently subscribed across live servers.",
+		func() int64 {
+			var n int64
+			for _, s := range liveServers.all() {
+				n += int64(s.repl.followerCount())
+			}
+			return n
+		})
+	r.NewGaugeFunc("wt_repl_lag_records",
+		"Replication lag in records: watermark behind the primary head (followers), slowest acked watermark behind the head (primaries).",
+		func() int64 {
+			var n int64
+			for _, s := range liveServers.all() {
+				n += s.replLagRecords()
+			}
+			return n
+		})
+	r.NewGaugeFunc("wt_repl_watermark",
+		"Committed replication watermark (head sequence number) summed across live servers.",
+		func() int64 {
+			var n int64
+			for _, s := range liveServers.all() {
+				n += int64(s.repl.watermark())
 			}
 			return n
 		})
@@ -161,6 +213,9 @@ var opNames = [opLimit]string{
 	OpStats:         "stats",
 	OpMetrics:       "metrics",
 	OpIteratePrefix: "iterate_prefix",
+	OpSubscribe:     "subscribe",
+	OpReplWait:      "repl_wait",
+	OpPromote:       "promote",
 }
 
 // opName returns the label value for an opcode ("invalid" for anything

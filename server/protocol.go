@@ -21,8 +21,11 @@ import (
 //
 // See DESIGN.md §8 for the full message catalogue.
 const (
-	// ProtocolVersion is negotiated by the Ping op.
-	ProtocolVersion = 1
+	// ProtocolVersion is negotiated by the Ping op. Version 2 added the
+	// replication ops (OpSubscribe, OpReplWait, OpPromote), the ack
+	// sequence number on append responses and the Stats replication
+	// fields.
+	ProtocolVersion = 2
 
 	// MaxFrame caps a single frame's payload. Anything larger is a
 	// corrupt or hostile stream; the connection is closed.
@@ -51,6 +54,13 @@ const (
 	OpStats
 	OpMetrics
 	OpIteratePrefix // appended in later revisions: earlier opcodes stay wire-stable
+	// Replication (protocol version 2; see DESIGN.md §12): OpSubscribe
+	// switches the connection into a WAL-frame stream, OpReplWait blocks
+	// until the serving watermark covers a sequence number (read-your-
+	// writes), OpPromote turns a follower writable.
+	OpSubscribe
+	OpReplWait
+	OpPromote
 
 	opLimit // one past the last valid opcode
 )
@@ -76,6 +86,9 @@ const (
 //	OpCursorClose                Cursor
 //	OpFlush, OpCompact           —
 //	OpStats, OpMetrics           —
+//	OpSubscribe                  Value (follower id), Cursor (from seq), Max (1 = bootstrap ok)
+//	OpReplWait                   Cursor (seq to cover), Max (timeout ms)
+//	OpPromote                    —
 type Request struct {
 	Op     byte
 	Value  string
@@ -119,7 +132,14 @@ func EncodeRequest(req Request) []byte {
 		w.Uvarint(uint64(req.Max))
 	case OpCursorClose:
 		w.Uvarint(req.Cursor)
-	case OpFlush, OpCompact, OpStats, OpMetrics:
+	case OpSubscribe:
+		w.Str(req.Value)
+		w.Uvarint(req.Cursor)
+		w.Uvarint(uint64(req.Max))
+	case OpReplWait:
+		w.Uvarint(req.Cursor)
+		w.Uvarint(uint64(req.Max))
+	case OpFlush, OpCompact, OpStats, OpMetrics, OpPromote:
 	default:
 		panic(fmt.Sprintf("server: encoding unknown opcode %d", req.Op))
 	}
@@ -171,7 +191,17 @@ func ParseRequest(payload []byte) (Request, error) {
 		req.Max = readPos()
 	case OpCursorClose:
 		req.Cursor = r.Uvarint()
-	case OpFlush, OpCompact, OpStats, OpMetrics:
+	case OpSubscribe:
+		req.Value = r.Str()
+		req.Cursor = r.Uvarint()
+		req.Max = readPos()
+		if req.Max > 1 {
+			r.Fail("subscribe bootstrap flag %d not 0 or 1", req.Max)
+		}
+	case OpReplWait:
+		req.Cursor = r.Uvarint()
+		req.Max = readPos()
+	case OpFlush, OpCompact, OpStats, OpMetrics, OpPromote:
 	}
 	if err := r.Err(); err != nil {
 		return req, err
@@ -212,7 +242,14 @@ type Stats struct {
 	RouterBits         int
 	RouterFrozenChunks int
 	RouterTailChunks   int
-	Gens               []GenStat
+	// Replication (protocol version 2): the serving watermark (the
+	// global sequence number new snapshots cover), the primary address
+	// this server follows ("" when it is itself a primary), and how many
+	// followers are subscribed to it.
+	Watermark uint64
+	Following string
+	Followers int
+	Gens      []GenStat
 }
 
 func encodeStats(w *wire.Writer, st Stats) {
@@ -227,6 +264,9 @@ func encodeStats(w *wire.Writer, st Stats) {
 	w.Uvarint(uint64(st.RouterBits))
 	w.Uvarint(uint64(st.RouterFrozenChunks))
 	w.Uvarint(uint64(st.RouterTailChunks))
+	w.Uvarint(st.Watermark)
+	w.Str(st.Following)
+	w.Uvarint(uint64(st.Followers))
 	w.Uvarint(uint64(len(st.Gens)))
 	for _, g := range st.Gens {
 		w.Uvarint(g.ID)
@@ -251,6 +291,9 @@ func parseStats(r *wire.Reader) Stats {
 	st.RouterBits = int(r.Uvarint())
 	st.RouterFrozenChunks = int(r.Uvarint())
 	st.RouterTailChunks = int(r.Uvarint())
+	st.Watermark = r.Uvarint()
+	st.Following = r.Str()
+	st.Followers = int(r.Uvarint())
 	n := r.Len()
 	for i := 0; i < n && r.Err() == nil; i++ {
 		st.Gens = append(st.Gens, GenStat{

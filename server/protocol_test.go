@@ -32,6 +32,10 @@ func requestCases() []Request {
 		{Op: OpFlush},
 		{Op: OpCompact},
 		{Op: OpStats},
+		{Op: OpSubscribe, Value: "follower-1", Cursor: 42, Max: 1},
+		{Op: OpSubscribe, Value: "", Cursor: 0, Max: 0},
+		{Op: OpReplWait, Cursor: 7777, Max: 500},
+		{Op: OpPromote},
 	}
 }
 
@@ -64,6 +68,7 @@ func TestParseRequestRejects(t *testing.T) {
 		{OpAccess},       // missing position
 		{OpRank, 1, 'v'}, // missing position after value
 		append(EncodeRequest(Request{Op: OpStats}), 0xFF), // trailing junk
+		{OpSubscribe, 1, 'f', 0, 2},                       // bootstrap flag must be 0 or 1
 	}
 	for i, payload := range cases {
 		if _, err := ParseRequest(payload); err == nil {
@@ -83,6 +88,7 @@ func TestStatsRoundTrip(t *testing.T) {
 		Len: 100, Distinct: 12, Height: 9, SizeBits: 4096, MemLen: 40, Shards: 4,
 		GoMaxProcs: 8, NumCPU: 16,
 		RouterBits: 9999, RouterFrozenChunks: 3, RouterTailChunks: 1,
+		Watermark: 100, Following: "127.0.0.1:9000", Followers: 2,
 		Gens: []GenStat{
 			{ID: 3, Len: 30, SizeBits: 2048, FilterBits: 128, MinValue: "a", MaxValue: "zz"},
 			{ID: 5, Len: 30, SizeBits: 2000, FilterBits: 120, MinValue: "", MaxValue: "q/x"},

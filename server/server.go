@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/wire"
+	"repro/store"
 )
 
 // Options tune a Server. The zero value (or a nil pointer) selects the
@@ -46,6 +47,15 @@ type Options struct {
 	// SlowOpLog receives the slow-op lines; nil selects log.Printf.
 	// Mostly for tests and callers with structured logging.
 	SlowOpLog func(format string, args ...any)
+	// ReplHeartbeat is the idle cadence of replication heartbeat frames
+	// (primary liveness and follower lag measurement). Default 2s.
+	ReplHeartbeat time.Duration
+	// ReplRetainBytes caps the WAL bytes retained for replication
+	// catch-up (per shard on a sharded backend), so a dead follower
+	// can never pin unbounded disk. Default 64 MiB; negative disables
+	// retention entirely — superseded logs are deleted at flush and
+	// catch-up is served from snapshots alone.
+	ReplRetainBytes int64
 }
 
 func (o *Options) withDefaults() Options {
@@ -67,6 +77,12 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.MaxIterBatch <= 0 {
 		out.MaxIterBatch = 4096
+	}
+	if out.ReplHeartbeat <= 0 {
+		out.ReplHeartbeat = 2 * time.Second
+	}
+	if out.ReplRetainBytes == 0 {
+		out.ReplRetainBytes = 64 << 20
 	}
 	return out
 }
@@ -139,6 +155,9 @@ type Server struct {
 	wgConns  sync.WaitGroup
 	wgCommit sync.WaitGroup
 
+	repl   *replHub
+	follow atomic.Pointer[followSession]
+
 	metrics Metrics
 }
 
@@ -155,6 +174,12 @@ func New(b Backend, opts *Options) *Server {
 	}
 	s.cache = newResultCache(s.opts.CacheEntries)
 	s.cursors = newCursorTable(s.opts.CursorTTL)
+	// The hub's head adopts the store's current length: global sequence
+	// numbers ARE positions in the append-only sequence.
+	s.repl = newReplHub(uint64(b.Snap().Len()))
+	if s.opts.ReplRetainBytes >= 0 {
+		b.SetWALRetention(&store.WALRetention{MaxBytes: s.opts.ReplRetainBytes, Floor: s.repl.floor})
+	}
 	s.appendCh = make(chan appendReq, s.opts.MaxBatch)
 	s.wgCommit.Add(2)
 	go s.committer()
@@ -264,6 +289,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		t0 := time.Now()
 		req, err := ParseRequest(payload)
+		if err == nil && req.Op == OpSubscribe {
+			// A subscription consumes the connection: it never returns to
+			// the request loop.
+			s.metrics.Requests.Add(1)
+			smet.requests.Inc()
+			s.serveSubscribe(conn, br, bw, req)
+			return
+		}
 		var resp []byte
 		if err != nil {
 			s.metrics.Errors.Add(1)
@@ -332,14 +365,18 @@ func (s *Server) respond(req Request) (out []byte) {
 		}
 		w.Uvarint(ProtocolVersion)
 	case OpAppend:
-		if err := s.submitAppend([]string{req.Value}); err != nil {
+		seq, err := s.submitAppend([]string{req.Value})
+		if err != nil {
 			return errPayload(err.Error())
 		}
+		w.Uvarint(seq)
 	case OpAppendBatch:
-		if err := s.submitAppend(req.Values); err != nil {
+		seq, err := s.submitAppend(req.Values)
+		if err != nil {
 			return errPayload(err.Error())
 		}
 		w.Uvarint(uint64(len(req.Values)))
+		w.Uvarint(seq)
 	case OpAccess:
 		v, _ := s.cachedStr(OpAccess, "", req.Pos, func(sn Snap) (string, int, bool) {
 			return sn.Access(req.Pos), 0, false
@@ -390,6 +427,19 @@ func (s *Server) respond(req Request) (out []byte) {
 	case OpCompact:
 		if err := s.b.Compact(); err != nil {
 			return errPayload(err.Error())
+		}
+	case OpReplWait:
+		if s.waitWatermark(req.Cursor, time.Duration(req.Max)*time.Millisecond) {
+			w.Byte(1)
+		} else {
+			w.Byte(0)
+		}
+		w.Uvarint(s.repl.watermark())
+	case OpPromote:
+		if s.Promote() {
+			w.Byte(1)
+		} else {
+			w.Byte(0)
 		}
 	case OpStats:
 		encodeStats(w, s.stats())
@@ -580,6 +630,9 @@ func (s *Server) stats() Stats {
 		Shards:     s.b.Shards(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+		Watermark:  s.repl.watermark(),
+		Following:  s.Following(),
+		Followers:  s.repl.followerCount(),
 	}
 	ri := s.b.Router()
 	st.RouterBits = ri.Bits
@@ -608,6 +661,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	liveServers.remove(s)
 	close(s.drainCh)
+	// Stop following before draining connections: the follow loop's
+	// applies go through the same commit path as queued appends.
+	if fs := s.follow.Swap(nil); fs != nil {
+		close(fs.stop)
+		fs.closeConn()
+		<-fs.done
+	}
 	s.mu.Lock()
 	for l := range s.listeners {
 		l.Close()
@@ -629,6 +689,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.sendMu.Unlock()
 	close(s.appendCh)
 	s.wgCommit.Wait()
+	// Drop the retention policy: with the hub gone nothing will advance
+	// the floor, and retained logs would not survive a reopen anyway.
+	if s.opts.ReplRetainBytes >= 0 {
+		s.b.SetWALRetention(nil)
+	}
 	return err
 }
 

@@ -1,0 +1,307 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// WAL retention: by default a flush deletes the superseded log files the
+// moment the manifest covers their records — the store itself never
+// needs them again. A replication primary does: a follower that has not
+// yet acknowledged those records may still have to be caught up from
+// them, so the server layer installs a retention policy and the flush
+// path retires logs into a retained set instead of unlinking them.
+//
+// Each flush contributes one retained segment: the superseded log files
+// plus the global sequence range [start, end) their records occupy
+// (plain stores: positions, since position IS the global sequence
+// there; shards: the sealed records' sequence headers). Segments are
+// pruned on two triggers, checked after every flush and on every
+// PruneRetainedWALs call:
+//
+//   - the floor: segments entirely below Floor() — the minimum sequence
+//     any registered follower still needs — are deleted; and
+//   - the byte cap: when the retained set exceeds MaxBytes, the oldest
+//     segments are evicted regardless of the floor, so a dead follower
+//     can pin at most MaxBytes of disk, never an unbounded log tail.
+//
+// A follower whose segments were cap-evicted has not lost anything
+// unrecoverable — the store is positionally addressable, so catch-up
+// falls back to a snapshot iteration — but the eviction is counted
+// (wt_wal_retention_evictions_total) because it converts a cheap tail
+// replay into a full re-sync.
+//
+// Retained files survive only the process: the next Open's findWALs
+// deletes every log id below the manifest's, retained or not. That is
+// deliberate — retention is a property of a live primary's follower
+// set, which does not outlive the process.
+
+// WALRetention configures post-flush WAL retention. Install it with
+// SetWALRetention before the flushes whose logs should be retained.
+type WALRetention struct {
+	// MaxBytes caps the total on-disk bytes of retained log files per
+	// store (per shard for a ShardedStore). Oldest segments are evicted
+	// past it even if the floor still needs them. 0 means no cap.
+	MaxBytes int64
+	// Floor returns the smallest global sequence number any consumer
+	// still needs; retained segments entirely below it are deleted.
+	// Return math.MaxUint64 when no consumer is registered. Called with
+	// retention bookkeeping locked — it must not call back into the
+	// store.
+	Floor func() uint64
+}
+
+// retainedSeg is one flush's worth of superseded, still-retained log
+// files and the global sequence range their records cover.
+type retainedSeg struct {
+	ids   []uint64 // log file ids, ascending — record order across files
+	start uint64   // first sequence number covered
+	end   uint64   // one past the last sequence number covered
+	bytes int64    // summed on-disk size of the files
+}
+
+// SetWALRetention installs (or, with nil, removes) the store's WAL
+// retention policy. With no policy — the default — a flush deletes
+// superseded logs immediately. Installing a policy affects future
+// flushes only; removing one deletes the currently retained set.
+func (s *Store) SetWALRetention(r *WALRetention) {
+	if r == nil {
+		s.retention.Store(nil)
+		s.retMu.Lock()
+		for _, seg := range s.retained {
+			s.removeSegFiles(seg)
+		}
+		s.retained = nil
+		s.retMu.Unlock()
+		return
+	}
+	cp := *r
+	s.retention.Store(&cp)
+}
+
+// retireWALs disposes of the log files a flush superseded: without a
+// retention policy they are unlinked (the historical behavior); with
+// one they join the retained set as a segment covering sequence range
+// [start, end), and the set is pruned against the policy. keep is the
+// freshly rotated live WAL id, never touched. Caller holds adminMu.
+func (s *Store) retireWALs(ids []uint64, keep uint64, start, end uint64) {
+	var old []uint64
+	for _, id := range ids {
+		if id != keep {
+			old = append(old, id)
+		}
+	}
+	if len(old) == 0 {
+		return
+	}
+	cfg := s.retention.Load()
+	if cfg == nil || end <= start {
+		// No policy, or a checkpoint flush that sealed nothing: the files
+		// hold no records any follower could need.
+		for _, id := range old {
+			os.Remove(filepath.Join(s.dir, walFileName(id)))
+		}
+		return
+	}
+	seg := retainedSeg{ids: old, start: start, end: end}
+	for _, id := range old {
+		if fi, err := os.Stat(filepath.Join(s.dir, walFileName(id))); err == nil {
+			seg.bytes += fi.Size()
+		}
+	}
+	s.retMu.Lock()
+	s.retained = append(s.retained, seg)
+	s.pruneRetainedLocked(cfg)
+	s.retMu.Unlock()
+}
+
+// PruneRetainedWALs applies the retention policy to the retained set
+// now — the call the replication layer makes when follower watermarks
+// advance, so acknowledged log segments are released without waiting
+// for the next flush. A no-op without a policy.
+func (s *Store) PruneRetainedWALs() {
+	cfg := s.retention.Load()
+	if cfg == nil {
+		return
+	}
+	s.retMu.Lock()
+	s.pruneRetainedLocked(cfg)
+	s.retMu.Unlock()
+}
+
+// pruneRetainedLocked drops retained segments the policy no longer
+// wants: first everything below the floor, then — if the byte cap is
+// exceeded — the oldest segments regardless of the floor. Caller holds
+// retMu.
+func (s *Store) pruneRetainedLocked(cfg *WALRetention) {
+	floor := uint64(math.MaxUint64)
+	if cfg.Floor != nil {
+		floor = cfg.Floor()
+	}
+	keep := s.retained[:0]
+	var total int64
+	for _, seg := range s.retained {
+		if seg.end <= floor {
+			s.removeSegFiles(seg)
+			continue
+		}
+		keep = append(keep, seg)
+		total += seg.bytes
+	}
+	s.retained = keep
+	if cfg.MaxBytes > 0 {
+		for len(s.retained) > 0 && total > cfg.MaxBytes {
+			seg := s.retained[0]
+			s.retained = s.retained[1:]
+			total -= seg.bytes
+			s.removeSegFiles(seg)
+			met.retentionEvictions.Inc()
+		}
+	}
+}
+
+// removeSegFiles unlinks a retained segment's log files.
+func (s *Store) removeSegFiles(seg retainedSeg) {
+	for _, id := range seg.ids {
+		os.Remove(filepath.Join(s.dir, walFileName(id)))
+	}
+}
+
+// retainedTotals reports the retained set's size for the metrics
+// gauges.
+func (s *Store) retainedTotals() (segs int, bytes int64) {
+	s.retMu.Lock()
+	defer s.retMu.Unlock()
+	for _, seg := range s.retained {
+		bytes += seg.bytes
+	}
+	return len(s.retained), bytes
+}
+
+// RetainedWALInfo describes one retained WAL segment: the global
+// sequence range [Start, End) its records cover, the file count and
+// their summed on-disk size.
+type RetainedWALInfo struct {
+	Start uint64
+	End   uint64
+	Files int
+	Bytes int64
+}
+
+// RetainedWALs lists the currently retained WAL segments in sequence
+// order.
+func (s *Store) RetainedWALs() []RetainedWALInfo {
+	s.retMu.Lock()
+	defer s.retMu.Unlock()
+	out := make([]RetainedWALInfo, len(s.retained))
+	for i, seg := range s.retained {
+		out[i] = RetainedWALInfo{Start: seg.start, End: seg.end, Files: len(seg.ids), Bytes: seg.bytes}
+	}
+	return out
+}
+
+// ReplayRetained replays the retained WAL records with sequence numbers
+// at or after from, in sequence order, calling fn for each until it
+// returns false. Plain-store records carry no sequence headers — their
+// sequence numbers are reconstructed from the segment's range (position
+// equals sequence there); shard records are replayed by their headers.
+// The retained set is locked for the duration, so a concurrent flush or
+// prune cannot delete a file mid-replay.
+func (s *Store) ReplayRetained(from uint64, fn func(seq uint64, v string) bool) error {
+	s.retMu.Lock()
+	defer s.retMu.Unlock()
+	for _, seg := range s.retained {
+		if seg.end <= from {
+			continue
+		}
+		next := seg.start
+		for _, id := range seg.ids {
+			data, err := os.ReadFile(filepath.Join(s.dir, walFileName(id)))
+			if err != nil {
+				return err
+			}
+			records, _, err := parseWAL(data)
+			if err != nil {
+				return err
+			}
+			for _, rec := range records {
+				v, _, seq, hasSeq := walRecordSeq(rec)
+				if !hasSeq {
+					seq = next
+				}
+				next = seq + 1
+				if seq < from {
+					continue
+				}
+				if seq >= seg.end {
+					return fmt.Errorf("store: retained WAL %d carries sequence %d past its segment [%d,%d)", id, seq, seg.start, seg.end)
+				}
+				if !fn(seq, v) {
+					return nil
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SetWALRetention installs (or removes) the retention policy on every
+// shard; see Store.SetWALRetention. MaxBytes caps each shard
+// separately.
+func (ss *ShardedStore) SetWALRetention(r *WALRetention) {
+	for _, sh := range ss.shards {
+		sh.SetWALRetention(r)
+	}
+}
+
+// PruneRetainedWALs applies the retention policy on every shard now;
+// see Store.PruneRetainedWALs.
+func (ss *ShardedStore) PruneRetainedWALs() {
+	for _, sh := range ss.shards {
+		sh.PruneRetainedWALs()
+	}
+}
+
+// RetainedWALs lists every shard's retained WAL segments, ordered by
+// starting sequence number. Shard segments interleave in sequence
+// space, so adjacent entries may overlap ranges held by different
+// shards.
+func (ss *ShardedStore) RetainedWALs() []RetainedWALInfo {
+	var out []RetainedWALInfo
+	for _, sh := range ss.shards {
+		out = append(out, sh.RetainedWALs()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// ReplayRetained replays every shard's retained records with sequence
+// numbers at or after from, merged into global sequence order; see
+// Store.ReplayRetained. The records are gathered per shard and merged
+// in memory — this is a recovery/verification path, not a serving one.
+func (ss *ShardedStore) ReplayRetained(from uint64, fn func(seq uint64, v string) bool) error {
+	type rec struct {
+		seq uint64
+		v   string
+	}
+	var all []rec
+	for _, sh := range ss.shards {
+		err := sh.ReplayRetained(from, func(seq uint64, v string) bool {
+			all = append(all, rec{seq, v})
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	for _, r := range all {
+		if !fn(r.seq, r.v) {
+			return nil
+		}
+	}
+	return nil
+}

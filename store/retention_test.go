@@ -1,0 +1,294 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+// floorAt wires a controllable watermark into a retention policy — the
+// test's stand-in for a replication hub's min-acked-follower floor.
+func floorAt(w *atomic.Uint64) *WALRetention {
+	return &WALRetention{Floor: w.Load}
+}
+
+// TestWALRetentionNoGap is the slow-follower proof: with the floor
+// pinned at a follower's acked watermark, every flush retains its WAL
+// segment, and replaying the retained set from the watermark yields
+// every sequence number in [floor, flushedEnd) exactly once, in order,
+// with the oracle's values — no gap a follower tailing from its
+// watermark could ever observe.
+func TestWALRetentionNoGap(t *testing.T) {
+	t.Run("plain", func(t *testing.T) {
+		dir := t.TempDir()
+		st, err := Open(dir, &Options{DisableAutoFlush: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		var floor atomic.Uint64 // slow follower acked nothing yet
+		st.SetWALRetention(floorAt(&floor))
+		runRetentionNoGap(t, st.AppendBatch, st.Flush, st.ReplayRetained, &floor, st.RetainedWALs, st.PruneRetainedWALs)
+	})
+	t.Run("sharded", func(t *testing.T) {
+		dir := t.TempDir()
+		ss, err := OpenSharded(dir, &ShardedOptions{Shards: 3, Store: Options{DisableAutoFlush: true}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ss.Close()
+		var floor atomic.Uint64
+		ss.SetWALRetention(floorAt(&floor))
+		runRetentionNoGap(t, ss.AppendBatch, ss.Flush, ss.ReplayRetained, &floor, ss.RetainedWALs, ss.PruneRetainedWALs)
+	})
+}
+
+func runRetentionNoGap(t *testing.T,
+	appendBatch func([]string) error, flush func() error,
+	replay func(uint64, func(uint64, string) bool) error,
+	floor *atomic.Uint64, retained func() []RetainedWALInfo, prune func()) {
+	t.Helper()
+	var oracle []string
+	val := func(i int) string { return fmt.Sprintf("v-%04d", i) }
+	n := 0
+	for round := 0; round < 5; round++ {
+		var batch []string
+		for i := 0; i < 200; i++ {
+			batch = append(batch, val(n))
+			oracle = append(oracle, val(n))
+			n++
+		}
+		if err := appendBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(retained()) == 0 {
+		t.Fatal("no WAL segments retained despite a zero floor")
+	}
+
+	// Replay from several follower watermarks: contiguity and content
+	// must hold from any acked point, not just zero.
+	for _, from := range []uint64{0, 1, 199, 200, 777, uint64(n - 1)} {
+		next := from
+		err := replay(from, func(seq uint64, v string) bool {
+			if seq != next {
+				t.Fatalf("replay from %d: got seq %d, want %d (gap)", from, seq, next)
+			}
+			if v != oracle[seq] {
+				t.Fatalf("replay from %d: seq %d = %q, want %q", from, seq, v, oracle[seq])
+			}
+			next++
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next != uint64(n) {
+			t.Fatalf("replay from %d covered [%d,%d), want end %d", from, from, next, n)
+		}
+	}
+
+	// Advancing the floor releases fully acknowledged segments — the
+	// explicit prune is what the replication layer calls when follower
+	// acks advance — and the remainder still replays without a gap from
+	// the new floor.
+	floor.Store(400)
+	prune()
+	for _, seg := range retained() {
+		if seg.End <= 400 {
+			t.Fatalf("segment [%d,%d) survived a floor of 400", seg.Start, seg.End)
+		}
+	}
+	next := uint64(400)
+	if err := replay(400, func(seq uint64, v string) bool {
+		if seq != next || v != oracle[seq] {
+			t.Fatalf("post-prune replay: seq %d (want %d) = %q (want %q)", seq, next, v, oracle[seq])
+		}
+		next++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if next != uint64(n) {
+		t.Fatalf("post-prune replay ended at %d, want %d", next, n)
+	}
+}
+
+// TestWALRetentionByteCap is the dead-follower bound: a floor that
+// never advances cannot pin more than MaxBytes of log — the oldest
+// segments are evicted past the cap.
+func TestWALRetentionByteCap(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, &Options{DisableAutoFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var floor atomic.Uint64 // dead follower: acked 0 forever
+	cap := int64(4 << 10)
+	st.SetWALRetention(&WALRetention{MaxBytes: cap, Floor: floor.Load})
+
+	val := make([]byte, 128)
+	n := 0
+	for round := 0; round < 20; round++ {
+		var batch []string
+		for i := 0; i < 16; i++ {
+			batch = append(batch, fmt.Sprintf("%04d-%s", n, val))
+			n++
+		}
+		if err := st.AppendBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, bytes := st.retainedTotals()
+	if segs == 0 {
+		t.Fatal("everything evicted — cap should leave at least the newest segment")
+	}
+	if bytes > cap {
+		t.Fatalf("retained %d bytes, cap is %d", bytes, cap)
+	}
+	// The survivors are the newest contiguous suffix: the first retained
+	// segment must start past zero (old segments evicted) and the set
+	// must be gap-free among itself.
+	infos := st.RetainedWALs()
+	if infos[0].Start == 0 {
+		t.Fatal("oldest segment still retained — eviction never ran")
+	}
+	for i := 1; i < len(infos); i++ {
+		if infos[i].Start != infos[i-1].End {
+			t.Fatalf("retained segments not contiguous: [%d,%d) then [%d,%d)",
+				infos[i-1].Start, infos[i-1].End, infos[i].Start, infos[i].End)
+		}
+	}
+}
+
+// TestWALRetentionDisabledDeletesEagerly pins the default behavior:
+// without a policy (or after removing one) flushes delete superseded
+// logs immediately and nothing is retained.
+func TestWALRetentionDisabledDeletesEagerly(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, &Options{DisableAutoFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.AppendBatch([]string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.RetainedWALs(); len(got) != 0 {
+		t.Fatalf("retained %d segments without a policy", len(got))
+	}
+
+	var floor atomic.Uint64
+	st.SetWALRetention(floorAt(&floor))
+	if err := st.AppendBatch([]string{"c"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.RetainedWALs(); len(got) != 1 {
+		t.Fatalf("retained %d segments with a policy, want 1", len(got))
+	}
+	st.SetWALRetention(nil)
+	if got := st.RetainedWALs(); len(got) != 0 {
+		t.Fatalf("retained %d segments after removing the policy", len(got))
+	}
+}
+
+// TestWALRetentionFloorMax pins the no-follower fast path: a floor of
+// MaxUint64 means nothing is needed, so segments are deleted at the
+// flush that would have retained them.
+func TestWALRetentionFloorMax(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, &Options{DisableAutoFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	st.SetWALRetention(&WALRetention{Floor: func() uint64 { return math.MaxUint64 }})
+	if err := st.AppendBatch([]string{"a", "b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.RetainedWALs(); len(got) != 0 {
+		t.Fatalf("retained %d segments at MaxUint64 floor", len(got))
+	}
+}
+
+// TestContentFingerprint pins the cross-store contract: stores holding
+// the same sequence agree regardless of layout (flushed vs memtable,
+// plain vs sharded), and any content difference shows.
+func TestContentFingerprint(t *testing.T) {
+	vals := []string{"alpha", "beta", "alpha", "gamma", "", "delta"}
+
+	open := func(t *testing.T) *Store {
+		st, err := Open(t.TempDir(), &Options{DisableAutoFlush: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		return st
+	}
+
+	a, b := open(t), open(t)
+	if err := a.AppendBatch(vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendBatch(vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(); err != nil { // a: frozen generation; b: memtable only
+		t.Fatal(err)
+	}
+	fa, fb := a.Snapshot().ContentFingerprint(), b.Snapshot().ContentFingerprint()
+	if fa != fb {
+		t.Fatalf("same contents, different layout: %016x vs %016x", fa, fb)
+	}
+	if a.Snapshot().Fingerprint() == b.Snapshot().Fingerprint() {
+		t.Fatal("identity fingerprints agreed across stores — ContentFingerprint would be redundant")
+	}
+
+	ss, err := OpenSharded(t.TempDir(), &ShardedOptions{Shards: 2, Store: Options{DisableAutoFlush: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	if err := ss.AppendBatch(vals); err != nil {
+		t.Fatal(err)
+	}
+	if got := ss.Snapshot().ContentFingerprint(); got != fa {
+		t.Fatalf("sharded store disagreed: %016x vs %016x", got, fa)
+	}
+
+	if err := b.Append("extra"); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Snapshot().ContentFingerprint(); got == fa {
+		t.Fatal("different contents, same fingerprint")
+	}
+
+	// Boundary ambiguity: ["ab","c"] must not collide with ["a","bc"].
+	c, d := open(t), open(t)
+	if err := c.AppendBatch([]string{"ab", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AppendBatch([]string{"a", "bc"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Snapshot().ContentFingerprint() == d.Snapshot().ContentFingerprint() {
+		t.Fatal("concatenation boundary collision")
+	}
+}

@@ -50,6 +50,14 @@ func (sn *ShardedSnapshot) AlphabetSize() int { return sn.distinct }
 // watermark; see Snapshot.Fingerprint for the contract.
 func (sn *ShardedSnapshot) Fingerprint() uint64 { return sn.fp }
 
+// ContentFingerprint returns the 64-bit content hash of the snapshot's
+// visible global sequence; see Snapshot.ContentFingerprint. It compares
+// across stores and across sharded/plain layouts — any two stores
+// holding the same sequence agree on it.
+func (sn *ShardedSnapshot) ContentFingerprint() uint64 {
+	return contentFP(sn.n, sn.Iterate)
+}
+
 // Height returns the maximum trie height over all shards' segments.
 func (sn *ShardedSnapshot) Height() int {
 	h := 0

@@ -118,6 +118,34 @@ func (sn *Snapshot) locate(pos int) (int, int) {
 // invalidation free: stale entries are simply never looked up again.
 func (sn *Snapshot) Fingerprint() uint64 { return sn.fp }
 
+// ContentFingerprint returns a 64-bit hash of the snapshot's visible
+// sequence contents — FNV-1a over every value, length-delimited. Unlike
+// Fingerprint (an identity of this store's state, mixed from generation
+// ids) it depends only on the values and their order, so it compares
+// across stores: a replication follower and its primary agree on it
+// exactly when they hold the same sequence, whatever their flush and
+// compaction histories. Cost is O(n) — a full iteration — so it is a
+// verification tool, not a serving-path key.
+func (sn *Snapshot) ContentFingerprint() uint64 {
+	return contentFP(sn.Len(), sn.Iterate)
+}
+
+// contentFP streams a sequence through the content hash: each value is
+// mixed as its length then its bytes, so concatenation boundaries are
+// unambiguous ("ab","c" never collides with "a","bc").
+func contentFP(n int, iterate func(l, r int, fn func(pos int, s string) bool)) uint64 {
+	h := uint64(fnvOffset64)
+	iterate(0, n, func(_ int, v string) bool {
+		h = fpMix(h, uint64(len(v)))
+		for i := 0; i < len(v); i++ {
+			h ^= uint64(v[i])
+			h *= fnvPrime64
+		}
+		return true
+	})
+	return h
+}
+
 // FNV-1a, the same mixing partition.go uses for routing.
 const (
 	fnvOffset64 = 14695981039346656037

@@ -108,6 +108,12 @@ type Store struct {
 
 	failure atomic.Pointer[error] // sticky write-path failure
 
+	// WAL retention (see retention.go): the policy, and the retained
+	// segment set it governs.
+	retention atomic.Pointer[WALRetention]
+	retMu     sync.Mutex
+	retained  []retainedSeg
+
 	flushCh   chan struct{}
 	compactCh chan struct{}
 	stopCh    chan struct{}
@@ -683,6 +689,19 @@ func (s *Store) flushLocked(oldWALs []uint64) error {
 	distinctAtSeal := int(s.distinct.Load())
 	s.state.Store(&storeState{gens: st.gens, sealed: sealed, mem: newMemtable(w)})
 	s.appendMu.Unlock()
+	// The sealed records' global sequence range, for WAL retention: a
+	// shard reads its records' sequence headers; a plain store's
+	// positions ARE its sequence numbers, so the range is the positions
+	// the sealed records occupy after the existing generations.
+	segStart, segEnd := uint64(0), uint64(0)
+	if s.hooks != nil {
+		segStart, segEnd, _ = sealed.seqBounds()
+	} else {
+		for _, g := range st.gens {
+			segStart += uint64(g.ix.Len())
+		}
+		segEnd = segStart + uint64(sealed.n.Load())
+	}
 	if sealed.wal != nil {
 		if err := sealed.wal.close(); err != nil {
 			return err
@@ -741,11 +760,7 @@ func (s *Store) flushLocked(oldWALs []uint64) error {
 
 	cur := s.state.Load()
 	s.state.Store(&storeState{gens: gens, mem: cur.mem})
-	for _, id := range oldWALs {
-		if id != newWALID {
-			os.Remove(filepath.Join(s.dir, walFileName(id)))
-		}
-	}
+	s.retireWALs(oldWALs, newWALID, segStart, segEnd)
 	met.flushes.Inc()
 	met.flushBytes.Add(int64(frozenBytes))
 	met.flushSeconds.ObserveSince(t0)
@@ -925,8 +940,13 @@ func (s *Store) IteratePrefix(p string, from int, fn func(idx, pos int) bool) {
 // streamed through the freeze builder (two iteration passes over the
 // snapshot), never materialized as a []string — peak extra memory is
 // the output index, not input + output.
-func (s *Store) MarshalBinary() ([]byte, error) {
-	sn := s.Snapshot()
+func (s *Store) MarshalBinary() ([]byte, error) { return s.Snapshot().MarshalBinary() }
+
+// MarshalBinary exports the snapshot's sequence as a single Frozen
+// index — the pinned-view variant of Store.MarshalBinary, so callers
+// already holding a snapshot (replication bootstrap) marshal exactly
+// the state they registered against.
+func (sn *Snapshot) MarshalBinary() ([]byte, error) {
 	f, err := wavelettrie.FreezeIterate(func(yield func(s string) bool) {
 		sn.Iterate(0, sn.Len(), func(_ int, v string) bool { return yield(v) })
 	})
