@@ -1,0 +1,220 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/workload"
+	"repro/store"
+)
+
+// The "column" experiment measures what the columnar attachment costs
+// and what it buys (DESIGN.md §13): ingest overhead of carrying a
+// payload row on every append vs the bare sequence, the predicate
+// pushdown win of CountWhere's rank arithmetic over materializing every
+// row and filtering in user code, and point row-read latency off the
+// frozen bit planes.
+
+// columnBenchConfig is the config block of the column experiment.
+type columnBenchConfig struct {
+	Sizes       []int `json:"sizes"`
+	IngestBatch int   `json:"ingest_batch"`
+	RowReads    int   `json:"row_reads"`
+	CountIters  int   `json:"count_iters"`
+}
+
+func columnConfig(quick bool) columnBenchConfig {
+	// Quick mode keeps the 1<<20 size: the pushdown-speedup acceptance
+	// bar (CountWhere ≥5× scan-and-filter at a million rows) is asserted
+	// against committed BENCH_*.json files, which CI emits with -quick.
+	cfg := columnBenchConfig{Sizes: []int{1 << 18, 1 << 20}, IngestBatch: 1024,
+		RowReads: 1 << 14, CountIters: 200}
+	if quick {
+		cfg.Sizes = []int{1 << 20}
+		cfg.RowReads = 1 << 10
+		cfg.CountIters = 20
+	}
+	return cfg
+}
+
+// columnBenchRecord is one machine-readable row of the column
+// experiment at element count N.
+type columnBenchRecord struct {
+	N int `json:"n"`
+	// Batched ingest (no fsync) of the same value sequence without and
+	// with a two-column payload row per append.
+	IngestPlainMS     float64 `json:"ingest_plain_ms"`
+	IngestRowsMS      float64 `json:"ingest_rows_ms"`
+	IngestOverheadPct float64 `json:"ingest_overhead_pct"`
+	// Freeze cost and the on-disk size of the column files.
+	FlushRowsMS     float64 `json:"flush_rows_ms"`
+	ColFileBytes    int     `json:"col_file_bytes"`
+	ColDirFileBytes int     `json:"col_dir_file_bytes"`
+	ColBitsPerRow   float64 `json:"col_bits_per_row"` // numeric planes + presence, per row
+	// One numeric range predicate over the frozen store: CountWhere
+	// (rank arithmetic on the bit planes) vs materializing every row
+	// and filtering in user code.
+	CountWhereNS    float64 `json:"count_where_ns"`
+	ScanFilterNS    float64 `json:"scan_filter_ns"`
+	PushdownSpeedup float64 `json:"pushdown_speedup"`
+	// Point row reads at random positions off the frozen generation.
+	RowReadNS float64 `json:"row_read_ns"`
+}
+
+// columnBenchStore builds a frozen single-generation store of n
+// elements with payload rows and returns it with its directory.
+func columnIngest(dir string, n, batch int, withRows bool) (*store.Store, float64) {
+	s, err := store.Open(dir, &store.Options{
+		FlushThreshold: 1 << 62, DisableAutoFlush: true,
+		Columns: []store.ColumnSpec{
+			{Name: "status", Kind: store.ColUint64},
+			{Name: "ua", Kind: store.ColBytes},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	seq := workload.URLLog(n, 7, workload.DefaultURLConfig())
+	agents := []string{"curl/8.5", "Mozilla/5.0", "Go-http-client/1.1", "bot/2.0"}
+	ms := measure(1, func(int) {
+		for off := 0; off < n; off += batch {
+			end := min(off+batch, n)
+			vals := seq[off:end]
+			var rows []store.Row
+			if withRows {
+				rows = make([]store.Row, len(vals))
+				for k := range rows {
+					i := off + k
+					rows[k] = store.Row{
+						store.U64(uint64(httpStatus(i))),
+						store.Blob([]byte(agents[i%len(agents)])),
+					}
+				}
+			}
+			if err := s.AppendBatchRows(vals, rows); err != nil {
+				panic(err)
+			}
+		}
+	}) / 1e6
+	return s, ms
+}
+
+// httpStatus is the deterministic numeric payload: a plausible status
+// mix (mostly 200s, a 4xx/5xx tail) so range predicates select real
+// fractions.
+func httpStatus(i int) int {
+	switch {
+	case i%100 >= 97:
+		return 500 + i%3
+	case i%100 >= 90:
+		return 400 + i%5
+	case i%100 >= 85:
+		return 301 + i%2
+	default:
+		return 200
+	}
+}
+
+func measureColumn(n, batch, rowReads, countIters int) columnBenchRecord {
+	rec := columnBenchRecord{N: n}
+
+	// Ingest without payloads — the bare-sequence baseline.
+	plainDir, err := os.MkdirTemp("", "wtbench-col-plain")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(plainDir)
+	sPlain, plainMS := columnIngest(plainDir, n, batch, false)
+	rec.IngestPlainMS = plainMS
+	sPlain.Close()
+
+	// Ingest with a two-column row on every append.
+	rowDir, err := os.MkdirTemp("", "wtbench-col-rows")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(rowDir)
+	s, rowsMS := columnIngest(rowDir, n, batch, true)
+	defer s.Close()
+	rec.IngestRowsMS = rowsMS
+	rec.IngestOverheadPct = 100 * (rowsMS - plainMS) / plainMS
+
+	rec.FlushRowsMS = measure(1, func(int) {
+		if err := s.Flush(); err != nil {
+			panic(err)
+		}
+	}) / 1e6
+	for _, g := range s.Generations() {
+		rec.ColFileBytes += g.ColFileBytes
+		rec.ColDirFileBytes += g.ColDirFileBytes
+	}
+	rec.ColBitsPerRow = 8 * float64(rec.ColFileBytes) / float64(n)
+
+	sn := s.Snapshot()
+	preds := []store.Pred{{Col: 0, Op: store.PredGE, Val: 400}}
+	want, err := sn.CountWhere("", preds...)
+	if err != nil {
+		panic(err)
+	}
+	rec.CountWhereNS = measure(countIters, func(int) {
+		got, err := sn.CountWhere("", preds...)
+		if err != nil || got != want {
+			panic(fmt.Sprintf("CountWhere = %d, %v (want %d)", got, err, want))
+		}
+	})
+
+	// The materialize-and-filter baseline: read every row, test the
+	// predicate in user code. One pass is O(n) row materializations, so
+	// a handful of iterations is plenty.
+	scanIters := max(1, countIters/50)
+	rec.ScanFilterNS = measure(scanIters, func(int) {
+		count := 0
+		for pos := 0; pos < sn.Len(); pos++ {
+			row := sn.Row(pos)
+			if !row[0].IsNull() && row[0].U64() >= 400 {
+				count++
+			}
+		}
+		if count != want {
+			panic(fmt.Sprintf("scan-filter = %d, want %d", count, want))
+		}
+	})
+	rec.PushdownSpeedup = rec.ScanFilterNS / rec.CountWhereNS
+
+	// Point row reads at scattered positions.
+	rec.RowReadNS = measure(rowReads, func(i int) {
+		pos := (i * 2654435761) % n
+		if row := sn.Row(pos); len(row) != 2 {
+			panic("short row")
+		}
+	})
+	return rec
+}
+
+func columnBenchRecords(quick bool) []columnBenchRecord {
+	cfg := columnConfig(quick)
+	recs := make([]columnBenchRecord, 0, len(cfg.Sizes))
+	for _, n := range cfg.Sizes {
+		recs = append(recs, measureColumn(n, cfg.IngestBatch, cfg.RowReads, cfg.CountIters))
+	}
+	return recs
+}
+
+func runCOLUMN(quick bool) {
+	fmt.Println("Columnar attachments: payload ingest overhead, predicate pushdown")
+	fmt.Println("vs materialize-and-filter, and point row reads (DESIGN.md §13).")
+	fmt.Println()
+	t := newTable("n", "ingest plain ms", "ingest rows ms", "overhead %",
+		"flush ms", "col KiB", "cd KiB", "CountWhere ns", "scan+filter ns", "speedup", "row read ns")
+	for _, r := range columnBenchRecords(quick) {
+		t.row(r.N, r.IngestPlainMS, r.IngestRowsMS, r.IngestOverheadPct,
+			r.FlushRowsMS,
+			fmt.Sprintf("%.0f", float64(r.ColFileBytes)/1024),
+			fmt.Sprintf("%.0f", float64(r.ColDirFileBytes)/1024),
+			fmt.Sprintf("%.0f", r.CountWhereNS),
+			fmt.Sprintf("%.0f", r.ScanFilterNS),
+			fmt.Sprintf("%.0fx", r.PushdownSpeedup),
+			fmt.Sprintf("%.0f", r.RowReadNS))
+	}
+	t.flush()
+}

@@ -12,7 +12,8 @@
 //	wtbench -json               # machine-readable suite + config (BENCH_*.json)
 //
 // Experiments: figs, t1a, t1b, t2a, t2b, t2c, t3a, t3b, t4, t5, t6, q5,
-// cmp, abl, ser, store, compact, freeze, shard, serve, repl, obs, router.
+// cmp, abl, ser, store, compact, freeze, shard, serve, repl, obs, router,
+// column.
 package main
 
 import (
@@ -53,6 +54,7 @@ var experiments = []experiment{
 	{"repl", "Replication: follower catch-up, steady-state lag, follower read latency", runREPL},
 	{"obs", "Observability: serve-grid overhead of live metrics/tracing (target <= 3%)", runOBS},
 	{"router", "Frozen wavelet-tree router: succinct bits/elem, frozen vs tail reads, k-way SelectPrefix", runROUTER},
+	{"column", "Columnar attachments: payload ingest overhead, predicate pushdown vs scan-and-filter, row reads", runCOLUMN},
 }
 
 func main() {

@@ -159,6 +159,7 @@ type benchConfig struct {
 	Repl         replBenchConfig   `json:"repl"`
 	Obs          obsBenchConfig    `json:"obs"`
 	Router       routerBenchConfig `json:"router"`
+	Column       columnBenchConfig `json:"column"`
 }
 
 // emitJSON writes the machine-readable benchmark suite to stdout: the
@@ -167,6 +168,7 @@ type benchConfig struct {
 func emitJSON(quick bool) {
 	cfg := benchConfig{Quick: quick, SerVariants: serVariants, Shard: shardConfig(quick), Serve: serveConfig(quick),
 		Repl: replConfig(quick), Obs: obsConfig(quick), Router: routerConfig(quick),
+		Column:     columnConfig(quick),
 		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 	cfg.SerSizes, cfg.SerIters = serConfig(quick)
 	cfg.StoreSizes, cfg.StoreIters = storeConfig(quick)
@@ -187,12 +189,14 @@ func emitJSON(quick bool) {
 		ObsRecords     []obsBenchRecord     `json:"obs_records"`
 		ObsSummary     obsBenchSummary      `json:"obs_summary"`
 		RouterRecords  []routerBenchRecord  `json:"router_records"`
+		ColumnRecords  []columnBenchRecord  `json:"column_records"`
 	}{Suite: "wavelettrie-serialize", Quick: quick, Config: cfg,
 		Records: serRecords(quick), StoreRecords: storeBenchRecords(quick),
 		CompactRecords: compactBenchRecords(quick), FreezeRecords: freezeBenchRecords(quick),
 		ShardRecords: shardBenchRecords(quick), ServeRecords: serveBenchRecords(quick),
 		ReplRecords: replBenchRecords(quick),
-		ObsRecords:  obsRecs, ObsSummary: obsSum, RouterRecords: routerBenchRecords(quick)}
+		ObsRecords:  obsRecs, ObsSummary: obsSum, RouterRecords: routerBenchRecords(quick),
+		ColumnRecords: columnBenchRecords(quick)}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {

@@ -14,6 +14,7 @@
 //	wtquery -store dir/ -file a.log   # ...bulk-loading the file into it
 //	wtquery -store dir/ -shards 4     # hash-partitioned multi-writer store
 //	                                  # (sharded dirs are also auto-detected)
+//	wtquery -store dir/ -columns score:u64,meta:bytes   # pin a payload schema
 //	wtquery -connect localhost:7070   # drive a running wtserve server
 //
 // Commands (positions 0-based, ranges half-open):
@@ -24,6 +25,8 @@
 //	rankprefix PREF POS   | countprefix PREF
 //	selectprefix PREF IDX
 //	iterprefix PREF FROM N                  stream prefix matches
+//	row POS                                 payload row at a position
+//	where EXPR [PREF [FROM [N]]]            predicate scan, e.g. where score>=10 api/
 //	distinct L R          | majority L R | topk L R K | threshold L R T
 //	slice L R
 //	append STR            | insert POS STR | delete POS   (dynamic/append)
@@ -79,6 +82,34 @@ type prefixIterator interface {
 	IteratePrefix(p string, from int, fn func(idx, pos int) bool)
 }
 
+// columnIndex is the payload-column surface — schema discovery, row
+// reads and predicate scans. Durable stores (plain and sharded) serve
+// it directly; remote connections forward it over the protocol.
+type columnIndex interface {
+	Schema() []store.ColumnSpec
+	Row(pos int) store.Row
+	CountWhere(prefix string, preds ...store.Pred) (int, error)
+	IterateWhere(prefix string, from int, preds []store.Pred, fn func(idx, pos int) bool) error
+}
+
+// rowLine renders one payload row against its schema, one name=value
+// pair per column.
+func rowLine(schema []store.ColumnSpec, row store.Row) string {
+	parts := make([]string, len(schema))
+	for i, spec := range schema {
+		v := "NULL"
+		if i < len(row) && !row[i].IsNull() {
+			if row[i].Kind() == store.ColBytes {
+				v = strconv.Quote(string(row[i].Blob()))
+			} else {
+				v = row[i].String()
+			}
+		}
+		parts[i] = spec.Name + "=" + v
+	}
+	return strings.Join(parts, "  ")
+}
+
 // routerReporter exposes the sharded router's representation split —
 // the frozen succinct prefix vs the live uint32 tail — so the memory
 // win of freezing is observable from the REPL.
@@ -101,11 +132,16 @@ func main() {
 	storeDir := flag.String("store", "", "open a durable log-structured store in this directory")
 	sync := flag.Bool("sync", false, "with -store: fsync the WAL on every append")
 	shards := flag.Int("shards", 0, "with -store: open a hash-partitioned sharded store with this many shards (0 = plain store, or adopt an existing sharded layout)")
+	columns := flag.String("columns", "", "with -store: pin a payload column schema at creation, e.g. 'score:u64,meta:bytes' (an existing store's schema is adopted automatically)")
 	connect := flag.String("connect", "", "connect to a running wtserve server (host:port) instead of opening anything locally")
 	flag.Parse()
 
 	if *shards != 0 && *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "wtquery: -shards requires -store")
+		os.Exit(2)
+	}
+	if *columns != "" && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "wtquery: -columns requires -store")
 		os.Exit(2)
 	}
 
@@ -127,7 +163,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "wtquery: -store cannot be combined with -load or -dynamic")
 			os.Exit(2)
 		}
-		db, err := openStore(*storeDir, *shards, *sync)
+		db, err := openStore(*storeDir, *shards, *sync, *columns)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wtquery:", err)
 			os.Exit(1)
@@ -188,8 +224,12 @@ type storeHandle interface {
 // openStore opens dir as a plain or sharded store: -shards forces a
 // sharded layout, and a directory already holding one (a SHARDS
 // manifest) is detected automatically.
-func openStore(dir string, shards int, sync bool) (storeHandle, error) {
-	opts := store.Options{Sync: sync}
+func openStore(dir string, shards int, sync bool, columns string) (storeHandle, error) {
+	cols, err := store.ParseColumns(columns)
+	if err != nil {
+		return nil, err
+	}
+	opts := store.Options{Sync: sync, Columns: cols}
 	if shards > 0 || store.IsSharded(dir) {
 		return store.OpenSharded(dir, &store.ShardedOptions{Shards: shards, Store: opts})
 	}
@@ -298,6 +338,7 @@ func execute(st wavelettrie.StringIndex, args []string) (cur wavelettrie.StringI
 		fmt.Println("access POS | rank STR POS | count STR | select STR IDX")
 		fmt.Println("rankprefix PREF POS | countprefix PREF | selectprefix PREF IDX")
 		fmt.Println("iterprefix PREF FROM N   (stream prefix matches; store/remote only)")
+		fmt.Println("row POS | where EXPR [PREF [FROM [N]]]   (payload columns; e.g. where score>=10 api/)")
 		fmt.Println("distinct L R | majority L R | topk L R K | threshold L R T | slice L R")
 		fmt.Println("append STR | insert POS STR | delete POS")
 		fmt.Println("flush | compact | gens   (durable store only)")
@@ -346,6 +387,52 @@ func execute(st wavelettrie.StringIndex, args []string) (cur wavelettrie.StringI
 			return shown < limit
 		})
 		fmt.Printf("%d match(es) from index %d\n", shown, from)
+	case "row":
+		need(1)
+		ci, ok := st.(columnIndex)
+		if !ok {
+			panic(fmt.Sprintf("row requires a -store or -connect session (not supported by %T)", st))
+		}
+		schema := ci.Schema()
+		if len(schema) == 0 {
+			panic("store has no column schema")
+		}
+		fmt.Println(rowLine(schema, ci.Row(atoi(args[1]))))
+	case "where":
+		// where EXPR [PREF [FROM [N]]] — predicate scan intersected with
+		// an optional value prefix, streaming matching rows.
+		need(1)
+		ci, ok := st.(columnIndex)
+		if !ok {
+			panic(fmt.Sprintf("where requires a -store or -connect session (not supported by %T)", st))
+		}
+		schema := ci.Schema()
+		pred, err := store.ParsePredicate(args[1], schema)
+		if err != nil {
+			panic(err)
+		}
+		var prefix string
+		from, limit := 0, 20
+		if len(args) > 2 {
+			prefix = args[2]
+		}
+		if len(args) > 3 {
+			from = atoi(args[3])
+		}
+		if len(args) > 4 {
+			limit = atoi(args[4])
+		}
+		preds := []store.Pred{pred}
+		shown := 0
+		if err := ci.IterateWhere(prefix, from, preds, func(idx, pos int) bool {
+			fmt.Printf("%8d  %8d  %-30s %s\n", idx, pos, st.Access(pos), rowLine(schema, ci.Row(pos)))
+			shown++
+			return shown < limit
+		}); err != nil {
+			panic(err)
+		}
+		total := must(ci.CountWhere(prefix, preds...))
+		fmt.Printf("%d of %d match(es) from index %d\n", shown, total, from)
 	case "distinct":
 		need(2)
 		for _, d := range ranger().DistinctInRange(atoi(args[1]), atoi(args[2])) {
@@ -420,6 +507,18 @@ func execute(st wavelettrie.StringIndex, args []string) (cur wavelettrie.StringI
 					float64(g.FilterBits)/float64(max(1, g.Len)),
 					float64(g.FileBytes)/1024, backing,
 					trimValue(g.MinValue), trimValue(g.MaxValue))
+				if g.ColFileBytes > 0 {
+					colBacking := "heap"
+					if g.ColMmapped {
+						colBacking = "mmap"
+						if g.ColResidentBytes >= 0 {
+							colBacking = fmt.Sprintf("mmap %3.0f%% resident",
+								100*float64(g.ColResidentBytes)/float64(max(1, g.ColFileBytes+g.ColDirFileBytes)))
+						}
+					}
+					fmt.Printf("          cols %7.1f KiB (.col) + %7.1f KiB (.cd)  %s\n",
+						float64(g.ColFileBytes)/1024, float64(g.ColDirFileBytes)/1024, colBacking)
+				}
 			}
 			fmt.Printf("memtable  n=%d\n", db.MemLen())
 		}

@@ -88,6 +88,29 @@ func (r *remoteIndex) IteratePrefix(p string, from int, fn func(idx, pos int) bo
 	}
 }
 
+// Schema returns the remote store's column schema from Stats.
+func (r *remoteIndex) Schema() []store.ColumnSpec { return must(r.c.Schema()) }
+
+// Row fetches the payload row at position pos over the protocol.
+func (r *remoteIndex) Row(pos int) store.Row { return must(r.c.Row(pos)) }
+
+// CountWhere counts predicate matches by streaming the scan — the
+// protocol has no dedicated count opcode, and REPL-scale counts don't
+// need one.
+func (r *remoteIndex) CountWhere(prefix string, preds ...store.Pred) (int, error) {
+	n := 0
+	err := r.c.ScanWhere(prefix, preds, 0, -1, 0,
+		func(int, int, string, store.Row) bool { n++; return true })
+	return n, err
+}
+
+// IterateWhere streams predicate-scan matches from the from-th match,
+// paginated statelessly over the binary protocol.
+func (r *remoteIndex) IterateWhere(prefix string, from int, preds []store.Pred, fn func(idx, pos int) bool) error {
+	return r.c.ScanWhere(prefix, preds, from, -1, 0,
+		func(idx, pos int, _ string, _ store.Row) bool { return fn(idx, pos) })
+}
+
 // RouterInfo reconstructs the remote router's representation split
 // from the Stats reply (zero for unsharded servers).
 func (r *remoteIndex) RouterInfo() store.RouterInfo {

@@ -16,6 +16,7 @@
 //	wtserve -dir data/ -shards 4            # ...or a sharded one (auto-
 //	                                        #  detected on reopen)
 //	wtserve -dir data/ -sync                # fsync per group commit
+//	wtserve -dir data/ -columns score:u64,ua:bytes   # pin a payload schema
 //	wtserve -dir data/ -listen :7070 -http :7071
 //	wtserve -dir data/ -slow-op 50ms          # log ops slower than 50ms
 //	wtserve -dir replica/ -follow host:7070   # read-only replication
@@ -49,6 +50,7 @@ import (
 func main() {
 	dir := flag.String("dir", "", "store directory (created if empty)")
 	shards := flag.Int("shards", 0, "open a sharded store with this many partitions (0 = plain store, or adopt an existing sharded layout)")
+	columns := flag.String("columns", "", "pin a payload column schema at creation, e.g. 'score:u64,meta:bytes' (an existing store's schema is adopted automatically)")
 	sync := flag.Bool("sync", false, "fsync the WAL on every commit (one fsync per group commit, not per append)")
 	listen := flag.String("listen", "127.0.0.1:7070", "binary protocol listen address")
 	httpAddr := flag.String("http", "127.0.0.1:7071", "HTTP/JSON gateway listen address ('' disables)")
@@ -70,7 +72,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	db, err := openStore(*dir, *shards, *sync)
+	db, err := openStore(*dir, *shards, *sync, *columns)
 	if err != nil {
 		log.Fatalf("wtserve: %v", err)
 	}
@@ -152,8 +154,12 @@ type openedStore struct {
 // openStore opens dir as a plain or sharded store: -shards forces a
 // sharded layout, and a directory already holding one is detected
 // automatically, mirroring cmd/wtquery.
-func openStore(dir string, shards int, sync bool) (*openedStore, error) {
-	opts := store.Options{Sync: sync}
+func openStore(dir string, shards int, sync bool, columns string) (*openedStore, error) {
+	cols, err := store.ParseColumns(columns)
+	if err != nil {
+		return nil, err
+	}
+	opts := store.Options{Sync: sync, Columns: cols}
 	if shards > 0 || store.IsSharded(dir) {
 		ss, err := store.OpenSharded(dir, &store.ShardedOptions{Shards: shards, Store: opts})
 		if err != nil {

@@ -23,12 +23,24 @@ type Snap interface {
 	Iterate(l, r int, fn func(pos int, s string) bool)
 	IteratePrefix(p string, from int, fn func(idx, pos int) bool)
 	Fingerprint() uint64
-	// ContentFingerprint hashes the visible values themselves, so two
-	// different stores (a primary and its follower) can be compared.
+	// ContentFingerprint hashes the visible values themselves — and, when
+	// a schema is pinned, every payload cell — so two different stores (a
+	// primary and its follower) can be compared.
 	ContentFingerprint() uint64
 	// MarshalBinary exports the pinned sequence as a loadable Frozen —
-	// the replication bootstrap payload.
+	// the replication bootstrap payload. It carries values only, so the
+	// bootstrap path is gated off when a column schema is pinned.
 	MarshalBinary() ([]byte, error)
+	// Schema is the pinned column schema; nil when the store carries no
+	// columnar attachments.
+	Schema() []store.ColumnSpec
+	// Row materializes position pos's payload row (nil when no schema).
+	Row(pos int) store.Row
+	// CountWhere counts positions matching prefix ∩ numeric predicates.
+	CountWhere(prefix string, preds ...store.Pred) (int, error)
+	// IterateWhere streams matching positions in position order starting
+	// at match offset from.
+	IterateWhere(prefix string, from int, preds []store.Pred, fn func(idx, pos int) bool) error
 }
 
 // Backend is the store surface the server drives — satisfied by
@@ -38,6 +50,11 @@ type Snap interface {
 type Backend interface {
 	Append(v string) error
 	AppendBatch(vs []string) error
+	// AppendBatchRows is AppendBatch with optional payload rows (rows is
+	// nil or one entry per value); the row-carrying group-commit path.
+	AppendBatchRows(vs []string, rows []store.Row) error
+	// Schema is the pinned column schema (nil when none).
+	Schema() []store.ColumnSpec
 	Flush() error
 	Compact() error
 	MemLen() int

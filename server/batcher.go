@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/store"
 )
 
 // The group-commit write path: connection handlers never touch the
@@ -21,10 +22,12 @@ import (
 // Options.MaxBatch pending enqueues, so writers stall once the store
 // falls behind instead of growing an unbounded queue.
 
-// appendReq is one handler's pending append: its values and the
-// channel its commit result comes back on.
+// appendReq is one handler's pending append: its values, optional
+// payload rows (nil, or one per value), and the channel its commit
+// result comes back on.
 type appendReq struct {
 	vals []string
+	rows []store.Row
 	resc chan commitResult
 }
 
@@ -42,14 +45,28 @@ func (s *Server) committer() {
 	defer s.wgCommit.Done()
 	for first := range s.appendCh {
 		vals := first.vals
+		rows := first.rows
 		waiters := append(make([]chan commitResult, 0, 8), first.resc)
-		// Coalesce everything already queued, up to the batch cap.
+		// Coalesce everything already queued, up to the batch cap. Rows
+		// stay position-aligned with vals: the rows slice is materialized
+		// lazily the first time any request in the batch carries one, with
+		// nil (all-NULL) entries padding the row-less requests.
 	drain:
 		for len(vals) < s.opts.MaxBatch {
 			select {
 			case req, ok := <-s.appendCh:
 				if !ok {
 					break drain
+				}
+				if req.rows != nil && rows == nil {
+					rows = make([]store.Row, len(vals))
+				}
+				if rows != nil {
+					if req.rows != nil {
+						rows = append(rows, req.rows...)
+					} else {
+						rows = append(rows, make([]store.Row, len(req.vals))...)
+					}
 				}
 				vals = append(vals, req.vals...)
 				waiters = append(waiters, req.resc)
@@ -59,7 +76,7 @@ func (s *Server) committer() {
 		}
 		sp := obs.DefaultTracer.Start("group_commit")
 		t0 := time.Now()
-		seq, err := s.commitPublish(vals)
+		seq, err := s.commitPublish(vals, rows)
 		smet.commitSeconds.ObserveSince(t0)
 		smet.groupCommits.Inc()
 		smet.commitValues.Add(int64(len(vals)))
@@ -79,26 +96,41 @@ func (s *Server) committer() {
 	}
 }
 
-// submitAppend routes values through the group-commit path (or
-// straight to commitPublish when group commit is disabled) and waits
-// for the commit. Returns the global sequence number the write is
-// covered by — the client's read-your-writes token. Writes are refused
-// on a replication follower; the primary owns sequence assignment.
-func (s *Server) submitAppend(vals []string) (uint64, error) {
+// submitAppend routes values (and optional payload rows — nil, or one
+// per value) through the group-commit path (or straight to
+// commitPublish when group commit is disabled) and waits for the
+// commit. Returns the global sequence number the write is covered by —
+// the client's read-your-writes token. Writes are refused on a
+// replication follower; the primary owns sequence assignment. Rows are
+// validated against the schema here, before enqueueing — one client's
+// malformed row must not fail the whole coalesced batch it would have
+// shared with other connections.
+func (s *Server) submitAppend(vals []string, rows []store.Row) (uint64, error) {
 	if len(vals) == 0 {
 		return s.repl.watermark(), nil
 	}
 	if fs := s.follow.Load(); fs != nil {
 		return 0, &FollowerWriteError{Primary: fs.addr}
 	}
+	if rows != nil {
+		if len(rows) != len(vals) {
+			return 0, fmt.Errorf("server: %d rows for %d values", len(rows), len(vals))
+		}
+		schema := s.b.Schema()
+		for _, row := range rows {
+			if err := store.ValidateRow(schema, row); err != nil {
+				return 0, err
+			}
+		}
+	}
 	s.metrics.Appends.Add(int64(len(vals)))
 	smet.appendValues.Add(int64(len(vals)))
 	if s.opts.DisableGroupCommit {
 		// Still one commitPublish per request — sequence assignment and
 		// fan-out need the hub even without coalescing.
-		return s.commitPublish(vals)
+		return s.commitPublish(vals, rows)
 	}
-	req := appendReq{vals: vals, resc: make(chan commitResult, 1)}
+	req := appendReq{vals: vals, rows: rows, resc: make(chan commitResult, 1)}
 	// The read-locked gate pairs with Shutdown: once every connection
 	// handler has exited, Shutdown flips sendOff under the write lock
 	// and closes the channel — so a submit either lands before the

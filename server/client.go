@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/wire"
+	"repro/store"
 )
 
 // Client speaks the binary protocol to a wtserve server over one
@@ -146,6 +147,60 @@ func (c *Client) AppendBatchSeq(vs []string) (uint64, error) {
 	return seq, err
 }
 
+// AppendRow is Append with a columnar payload row attached (nil row =
+// all-NULL). The server validates the row against the store's pinned
+// schema before committing.
+func (c *Client) AppendRow(v string, row store.Row) error {
+	_, err := c.AppendRowSeq(v, row)
+	return err
+}
+
+// AppendRowSeq is AppendRow returning the covering sequence number;
+// see AppendSeq.
+func (c *Client) AppendRowSeq(v string, row store.Row) (uint64, error) {
+	var rows []store.Row
+	if row != nil {
+		rows = []store.Row{row}
+	}
+	var seq uint64
+	err := c.roundTrip(Request{Op: OpAppend, Value: v, Rows: rows}, func(r *wire.Reader) error {
+		seq = r.Uvarint()
+		return nil
+	})
+	if err == nil {
+		c.noteAck(seq)
+	}
+	return seq, err
+}
+
+// AppendBatchRows is AppendBatch with payload rows attached — rows is
+// nil or exactly one (possibly nil) row per value.
+func (c *Client) AppendBatchRows(vs []string, rows []store.Row) error {
+	_, err := c.AppendBatchRowsSeq(vs, rows)
+	return err
+}
+
+// AppendBatchRowsSeq is AppendBatchRows returning the covering
+// sequence number; see AppendSeq.
+func (c *Client) AppendBatchRowsSeq(vs []string, rows []store.Row) (uint64, error) {
+	if len(vs) == 0 {
+		return c.lastAck.Load(), nil
+	}
+	if rows != nil && len(rows) != len(vs) {
+		return 0, fmt.Errorf("server: %d rows for %d values", len(rows), len(vs))
+	}
+	var seq uint64
+	err := c.roundTrip(Request{Op: OpAppendBatch, Values: vs, Rows: rows}, func(r *wire.Reader) error {
+		r.Uvarint() // accepted count, fixed by the request itself
+		seq = r.Uvarint()
+		return nil
+	})
+	if err == nil {
+		c.noteAck(seq)
+	}
+	return seq, err
+}
+
 // noteAck advances the session token to seq if it is newer.
 func (c *Client) noteAck(seq uint64) {
 	for {
@@ -201,6 +256,27 @@ func (c *Client) Access(pos int) (string, error) {
 		return nil
 	})
 	return out, err
+}
+
+// Row returns the columnar payload row at position pos (nil when the
+// store pins no schema or the position's payload is all-NULL).
+func (c *Client) Row(pos int) (store.Row, error) {
+	var row store.Row
+	err := c.roundTrip(Request{Op: OpRow, Pos: pos}, func(r *wire.Reader) error {
+		row = parseRow(r)
+		return nil
+	})
+	return row, err
+}
+
+// Schema returns the server store's pinned column schema (nil when the
+// store carries no columnar attachments).
+func (c *Client) Schema() ([]store.ColumnSpec, error) {
+	st, err := c.Stats()
+	if err != nil {
+		return nil, err
+	}
+	return st.Schema, nil
 }
 
 func (c *Client) num(op byte, v string, pos int) (int, error) {
@@ -378,6 +454,68 @@ func (c *Client) ScanPrefix(p string, from, n, batch int, fn func(idx, pos int, 
 		}
 		for i, m := range matches {
 			if !fn(start+i, m.pos, m.val) {
+				return nil
+			}
+		}
+		if done {
+			return nil
+		}
+		if remaining > 0 {
+			if remaining -= len(matches); remaining == 0 {
+				return nil
+			}
+		}
+		if len(matches) == 0 {
+			return nil // defensive: a non-done empty batch must not spin
+		}
+		req.Pos = start + len(matches)
+	}
+}
+
+// ScanWhere streams the elements matching byte prefix p AND every
+// numeric predicate, in ascending position order, starting at the
+// from-th (0-based) match and visiting at most n matches; n < 0
+// streams to the end. fn receives the global match index, the
+// element's position, its value and its payload row, and returns false
+// to stop. Pagination is stateless like ScanPrefix. batch sizes the
+// per-round-trip match count; 0 uses the server's default.
+func (c *Client) ScanWhere(p string, preds []store.Pred, from, n, batch int, fn func(idx, pos int, v string, row store.Row) bool) error {
+	if n == 0 || from < 0 {
+		return nil
+	}
+	if batch <= 0 {
+		batch = 1024
+	}
+	remaining := n // negative = to the end
+	req := Request{Op: OpScanWhere, Value: p, Pos: from, Preds: preds}
+	for {
+		req.Max = batch
+		if remaining >= 0 && remaining < batch {
+			req.Max = remaining
+		}
+		type match struct {
+			pos int
+			val string
+			row store.Row
+		}
+		var matches []match
+		var done bool
+		var start int
+		err := c.roundTrip(req, func(r *wire.Reader) error {
+			done = r.Byte() == 1
+			start = int(r.Uvarint())
+			k := r.Len()
+			matches = matches[:0]
+			for i := 0; i < k && r.Err() == nil; i++ {
+				matches = append(matches, match{pos: int(r.Uvarint()), val: r.Str(), row: parseRow(r)})
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for i, m := range matches {
+			if !fn(start+i, m.pos, m.val, m.row) {
 				return nil
 			}
 		}

@@ -11,6 +11,7 @@ package server_test
 // the full op surface like a flat oracle over what it actually holds.
 
 import (
+	"bytes"
 	"fmt"
 	"net"
 	"os"
@@ -24,6 +25,64 @@ import (
 	"repro/store"
 )
 
+// crashSchema is the column schema both crash-test children pin: the
+// kill and failover tests append payload rows next to every value, so
+// the durable-prefix contract is checked over rows too.
+func crashSchema() []store.ColumnSpec {
+	return []store.ColumnSpec{
+		{Name: "idx", Kind: store.ColUint64},
+		{Name: "tag", Kind: store.ColBytes},
+	}
+}
+
+// crashRowFor derives client g's payload row for its j-th value — a
+// pure function of the value, so recovery can recompute the expected
+// row for whatever survived. Every 5th row is absent and every 7th tag
+// is NULL, so the NULL paths cross the WAL and the wire too.
+func crashRowFor(g, j int) store.Row {
+	if j%5 == 4 {
+		return nil
+	}
+	row := store.Row{store.U64(uint64(j)), store.Blob([]byte(fmt.Sprintf("tag/g%d", g)))}
+	if j%7 == 6 {
+		row[1] = store.Null()
+	}
+	return row
+}
+
+// sameRow reports cell-for-cell equality of two payload rows (store.Row
+// is not comparable: blob cells carry slices).
+func sameRow(a, b store.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for c := range a {
+		if a[c].Kind() != b[c].Kind() || a[c].U64() != b[c].U64() || !bytes.Equal(a[c].Blob(), b[c].Blob()) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkCrashRow compares a recovered row against crashRowFor(g, j).
+// A nil sent row recovers as all-NULL cells.
+func checkCrashRow(t *testing.T, where string, got store.Row, g, j int) {
+	t.Helper()
+	want := crashRowFor(g, j)
+	if len(got) != len(crashSchema()) {
+		t.Fatalf("%s: client %d row %d has %d cells", where, g, j, len(got))
+	}
+	for c, cell := range got {
+		w := store.Null()
+		if c < len(want) {
+			w = want[c]
+		}
+		if cell.Kind() != w.Kind() || cell.U64() != w.U64() || !bytes.Equal(cell.Blob(), w.Blob()) {
+			t.Fatalf("%s: client %d row %d cell %d = %v, want %v", where, g, j, c, cell, w)
+		}
+	}
+}
+
 // TestWTServeCrashChild is the child half: it only runs re-executed by
 // TestServerKill9Recovery with the env marker set.
 func TestWTServeCrashChild(t *testing.T) {
@@ -31,7 +90,7 @@ func TestWTServeCrashChild(t *testing.T) {
 	if dir == "" {
 		t.Skip("crash-test child; run via TestServerKill9Recovery")
 	}
-	st, err := store.Open(dir, &store.Options{Sync: true, FlushThreshold: 1 << 8})
+	st, err := store.Open(dir, &store.Options{Sync: true, FlushThreshold: 1 << 8, Columns: crashSchema()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,10 +156,12 @@ func TestServerKill9Recovery(t *testing.T) {
 			defer c.Close()
 			for j := 0; ; j += 4 {
 				batch := make([]string, 4)
+				rows := make([]store.Row, 4)
 				for k := range batch {
 					batch[k] = fmt.Sprintf("c%d/%06d", g, j+k)
+					rows[k] = crashRowFor(g, j+k)
 				}
-				if err := c.AppendBatch(batch); err != nil {
+				if err := c.AppendBatchRows(batch, rows); err != nil {
 					return // the kill arrived
 				}
 				mu.Lock()
@@ -154,6 +215,9 @@ func TestServerKill9Recovery(t *testing.T) {
 		if j != next[g] {
 			t.Fatalf("position %d: client %d value %q out of order (expected index %06d)", pos, g, v, next[g])
 		}
+		// The payload row rode the same WAL record: if the value
+		// survived the kill, its row did too, cell for cell.
+		checkCrashRow(t, "recovered store", sn.Row(pos), g, j)
 		next[g]++
 	}
 	for g := 0; g < clients; g++ {
@@ -210,7 +274,7 @@ func TestWTServeFollowerChild(t *testing.T) {
 	if dir == "" {
 		t.Skip("failover-test child; run via TestFailoverPromoteFollower")
 	}
-	st, err := store.Open(dir, &store.Options{FlushThreshold: 1 << 8})
+	st, err := store.Open(dir, &store.Options{FlushThreshold: 1 << 8, Columns: crashSchema()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,10 +369,12 @@ func TestFailoverPromoteFollower(t *testing.T) {
 			defer c.Close()
 			for j := 0; ; j += 4 {
 				batch := make([]string, 4)
+				rows := make([]store.Row, 4)
 				for k := range batch {
 					batch[k] = fmt.Sprintf("c%d/%06d", g, j+k)
+					rows[k] = crashRowFor(g, j+k)
 				}
-				seq, err := c.AppendBatchSeq(batch)
+				seq, err := c.AppendBatchRowsSeq(batch, rows)
 				if err != nil {
 					return // the kill arrived
 				}
@@ -426,7 +492,9 @@ func TestFailoverPromoteFollower(t *testing.T) {
 	}
 
 	// Per-client ordering: each client's surviving values are an
-	// in-order prefix of what it sent.
+	// in-order prefix of what it sent. The payload rows replicated with
+	// them: every follower row matches what the client attached, and is
+	// byte-identical to the dead primary's durable row at that position.
 	next := make([]int, clients)
 	for pos, v := range folSeq {
 		var g, j int
@@ -435,6 +503,16 @@ func TestFailoverPromoteFollower(t *testing.T) {
 		}
 		if j != next[g] {
 			t.Fatalf("position %d: client %d value %q out of order (expected index %06d)", pos, g, v, next[g])
+		}
+		if pos%7 == 0 { // sampled: each probe is a round trip
+			folRow, err := fc.Row(pos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkCrashRow(t, "promoted follower", folRow, g, j)
+			if primRow := psn.Row(pos); !sameRow(folRow, primRow) {
+				t.Fatalf("position %d: follower row %v, primary row %v", pos, folRow, primRow)
+			}
 		}
 		next[g]++
 	}

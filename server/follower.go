@@ -325,7 +325,7 @@ func (s *Server) receiveSnapshot(next func() (WALFrame, error)) error {
 		if len(batch) == 0 {
 			return nil
 		}
-		if _, err := s.commitPublish(batch); err != nil {
+		if _, err := s.commitPublish(batch, nil); err != nil {
 			return err
 		}
 		smet.replAppliedRecords.Add(int64(len(batch)))
@@ -359,7 +359,7 @@ func (s *Server) applyRecords(f WALFrame) error {
 	if err := checkStreamSeq(s.repl.watermark(), f.Seq, len(f.Values)); err != nil {
 		return err
 	}
-	if _, err := s.commitPublish(f.Values); err != nil {
+	if _, err := s.commitPublish(f.Values, f.Rows); err != nil {
 		return err
 	}
 	smet.replAppliedRecords.Add(int64(len(f.Values)))

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/store"
 )
 
 // HTTPHandler returns the HTTP/JSON gateway over the same serving
@@ -30,8 +31,15 @@ import (
 //	GET  /v1/selectprefix?p=V&idx=I
 //	GET  /v1/scan?start=P&n=N           at most the server's batch cap
 //	GET  /v1/scanprefix?p=V&from=I&n=N  prefix matches from the I-th on
-//	POST /v1/append                     {"values": ["..."]}
+//	GET  /v1/row?pos=P                  columnar payload row at P
+//	GET  /v1/countwhere?p=V&pred=E      count prefix ∩ predicate matches
+//	POST /v1/append                     {"values": ["..."], "rows": [[...]]}
 //	POST /v1/flush | /v1/compact
+//
+// Payload rows render as JSON arrays, one cell per schema column:
+// null, a non-negative integer (uint64 column) or a string (bytes
+// column). /v1/countwhere takes one ?pred= per predicate, each an
+// expression like score>=10 against a uint64 column's name.
 //
 // The gateway exists for curl-ability and dashboards; bulk traffic
 // belongs on the binary protocol.
@@ -205,6 +213,29 @@ func (s *Server) HTTPHandler() http.Handler {
 		})
 		writeJSON(w, map[string]any{"from": from, "positions": positions, "values": vals, "done": done})
 	}))
+	mux.HandleFunc("/v1/row", s.guard(func(w http.ResponseWriter, r *http.Request) {
+		pos, err := intParam(r, "pos")
+		if err != nil {
+			httpErr(w, err)
+			return
+		}
+		row := s.b.Snap().Row(pos) // panics out of range; guard turns it into a 400
+		writeJSON(w, map[string]any{"pos": pos, "row": rowToJSON(row)})
+	}))
+	mux.HandleFunc("/v1/countwhere", s.guard(func(w http.ResponseWriter, r *http.Request) {
+		p := r.URL.Query().Get("p")
+		preds, err := parsePredParams(r, s.b.Schema())
+		if err != nil {
+			httpErr(w, err)
+			return
+		}
+		n, err := s.b.Snap().CountWhere(p, preds...)
+		if err != nil {
+			httpErr(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{"count": n})
+	}))
 	mux.HandleFunc("/v1/append", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -212,12 +243,31 @@ func (s *Server) HTTPHandler() http.Handler {
 		}
 		var body struct {
 			Values []string `json:"values"`
+			Rows   [][]any  `json:"rows"`
 		}
-		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxFrame)).Decode(&body); err != nil {
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxFrame))
+		dec.UseNumber() // uint64 cells would lose precision as float64
+		if err := dec.Decode(&body); err != nil {
 			httpErr(w, err)
 			return
 		}
-		seq, err := s.submitAppend(body.Values)
+		var rows []store.Row
+		if body.Rows != nil {
+			if len(body.Rows) != len(body.Values) {
+				httpErr(w, fmt.Errorf("%d rows for %d values", len(body.Rows), len(body.Values)))
+				return
+			}
+			rows = make([]store.Row, len(body.Rows))
+			for i, jr := range body.Rows {
+				row, err := jsonToRow(jr)
+				if err != nil {
+					httpErr(w, fmt.Errorf("rows[%d]: %w", i, err))
+					return
+				}
+				rows[i] = row
+			}
+		}
+		seq, err := s.submitAppend(body.Values, rows)
 		if err != nil {
 			// A drain refusal is the server's state, not the client's
 			// mistake: 503 tells balancers and clients to retry
@@ -348,6 +398,71 @@ func optIntParam(r *http.Request, name string, def int) (int, error) {
 		return def, nil
 	}
 	return intParam(r, name)
+}
+
+// rowToJSON renders a payload row for the gateway: null, uint64 as a
+// number, bytes as a string.
+func rowToJSON(row store.Row) []any {
+	if row == nil {
+		return nil
+	}
+	out := make([]any, len(row))
+	for i, c := range row {
+		switch c.Kind() {
+		case store.ColUint64:
+			out[i] = c.U64()
+		case store.ColBytes:
+			out[i] = string(c.Blob())
+		default:
+			out[i] = nil
+		}
+	}
+	return out
+}
+
+// jsonToRow decodes one gateway row: a JSON array with one cell per
+// schema column — null, a non-negative integer, or a string. An empty
+// array is the all-NULL row (nil).
+func jsonToRow(cells []any) (store.Row, error) {
+	if len(cells) == 0 {
+		return nil, nil
+	}
+	row := make(store.Row, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case nil:
+			row[i] = store.Null()
+		case json.Number:
+			u, err := strconv.ParseUint(v.String(), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("cell %d: %q is not a uint64", i, v.String())
+			}
+			row[i] = store.U64(u)
+		case string:
+			row[i] = store.Blob([]byte(v))
+		default:
+			return nil, fmt.Errorf("cell %d: unsupported JSON type %T", i, c)
+		}
+	}
+	return row, nil
+}
+
+// parsePredParams parses the repeated ?pred= expressions of a
+// countwhere request against the store's schema.
+func parsePredParams(r *http.Request, schema []store.ColumnSpec) ([]store.Pred, error) {
+	exprs := r.URL.Query()["pred"]
+	if len(exprs) == 0 {
+		return nil, nil
+	}
+	preds := make([]store.Pred, 0, len(exprs))
+	for _, e := range exprs {
+		p, err := store.ParsePredicate(e, schema)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, p)
+	}
+	return preds, nil
 }
 
 func httpErr(w http.ResponseWriter, err error) {

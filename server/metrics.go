@@ -216,6 +216,8 @@ var opNames = [opLimit]string{
 	OpSubscribe:     "subscribe",
 	OpReplWait:      "repl_wait",
 	OpPromote:       "promote",
+	OpRow:           "row",
+	OpScanWhere:     "scan_where",
 }
 
 // opName returns the label value for an opcode ("invalid" for anything
@@ -263,8 +265,14 @@ func keyShape(req Request) string {
 		return fmt.Sprintf("%q", v)
 	case OpAppendBatch:
 		return fmt.Sprintf("batch(n=%d)", len(req.Values))
-	case OpAccess:
+	case OpAccess, OpRow:
 		return fmt.Sprintf("pos=%d", req.Pos)
+	case OpScanWhere:
+		p := req.Value
+		if len(p) > 32 {
+			p = p[:32] + "…"
+		}
+		return fmt.Sprintf("prefix=%q preds=%d from=%d max=%d", p, len(req.Preds), req.Pos, req.Max)
 	case OpIterate:
 		return fmt.Sprintf("cursor=%d start=%d max=%d", req.Cursor, req.Pos, req.Max)
 	case OpIteratePrefix:

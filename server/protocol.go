@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"repro/internal/wire"
+	"repro/store"
 )
 
 // The wire protocol is length-prefixed binary frames over a byte
@@ -24,8 +25,15 @@ const (
 	// ProtocolVersion is negotiated by the Ping op. Version 2 added the
 	// replication ops (OpSubscribe, OpReplWait, OpPromote), the ack
 	// sequence number on append responses and the Stats replication
-	// fields.
-	ProtocolVersion = 2
+	// fields. Version 3 added columnar payloads: rows on the append ops
+	// and the replication record frames, OpRow and OpScanWhere, and the
+	// schema in Stats.
+	ProtocolVersion = 3
+
+	// maxRowCells caps the cells one wire row may carry — mirrors the
+	// store's column limit, enforced here so a hostile frame cannot make
+	// the decoder allocate unboundedly.
+	maxRowCells = 64
 
 	// MaxFrame caps a single frame's payload. Anything larger is a
 	// corrupt or hostile stream; the connection is closed.
@@ -61,6 +69,11 @@ const (
 	OpSubscribe
 	OpReplWait
 	OpPromote
+	// Columns (protocol version 3; see DESIGN.md §13): OpRow reads the
+	// payload row at a position, OpScanWhere streams positions matching a
+	// value prefix intersected with numeric column predicates.
+	OpRow
+	OpScanWhere
 
 	opLimit // one past the last valid opcode
 )
@@ -75,9 +88,9 @@ const (
 // depends on Op:
 //
 //	OpPing                       Pos = protocol version
-//	OpAppend                     Value
-//	OpAppendBatch                Values
-//	OpAccess                     Pos
+//	OpAppend                     Value, Rows (nil or one payload row)
+//	OpAppendBatch                Values, Rows (nil or one row per value)
+//	OpAccess, OpRow              Pos
 //	OpRank, OpRankPrefix         Value, Pos
 //	OpCount, OpCountPrefix       Value
 //	OpSelect, OpSelectPrefix     Value, Pos (the occurrence index)
@@ -89,6 +102,7 @@ const (
 //	OpSubscribe                  Value (follower id), Cursor (from seq), Max (1 = bootstrap ok)
 //	OpReplWait                   Cursor (seq to cover), Max (timeout ms)
 //	OpPromote                    —
+//	OpScanWhere                  Value (prefix), Pos (match offset), Max, Preds
 type Request struct {
 	Op     byte
 	Value  string
@@ -96,6 +110,128 @@ type Request struct {
 	Pos    int
 	Max    int
 	Cursor uint64
+	// Rows carries payload rows on the append ops: nil for no payloads,
+	// otherwise one row per value (individual rows may still be nil).
+	Rows []store.Row
+	// Preds carries OpScanWhere's numeric column predicates.
+	Preds []store.Pred
+}
+
+// encodeCell writes one row cell: a kind tag, then the kind's payload.
+func encodeCell(w *wire.Writer, v store.Value) {
+	w.Byte(byte(v.Kind()))
+	switch v.Kind() {
+	case store.ColUint64:
+		w.Uvarint(v.U64())
+	case store.ColBytes:
+		w.Blob(v.Blob())
+	}
+}
+
+// parseCell reads one row cell. Arbitrary input must error, never
+// panic — reached from the request and replication-frame fuzzers.
+func parseCell(r *wire.Reader) store.Value {
+	switch k := r.Byte(); store.ColumnKind(k) {
+	case store.ColumnKind(0):
+		return store.Null()
+	case store.ColUint64:
+		return store.U64(r.Uvarint())
+	case store.ColBytes:
+		return store.Blob(r.Blob())
+	default:
+		r.Fail("unknown cell kind %d", k)
+		return store.Null()
+	}
+}
+
+// encodeRow writes one payload row: a cell count (0 = nil row) and the
+// cells. A nil row and a zero-column row are the same wire shape; both
+// read back as nil (all-NULL).
+func encodeRow(w *wire.Writer, row store.Row) {
+	w.Uvarint(uint64(len(row)))
+	for _, v := range row {
+		encodeCell(w, v)
+	}
+}
+
+// parseRow reads one payload row; 0 cells decodes as nil.
+func parseRow(r *wire.Reader) store.Row {
+	n := r.Uvarint()
+	if n == 0 {
+		return nil
+	}
+	if n > maxRowCells {
+		r.Fail("row of %d cells (limit %d)", n, maxRowCells)
+		return nil
+	}
+	row := make(store.Row, 0, n)
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		row = append(row, parseCell(r))
+	}
+	return row
+}
+
+// encodeRows writes an append op's row list: 0 for none, else one row
+// per value.
+func encodeRows(w *wire.Writer, rows []store.Row) {
+	w.Uvarint(uint64(len(rows)))
+	for _, row := range rows {
+		encodeRow(w, row)
+	}
+}
+
+// parseRows reads an append op's row list, which must be empty or hold
+// exactly want rows.
+func parseRows(r *wire.Reader, want int) []store.Row {
+	n := r.Uvarint()
+	if n == 0 {
+		return nil
+	}
+	if n != uint64(want) {
+		r.Fail("append carries %d rows for %d values", n, want)
+		return nil
+	}
+	rows := make([]store.Row, 0, n)
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		rows = append(rows, parseRow(r))
+	}
+	return rows
+}
+
+// encodePreds writes OpScanWhere's predicate list.
+func encodePreds(w *wire.Writer, preds []store.Pred) {
+	w.Uvarint(uint64(len(preds)))
+	for _, p := range preds {
+		w.Uvarint(uint64(p.Col))
+		w.Byte(byte(p.Op))
+		w.Uvarint(p.Val)
+	}
+}
+
+// parsePreds reads a predicate list. Semantic validation (column range,
+// kind, known operator) happens in the store; here only the allocation
+// is bounded.
+func parsePreds(r *wire.Reader) []store.Pred {
+	n := r.Uvarint()
+	if n == 0 {
+		return nil
+	}
+	if n > maxRowCells {
+		r.Fail("scan carries %d predicates (limit %d)", n, maxRowCells)
+		return nil
+	}
+	preds := make([]store.Pred, 0, n)
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		col := r.Uvarint()
+		op := r.Byte()
+		val := r.Uvarint()
+		if col > maxRowCells {
+			r.Fail("predicate column %d (limit %d)", col, maxRowCells)
+			return nil
+		}
+		preds = append(preds, store.Pred{Col: int(col), Op: store.PredOp(op), Val: val})
+	}
+	return preds
 }
 
 // EncodeRequest serializes a request payload (without the frame
@@ -110,13 +246,20 @@ func EncodeRequest(req Request) []byte {
 		w.Uvarint(uint64(req.Pos))
 	case OpAppend:
 		w.Str(req.Value)
+		encodeRows(w, req.Rows)
 	case OpAppendBatch:
 		w.Uvarint(uint64(len(req.Values)))
 		for _, v := range req.Values {
 			w.Str(v)
 		}
-	case OpAccess:
+		encodeRows(w, req.Rows)
+	case OpAccess, OpRow:
 		w.Uvarint(uint64(req.Pos))
+	case OpScanWhere:
+		w.Str(req.Value)
+		w.Uvarint(uint64(req.Pos))
+		w.Uvarint(uint64(req.Max))
+		encodePreds(w, req.Preds)
 	case OpRank, OpRankPrefix, OpSelect, OpSelectPrefix:
 		w.Str(req.Value)
 		w.Uvarint(uint64(req.Pos))
@@ -168,14 +311,21 @@ func ParseRequest(payload []byte) (Request, error) {
 		req.Pos = readPos()
 	case OpAppend:
 		req.Value = r.Str()
+		req.Rows = parseRows(r, 1)
 	case OpAppendBatch:
 		n := r.Len() // validated against the remaining payload
 		req.Values = make([]string, 0, n)
 		for i := 0; i < n && r.Err() == nil; i++ {
 			req.Values = append(req.Values, r.Str())
 		}
-	case OpAccess:
+		req.Rows = parseRows(r, n)
+	case OpAccess, OpRow:
 		req.Pos = readPos()
+	case OpScanWhere:
+		req.Value = r.Str()
+		req.Pos = readPos()
+		req.Max = readPos()
+		req.Preds = parsePreds(r)
 	case OpRank, OpRankPrefix, OpSelect, OpSelectPrefix:
 		req.Value = r.Str()
 		req.Pos = readPos()
@@ -250,6 +400,9 @@ type Stats struct {
 	Following string
 	Followers int
 	Gens      []GenStat
+	// Schema is the store's pinned column schema (protocol version 3);
+	// empty when the store carries no columnar attachments.
+	Schema []store.ColumnSpec
 }
 
 func encodeStats(w *wire.Writer, st Stats) {
@@ -276,6 +429,11 @@ func encodeStats(w *wire.Writer, st Stats) {
 		w.Str(g.MinValue)
 		w.Str(g.MaxValue)
 	}
+	w.Uvarint(uint64(len(st.Schema)))
+	for _, c := range st.Schema {
+		w.Str(c.Name)
+		w.Byte(byte(c.Kind))
+	}
 }
 
 func parseStats(r *wire.Reader) Stats {
@@ -300,6 +458,16 @@ func parseStats(r *wire.Reader) Stats {
 			ID: r.Uvarint(), Len: int(r.Uvarint()),
 			SizeBits: int(r.Uvarint()), FilterBits: int(r.Uvarint()),
 			MinValue: r.Str(), MaxValue: r.Str(),
+		})
+	}
+	nc := r.Len()
+	if nc > maxRowCells {
+		r.Fail("schema of %d columns (limit %d)", nc, maxRowCells)
+		return st
+	}
+	for i := 0; i < nc && r.Err() == nil; i++ {
+		st.Schema = append(st.Schema, store.ColumnSpec{
+			Name: r.Str(), Kind: store.ColumnKind(r.Byte()),
 		})
 	}
 	return st

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/wire"
+	"repro/store"
 )
 
 // requestCases covers every opcode with representative arguments —
@@ -36,6 +37,12 @@ func requestCases() []Request {
 		{Op: OpSubscribe, Value: "", Cursor: 0, Max: 0},
 		{Op: OpReplWait, Cursor: 7777, Max: 500},
 		{Op: OpPromote},
+		{Op: OpAppend, Value: "v", Rows: []store.Row{{store.U64(7), store.Blob([]byte("meta")), store.Null()}}},
+		{Op: OpAppendBatch, Values: []string{"a", "b"}, Rows: []store.Row{nil, {store.U64(1)}}},
+		{Op: OpRow, Pos: 99},
+		{Op: OpScanWhere, Value: "api/", Pos: 3, Max: 50, Preds: []store.Pred{
+			{Col: 0, Op: store.PredGE, Val: 10}, {Col: 2, Op: store.PredNE, Val: 0}}},
+		{Op: OpScanWhere, Value: "", Pos: 0, Max: 0},
 	}
 }
 
@@ -81,6 +88,22 @@ func TestParseRequestRejects(t *testing.T) {
 	if _, err := ParseRequest(huge); err == nil {
 		t.Error("huge batch count: no error")
 	}
+	// A row claiming more cells than the cap must error before looping.
+	hugeRow := []byte{OpAppend, 0 /* empty value */, 1 /* one row */, 0xFF, 0x7F /* 16383 cells */}
+	if _, err := ParseRequest(hugeRow); err == nil {
+		t.Error("huge row cell count: no error")
+	}
+	// An append carrying a row count that disagrees with its value count
+	// must error.
+	twoRows := []byte{OpAppend, 0, 2, 0, 0}
+	if _, err := ParseRequest(twoRows); err == nil {
+		t.Error("row/value count mismatch: no error")
+	}
+	// An unknown cell kind must error.
+	badKind := []byte{OpAppend, 0, 1, 1 /* one cell */, 9 /* kind 9 */}
+	if _, err := ParseRequest(badKind); err == nil {
+		t.Error("unknown cell kind: no error")
+	}
 }
 
 func TestStatsRoundTrip(t *testing.T) {
@@ -92,6 +115,10 @@ func TestStatsRoundTrip(t *testing.T) {
 		Gens: []GenStat{
 			{ID: 3, Len: 30, SizeBits: 2048, FilterBits: 128, MinValue: "a", MaxValue: "zz"},
 			{ID: 5, Len: 30, SizeBits: 2000, FilterBits: 120, MinValue: "", MaxValue: "q/x"},
+		},
+		Schema: []store.ColumnSpec{
+			{Name: "score", Kind: store.ColUint64},
+			{Name: "meta", Kind: store.ColBytes},
 		},
 	}
 	w := wire.NewRawWriter()

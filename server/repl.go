@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/wire"
+	"repro/store"
 )
 
 // The replication hub (DESIGN.md §12). Every committed append flows
@@ -43,10 +44,12 @@ const (
 )
 
 // replBatch is one committed batch in flight to a subscriber: its
-// first global sequence number and its values.
+// first global sequence number, its values, and — when the store pins
+// a column schema — the payload rows (nil, or one per value).
 type replBatch struct {
 	start uint64
 	vals  []string
+	rows  []store.Row
 }
 
 // replSub is one subscriber's queue. Closed (by the publisher) on
@@ -132,11 +135,11 @@ func (h *replHub) followerAcked() map[string]uint64 {
 // backend, advance the head, wake watermark waiters and fan the batch
 // out to subscribers. Returns the new head (the sequence number one
 // past this batch — the value a read-your-writes client waits on).
-func (s *Server) commitPublish(vals []string) (uint64, error) {
+func (s *Server) commitPublish(vals []string, rows []store.Row) (uint64, error) {
 	h := s.repl
 	h.appendMu.Lock()
 	defer h.appendMu.Unlock()
-	if err := s.b.AppendBatch(vals); err != nil {
+	if err := s.b.AppendBatchRows(vals, rows); err != nil {
 		return 0, err
 	}
 	h.mu.Lock()
@@ -147,7 +150,7 @@ func (s *Server) commitPublish(vals []string) (uint64, error) {
 	h.advCh = make(chan struct{})
 	for sub := range h.subs {
 		select {
-		case sub.ch <- replBatch{start: start, vals: vals}:
+		case sub.ch <- replBatch{start: start, vals: vals, rows: rows}:
 		default:
 			// The follower's connection fell replSendBuffer commits
 			// behind. Evict it rather than block the write path; it
@@ -285,7 +288,10 @@ func (s *Server) serveSubscribe(conn net.Conn, br *bufio.Reader, bw *bufio.Write
 
 	sn := s.b.Snap()
 	snapLen := uint64(sn.Len()) // >= registration head >= FromSeq
-	boot := sub.Boot && sub.FromSeq == 0 && snapLen > 0
+	// Snapshot bootstrap ships a Frozen image, which carries values only
+	// — on a store with columnar attachments it would silently drop every
+	// payload row, so such stores always catch up via record frames.
+	boot := sub.Boot && sub.FromSeq == 0 && snapLen > 0 && len(sn.Schema()) == 0
 
 	w := wire.NewRawWriter()
 	w.Byte(statusOK)
@@ -362,13 +368,16 @@ func (s *Server) serveSubscribe(conn net.Conn, br *bufio.Reader, bw *bufio.Write
 				continue // fully inside the catch-up snapshot
 			}
 			if b.start < expected {
+				if b.rows != nil {
+					b.rows = b.rows[expected-b.start:]
+				}
 				b.vals = b.vals[expected-b.start:]
 				b.start = expected
 			}
 			if b.start != expected {
 				return // hub contiguity broken; never ship a gap
 			}
-			if !send(WALFrame{Kind: FrameRecords, Seq: b.start, Values: b.vals}) {
+			if !send(WALFrame{Kind: FrameRecords, Seq: b.start, Values: b.vals, Rows: b.rows}) {
 				return
 			}
 			expected = end
@@ -385,31 +394,45 @@ func (s *Server) serveSubscribe(conn net.Conn, br *bufio.Reader, bw *bufio.Write
 }
 
 // streamCatchup ships [from, to) of a snapshot as record frames,
-// batched by count and bytes to stay under the frame cap.
+// batched by count and bytes to stay under the frame cap. On a store
+// with a pinned schema every frame also carries the payload rows, so a
+// follower rebuilds the columns byte-identically.
 func (s *Server) streamCatchup(sn Snap, from, to uint64, send func(WALFrame) bool) bool {
+	withRows := len(sn.Schema()) > 0
 	runStart := from
 	batch := make([]string, 0, replCatchupBatch)
+	var rows []store.Row
 	bytes := 0
 	flush := func() bool {
 		if len(batch) == 0 {
 			return true
 		}
-		if !send(WALFrame{Kind: FrameRecords, Seq: runStart, Values: batch}) {
+		if !send(WALFrame{Kind: FrameRecords, Seq: runStart, Values: batch, Rows: rows}) {
 			return false
 		}
 		runStart += uint64(len(batch))
 		batch = batch[:0]
+		if rows != nil {
+			rows = rows[:0]
+		}
 		bytes = 0
 		return true
 	}
 	ok := true
-	sn.Iterate(int(from), int(to), func(_ int, v string) bool {
+	sn.Iterate(int(from), int(to), func(pos int, v string) bool {
 		if len(batch) > 0 && (len(batch) >= replCatchupBatch || bytes+len(v) >= replSnapChunk) {
 			if ok = flush(); !ok {
 				return false
 			}
 		}
 		batch = append(batch, v)
+		if withRows {
+			row := sn.Row(pos)
+			rows = append(rows, row)
+			for _, c := range row {
+				bytes += len(c.Blob()) + 10
+			}
+		}
 		bytes += len(v) + 9
 		return true
 	})

@@ -221,7 +221,7 @@ func TestReplicationDifferential(t *testing.T) {
 	}
 	for _, shards := range []int{0, 2} {
 		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
-			sopts := &store.Options{FlushThreshold: 512, DisableAutoFlush: true}
+			sopts := &store.Options{FlushThreshold: 512, DisableAutoFlush: true, Columns: crashSchema()}
 			prim := startReplNode(t, shards, sopts, nil)
 			fol := startReplNode(t, shards, sopts, nil)
 			if err := fol.srv.Follow(prim.addr, "f-diff"); err != nil {
@@ -245,10 +245,12 @@ func TestReplicationDifferential(t *testing.T) {
 					rng := rand.New(rand.NewSource(int64(1000 + w)))
 					for i := 0; i < batchesPerW; i++ {
 						batch := make([]string, valuesPerCall)
+						rows := make([]store.Row, valuesPerCall)
 						for j := range batch {
 							batch[j] = fmt.Sprintf("d/%d/%02d", w, rng.Intn(40))
+							rows[j] = crashRowFor(w, i*valuesPerCall+j)
 						}
-						seq, err := c.AppendBatchSeq(batch)
+						seq, err := c.AppendBatchRowsSeq(batch, rows)
 						if err != nil {
 							errc <- fmt.Errorf("writer %d: %w", w, err)
 							return
@@ -321,6 +323,23 @@ func TestReplicationDifferential(t *testing.T) {
 				t.Fatal(err)
 			}
 			probeOpSurface(t, fc, oracle, 200)
+
+			// Payload rows replicated with the values: the follower
+			// serves the primary's row at every sampled position (the
+			// fingerprint equality above already covers all of them).
+			for pos := 0; pos < total; pos += 97 {
+				fr, err := fc.Row(pos)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pr, err := pc.Row(pos)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameRow(fr, pr) {
+					t.Fatalf("Row(%d): follower %v, primary %v", pos, fr, pr)
+				}
+			}
 		})
 	}
 }

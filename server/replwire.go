@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 
 	"repro/internal/wire"
+	"repro/store"
 )
 
 // The replication stream (DESIGN.md §12): a follower sends an
@@ -46,11 +47,14 @@ const (
 )
 
 // WALFrame is one decoded replication stream message. Which fields are
-// meaningful depends on Kind — see the kind constants.
+// meaningful depends on Kind — see the kind constants. Rows rides
+// FrameRecords on stores with a pinned column schema: nil, or exactly
+// one payload row (possibly nil = all-NULL) per value.
 type WALFrame struct {
 	Kind   byte
 	Seq    uint64
 	Values []string
+	Rows   []store.Row
 	Chunk  []byte
 }
 
@@ -65,6 +69,7 @@ func EncodeWALFrame(f WALFrame) []byte {
 		for _, v := range f.Values {
 			w.Str(v)
 		}
+		encodeRows(w, f.Rows)
 	case FrameSnapChunk:
 		w.Blob(f.Chunk)
 	case FrameSnapBegin, FrameHeartbeat, FrameAck:
@@ -120,6 +125,7 @@ func ParseWALFrame(payload []byte) (WALFrame, error) {
 		for i := 0; i < n && r.Err() == nil; i++ {
 			f.Values = append(f.Values, r.Str())
 		}
+		f.Rows = parseRows(r, n)
 	case FrameSnapChunk:
 		f.Chunk = append([]byte(nil), r.Blob()...)
 	case FrameSnapBegin, FrameHeartbeat, FrameAck:

@@ -7,6 +7,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"repro/store"
 )
 
 // frameCases covers every frame kind with representative contents —
@@ -15,6 +17,8 @@ func frameCases() []WALFrame {
 	return []WALFrame{
 		{Kind: FrameRecords, Seq: 0, Values: []string{"a"}},
 		{Kind: FrameRecords, Seq: 1 << 40, Values: []string{"", "x", strings.Repeat("v", 300)}},
+		{Kind: FrameRecords, Seq: 7, Values: []string{"a", "b"},
+			Rows: []store.Row{{store.U64(42), store.Blob([]byte("m")), store.Null()}, nil}},
 		{Kind: FrameSnapBegin, Seq: 12345},
 		{Kind: FrameSnapChunk, Chunk: []byte{0, 1, 2, 0xFF}},
 		{Kind: FrameSnapChunk, Chunk: []byte{}},

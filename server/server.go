@@ -365,18 +365,25 @@ func (s *Server) respond(req Request) (out []byte) {
 		}
 		w.Uvarint(ProtocolVersion)
 	case OpAppend:
-		seq, err := s.submitAppend([]string{req.Value})
+		seq, err := s.submitAppend([]string{req.Value}, req.Rows)
 		if err != nil {
 			return errPayload(err.Error())
 		}
 		w.Uvarint(seq)
 	case OpAppendBatch:
-		seq, err := s.submitAppend(req.Values)
+		seq, err := s.submitAppend(req.Values, req.Rows)
 		if err != nil {
 			return errPayload(err.Error())
 		}
 		w.Uvarint(uint64(len(req.Values)))
 		w.Uvarint(seq)
+	case OpRow:
+		row := s.b.Snap().Row(req.Pos)
+		encodeRow(w, row)
+	case OpScanWhere:
+		if err := s.scanWhere(w, req); err != nil {
+			return errPayload(err.Error())
+		}
 	case OpAccess:
 		v, _ := s.cachedStr(OpAccess, "", req.Pos, func(sn Snap) (string, int, bool) {
 			return sn.Access(req.Pos), 0, false
@@ -618,6 +625,58 @@ func (s *Server) iteratePrefix(w *wire.Writer, req Request) {
 	}
 }
 
+// scanWhere serves one OpScanWhere batch: positions, values and
+// payload rows of elements matching the prefix and every numeric
+// predicate, starting at the Pos-th match. Pagination is stateless like
+// iteratePrefix — the sequence is append-only, so a match index
+// permanently names the same element and the client resumes by echoing
+// the next index.
+func (s *Server) scanWhere(w *wire.Writer, req Request) error {
+	maxVals := req.Max
+	if maxVals <= 0 || maxVals > s.opts.MaxIterBatch {
+		maxVals = s.opts.MaxIterBatch
+	}
+	sn := s.b.Snap()
+	const iterByteBudget = 4 << 20
+	type match struct {
+		pos int
+		val string
+		row store.Row
+	}
+	matches := make([]match, 0, min(maxVals, 64))
+	bytes, done := 0, true
+	err := sn.IterateWhere(req.Value, req.Pos, req.Preds, func(_, pos int) bool {
+		if len(matches) >= maxVals || bytes >= iterByteBudget {
+			done = false // more matches exist past the batch
+			return false
+		}
+		v := sn.Access(pos)
+		row := sn.Row(pos)
+		matches = append(matches, match{pos, v, row})
+		bytes += len(v) + 18
+		for _, c := range row {
+			bytes += len(c.Blob()) + 10
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if done {
+		w.Byte(1)
+	} else {
+		w.Byte(0)
+	}
+	w.Uvarint(uint64(req.Pos))
+	w.Uvarint(uint64(len(matches)))
+	for _, m := range matches {
+		w.Uvarint(uint64(m.pos))
+		w.Str(m.val)
+		encodeRow(w, m.row)
+	}
+	return nil
+}
+
 // stats builds the OpStats reply.
 func (s *Server) stats() Stats {
 	sn := s.b.Snap()
@@ -644,6 +703,7 @@ func (s *Server) stats() Stats {
 			FilterBits: g.FilterBits, MinValue: g.MinValue, MaxValue: g.MaxValue,
 		})
 	}
+	st.Schema = s.b.Schema()
 	return st
 }
 

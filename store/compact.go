@@ -170,7 +170,7 @@ func (s *Store) mergeRun(st *storeState) error {
 		}
 		return nil
 	}
-	merged, err := writeGenerationFrom(s.dir, gid, fill)
+	merged, err := writeGenerationFrom(s.dir, gid, s.schema, genColFeeder{gens: victims}, fill)
 	if err != nil {
 		met.compactAborts.Inc()
 		return err
@@ -221,7 +221,7 @@ func (s *Store) mergeRun(st *storeState) error {
 	if len(s.recoveredWALs) > 0 {
 		walID = s.recoveredWALs[0]
 	}
-	m := manifest{nextID: s.nextID, walID: walID, distinct: s.genDistinct, gens: genMetas(gens)}
+	m := manifest{nextID: s.nextID, walID: walID, distinct: s.genDistinct, gens: genMetas(gens), schema: s.schema}
 	if err := writeManifest(s.dir, m); err != nil {
 		s.adminMu.Unlock()
 		met.compactAborts.Inc()
@@ -252,7 +252,7 @@ func (s *Store) mergeRun(st *storeState) error {
 func genMetas(gens []*generation) []genMeta {
 	metas := make([]genMeta, len(gens))
 	for i, g := range gens {
-		metas[i] = genMeta{id: g.id, n: g.ix.Len(), crc: g.crc}
+		metas[i] = genMeta{id: g.id, n: g.ix.Len(), crc: g.crc, colCRC: g.colCRC, cdCRC: g.cdCRC}
 	}
 	return metas
 }

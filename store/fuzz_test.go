@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"repro/internal/wire"
@@ -98,6 +99,123 @@ func FuzzParseShards(f *testing.F) {
 		}
 		if !bytes.Equal(encodeShards(m), data) {
 			t.Fatalf("accepted SHARDS manifest does not round-trip: %+v", m)
+		}
+	})
+}
+
+// fuzzColFeeder streams a flat []Row for the column fuzz seeds — the
+// oracle shape the differential tests use.
+type fuzzColFeeder struct{ rows []Row }
+
+func (f fuzzColFeeder) feedColumn(col int, fn func(pos int, v Value) bool) {
+	for pos, row := range f.rows {
+		if col < len(row) && !row[col].IsNull() {
+			if !fn(pos, row[col]) {
+				return
+			}
+		}
+	}
+}
+
+// FuzzParseColumn: arbitrary bytes must error or decode — never panic —
+// and an accepted .col image must be encode-stable: re-encoding the
+// decoded columns and decoding again yields the same shape and the same
+// numeric values (byte identity is too strong: word-alignment padding
+// admits nonzero garbage the reader skips).
+func FuzzParseColumn(f *testing.F) {
+	schema := []ColumnSpec{{Name: "score", Kind: ColUint64}, {Name: "meta", Kind: ColBytes}}
+	rows := []Row{
+		{U64(7), Blob([]byte("alpha"))},
+		nil,
+		{Null(), Blob([]byte(""))},
+		{U64(1 << 40), Null()},
+	}
+	colSeed, _ := encodeColumns(buildFrozenCols(schema, len(rows), fuzzColFeeder{rows}))
+	allNull, _ := encodeColumns(buildFrozenCols(schema, 6, nil))
+	empty, _ := encodeColumns(buildFrozenCols(nil, 3, nil))
+	f.Add([]byte{})
+	f.Add(colSeed)
+	f.Add(allNull)
+	f.Add(empty)
+	f.Add(colSeed[:len(colSeed)-2]) // torn tail
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fc, err := parseColumn(data, false)
+		if err != nil {
+			return
+		}
+		enc, _ := encodeColumns(fc)
+		fc2, err := parseColumn(enc, false)
+		if err != nil {
+			t.Fatalf("re-encoded column image rejected: %v", err)
+		}
+		if fc2.n != fc.n || len(fc2.cols) != len(fc.cols) {
+			t.Fatalf("re-parse changed shape: (%d,%d) -> (%d,%d)", fc.n, len(fc.cols), fc2.n, len(fc2.cols))
+		}
+		for i := range fc.cols {
+			a, b := &fc.cols[i], &fc2.cols[i]
+			if a.kind != b.kind || a.width != b.width || a.presence.Ones() != b.presence.Ones() {
+				t.Fatalf("column %d changed across re-parse", i)
+			}
+			if a.kind != ColUint64 {
+				continue // blob values live in the .cd file, unbound here
+			}
+			// Spot-check numeric values over a bounded prefix of positions.
+			limit := fc.n
+			if limit > 1024 {
+				limit = 1024
+			}
+			for pos := 0; pos < limit; pos++ {
+				va, vb := fc.colValue(i, pos), fc2.colValue(i, pos)
+				if va.IsNull() != vb.IsNull() || (!va.IsNull() && va.U64() != vb.U64()) {
+					t.Fatalf("column %d pos %d: %v != %v", i, pos, va, vb)
+				}
+			}
+		}
+	})
+}
+
+// FuzzParseColDir: arbitrary bytes must error or decode — never panic —
+// and an accepted .cd image must round-trip structurally: re-encoding
+// the decoded directories and decoding again yields identical offsets
+// and payloads.
+func FuzzParseColDir(f *testing.F) {
+	schema := []ColumnSpec{{Name: "a", Kind: ColBytes}, {Name: "b", Kind: ColBytes}}
+	rows := []Row{
+		{Blob([]byte("x")), Null()},
+		{Blob([]byte("yyyy")), Blob([]byte("z"))},
+	}
+	_, cdSeed := encodeColumns(buildFrozenCols(schema, len(rows), fuzzColFeeder{rows}))
+	f.Add([]byte{})
+	f.Add(cdSeed)
+	f.Add(cdSeed[:len(cdSeed)-1]) // torn tail
+
+	encodeDirs := func(dirs []colDirEntry) []byte {
+		w := wire.NewWriter(colDirMagic, colDirVersion)
+		w.Int(len(dirs))
+		for _, d := range dirs {
+			w.Words(d.offs)
+			w.Int(len(d.payload))
+			w.Words(packBytes(d.payload))
+		}
+		return w.Bytes()
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dirs, err := parseColDir(data, false)
+		if err != nil {
+			return
+		}
+		dirs2, err := parseColDir(encodeDirs(dirs), false)
+		if err != nil {
+			t.Fatalf("re-encoded offset directory rejected: %v", err)
+		}
+		if len(dirs2) != len(dirs) {
+			t.Fatalf("re-parse changed entry count: %d -> %d", len(dirs), len(dirs2))
+		}
+		for i := range dirs {
+			if !reflect.DeepEqual(dirs[i].offs, dirs2[i].offs) || !bytes.Equal(dirs[i].payload, dirs2[i].payload) {
+				t.Fatalf("entry %d changed across re-parse", i)
+			}
 		}
 	})
 }

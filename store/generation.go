@@ -28,6 +28,14 @@ type generation struct {
 	// the finalizer unmaps once the last reference drops.
 	fileBytes int
 	region    *mmapRegion
+	// cols is the generation's frozen column set (nil when the store has
+	// no schema or the generation predates it — all cells NULL), with
+	// its files' checksums, on-disk sizes and, when mmap-loaded, the
+	// regions pinning the aliased bytes.
+	cols                *frozenCols
+	colCRC, cdCRC       uint32
+	colBytes, cdBytes   int
+	colRegion, cdRegion *mmapRegion
 }
 
 // genCRC returns the manifest checksum of a generation image: CRC-32
@@ -55,9 +63,23 @@ func genCRC(data []byte) uint32 {
 // processes serving the same directory. A checksum mismatch is a hard
 // error either way; an mmap syscall failure just falls back to the heap
 // path (the mapping is an optimization, never a requirement).
-func loadGeneration(dir string, meta genMeta, useMmap bool) (*generation, error) {
+func loadGeneration(dir string, meta genMeta, schema []ColumnSpec, useMmap bool) (*generation, error) {
 	name := genFileName(meta.id)
 	path := filepath.Join(dir, name)
+	g, err := loadGenIndex(dir, name, path, meta, useMmap)
+	if err != nil {
+		return nil, err
+	}
+	if err := loadGenColumns(dir, g, meta, schema, useMmap); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// loadGenIndex loads the generation's frozen string index (the .wt
+// file) — the original loadGeneration body; column loading is layered
+// on top by loadGenColumns.
+func loadGenIndex(dir, name, path string, meta genMeta, useMmap bool) (*generation, error) {
 	if useMmap && mmapSupported && meta.crc != 0 {
 		if region, err := mapFile(path); err == nil {
 			data := region.data
@@ -100,6 +122,92 @@ func loadGeneration(dir string, meta genMeta, useMmap bool) (*generation, error)
 	g := &generation{id: meta.id, crc: crc, ix: ix, fileBytes: len(data)}
 	g.filter = loadFilter(dir, meta.id, crc, ix)
 	return g, nil
+}
+
+// readColFile reads one column-side file, mmap'd zero-copy when
+// enabled, and verifies its checksum against the manifest. Unlike probe
+// filters, column files are authoritative — predicate counts come
+// straight off their bits — so any mismatch is a hard Open error, never
+// a silent rebuild-or-ignore.
+func readColFile(dir, name string, wantCRC uint32, useMmap bool) (data []byte, region *mmapRegion, err error) {
+	path := filepath.Join(dir, name)
+	if useMmap && mmapSupported {
+		if r, err := mapFile(path); err == nil {
+			if crc := genCRC(r.data); crc != wantCRC {
+				return nil, nil, fmt.Errorf("store: %s checksum %#x, manifest says %#x", name, crc, wantCRC)
+			}
+			return r.data, r, nil
+		}
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if crc := genCRC(data); crc != wantCRC {
+		return nil, nil, fmt.Errorf("store: %s checksum %#x, manifest says %#x", name, crc, wantCRC)
+	}
+	return data, nil, nil
+}
+
+// loadGenColumns attaches the generation's column files per its
+// manifest entry: colCRC 0 means the generation predates the schema and
+// serves all-NULL rows; otherwise the .col image (and the .cd offset
+// directory, iff the schema has blob columns) must parse, checksum and
+// cross-check against both the schema and the row count.
+func loadGenColumns(dir string, g *generation, meta genMeta, schema []ColumnSpec, useMmap bool) error {
+	if meta.colCRC == 0 {
+		if meta.cdCRC != 0 {
+			return fmt.Errorf("store: %s has an offset directory but no column file", genFileName(meta.id))
+		}
+		return nil
+	}
+	if len(schema) == 0 {
+		return fmt.Errorf("store: %s has column files but the store has no schema", genFileName(meta.id))
+	}
+	name := colFileName(meta.id)
+	data, region, err := readColFile(dir, name, meta.colCRC, useMmap)
+	if err != nil {
+		return err
+	}
+	fc, err := parseColumn(data, region != nil)
+	if err != nil {
+		return fmt.Errorf("store: %s: %w", name, err)
+	}
+	if fc.n != meta.n {
+		return fmt.Errorf("store: %s covers %d rows, manifest says %d", name, fc.n, meta.n)
+	}
+	if len(fc.cols) != len(schema) {
+		return fmt.Errorf("store: %s has %d columns, schema has %d", name, len(fc.cols), len(schema))
+	}
+	for i, k := range fc.kinds() {
+		if k != schema[i].Kind {
+			return fmt.Errorf("store: %s column %d is %s, schema says %s", name, i, k, schema[i].Kind)
+		}
+	}
+	g.cols, g.colCRC, g.colBytes, g.colRegion = fc, meta.colCRC, len(data), region
+	if !fc.needsColDir() {
+		if meta.cdCRC != 0 {
+			return fmt.Errorf("store: %s has an offset directory but no blob columns", name)
+		}
+		return nil
+	}
+	if meta.cdCRC == 0 {
+		return fmt.Errorf("store: %s has blob columns but no offset directory", name)
+	}
+	cdName := colDirFileName(meta.id)
+	cdData, cdRegion, err := readColFile(dir, cdName, meta.cdCRC, useMmap)
+	if err != nil {
+		return err
+	}
+	dirs, err := parseColDir(cdData, cdRegion != nil)
+	if err != nil {
+		return fmt.Errorf("store: %s: %w", cdName, err)
+	}
+	if err := bindColDir(fc, dirs); err != nil {
+		return fmt.Errorf("store: %s: %w", cdName, err)
+	}
+	g.cdCRC, g.cdBytes, g.cdRegion = meta.cdCRC, len(cdData), cdRegion
+	return nil
 }
 
 // loadFilter reads the generation's probe filter, rebuilding (and
@@ -172,7 +280,12 @@ func writeFileAtomic(dir, name string, data []byte) error {
 // sealed memtable and compaction streams the victim generations straight
 // into the builder's per-node bit accumulators, so peak memory is the
 // output's size, not input + output.
-func writeGenerationFrom(dir string, id uint64, fill func(fb *wavelettrie.FrozenBuilder) error) (*generation, error) {
+// schema and feed carry the column side: when the store has a schema,
+// the same streamed pass also lays the rows out as column files (see
+// colwrite.go) written before the index file — all three become
+// reachable together once the manifest commits. feed may be nil (a
+// generation of all-NULL rows).
+func writeGenerationFrom(dir string, id uint64, schema []ColumnSpec, feed colFeeder, fill func(fb *wavelettrie.FrozenBuilder) error) (*generation, error) {
 	fb := wavelettrie.NewFrozenBuilder()
 	if err := fill(fb); err != nil {
 		return nil, err
@@ -186,18 +299,26 @@ func writeGenerationFrom(dir string, id uint64, fill func(fb *wavelettrie.Frozen
 		return nil, err
 	}
 	crc := genCRC(data)
+	g := &generation{id: id, crc: crc, ix: ix, fileBytes: len(data)}
+	if len(schema) > 0 {
+		g.cols = buildFrozenCols(schema, ix.Len(), feed)
+		g.colBytes, g.cdBytes, g.colCRC, g.cdCRC, err = writeColumnFiles(dir, id, g.cols)
+		if err != nil {
+			return nil, err
+		}
+	}
 	if err := writeFileAtomic(dir, genFileName(id), data); err != nil {
 		return nil, err
 	}
-	filter := buildFilter(ix.Values(), crc)
-	writeFilterFile(dir, filterFileName(id), filter)
-	return &generation{id: id, crc: crc, ix: ix, filter: filter, fileBytes: len(data)}, nil
+	g.filter = buildFilter(ix.Values(), crc)
+	writeFilterFile(dir, filterFileName(id), g.filter)
+	return g, nil
 }
 
 // writeGeneration is writeGenerationFrom for an in-memory slice —
 // convenience for tests and callers that already hold the sequence.
 func writeGeneration(dir string, id uint64, seq []string) (*generation, error) {
-	return writeGenerationFrom(dir, id, func(fb *wavelettrie.FrozenBuilder) error {
+	return writeGenerationFrom(dir, id, nil, nil, func(fb *wavelettrie.FrozenBuilder) error {
 		for _, v := range seq {
 			fb.AddValue(v)
 		}
@@ -227,13 +348,15 @@ func remapGeneration(dir string, g *generation) *generation {
 	if err != nil || ix.Len() != g.ix.Len() {
 		return g
 	}
-	return &generation{id: g.id, crc: g.crc, ix: ix, filter: g.filter,
-		fileBytes: len(region.data), region: region}
+	ng := *g
+	ng.ix, ng.fileBytes, ng.region = ix, len(region.data), region
+	return &ng
 }
 
-// removeGenFiles deletes a generation's index and filter files (after a
-// compaction commit supersedes them, or for orphans).
+// removeGenFiles deletes a generation's index, filter and column files
+// (after a compaction commit supersedes them, or for orphans).
 func removeGenFiles(dir string, id uint64) {
 	os.Remove(filepath.Join(dir, genFileName(id)))
 	os.Remove(filepath.Join(dir, filterFileName(id)))
+	removeColumnFiles(dir, id)
 }

@@ -19,9 +19,15 @@ import (
 // frozen index (the dominant recovery cost) while catching the bit
 // flips structure checks cannot. Version 1 manifests are still read —
 // their entries carry crc 0, which means "unknown, validate deeply".
+//
+// Version 3 pins the store's column schema (name + kind per column —
+// fixed for the store's lifetime, like the shard layout in SHARDS) and
+// records the CRC of each generation's column files; colCRC 0 means the
+// generation predates the schema and reads as all-NULL rows. v1/v2
+// manifests decode with an empty schema.
 const (
 	manifestMagic   = 0x4E414D57 // "WMAN" little-endian
-	manifestVersion = 2
+	manifestVersion = 3
 
 	manifestName    = "MANIFEST"
 	manifestTmpName = "MANIFEST.tmp"
@@ -31,9 +37,11 @@ const (
 
 // genMeta is one generation as recorded in the manifest.
 type genMeta struct {
-	id  uint64 // names the files gen-<id>.wt / gen-<id>.flt
-	n   int    // element count, cross-checked against the loaded file
-	crc uint32 // CRC-32 of gen-<id>.wt; 0 = unknown (v1 manifest)
+	id     uint64 // names the files gen-<id>.wt / gen-<id>.flt / gen-<id>.col
+	n      int    // element count, cross-checked against the loaded file
+	crc    uint32 // CRC-32 of gen-<id>.wt; 0 = unknown (v1 manifest)
+	colCRC uint32 // CRC-32 of gen-<id>.col; 0 = no column files (pre-schema)
+	cdCRC  uint32 // CRC-32 of gen-<id>.cd; 0 = no offset directory
 }
 
 // manifest is the decoded root pointer.
@@ -42,6 +50,7 @@ type manifest struct {
 	walID    uint64 // the current WAL; ids >= walID may hold live records
 	distinct int    // distinct strings across the generation contents
 	gens     []genMeta
+	schema   []ColumnSpec // pinned column schema; empty = no columns
 }
 
 func genFileName(id uint64) string { return fmt.Sprintf("gen-%08d.wt", id) }
@@ -57,18 +66,26 @@ func encodeManifest(m manifest) []byte {
 		w.U64(g.id)
 		w.Int(g.n)
 		w.U32(g.crc)
+		w.U32(g.colCRC)
+		w.U32(g.cdCRC)
+	}
+	w.Int(len(m.schema))
+	for _, c := range m.schema {
+		w.Str(c.Name)
+		w.Byte(byte(c.Kind))
 	}
 	return w.Bytes()
 }
 
-// parseManifest decodes and validates a manifest image, accepting both
-// the current version and v1 (whose entries get crc 0 = unknown).
-// Arbitrary input must error, never panic — this function is fuzzed.
+// parseManifest decodes and validates a manifest image, accepting the
+// current version plus v1 (entries get crc 0 = unknown) and v2 (no
+// column CRCs, empty schema). Arbitrary input must error, never panic —
+// this function is fuzzed.
 func parseManifest(data []byte) (manifest, error) {
 	var m manifest
 	version := uint16(manifestVersion)
-	if v, ok := wire.SniffVersion(data, manifestMagic); ok && v == 1 {
-		version = 1
+	if v, ok := wire.SniffVersion(data, manifestMagic); ok && (v == 1 || v == 2) {
+		version = v
 	}
 	r, err := wire.NewReader(data, manifestMagic, version)
 	if err != nil {
@@ -91,6 +108,10 @@ func parseManifest(data []byte) (manifest, error) {
 		if version >= 2 {
 			g.crc = r.U32()
 		}
+		if version >= 3 {
+			g.colCRC = r.U32()
+			g.cdCRC = r.U32()
+		}
 		if err := r.Err(); err != nil {
 			return m, err
 		}
@@ -111,6 +132,32 @@ func parseManifest(data []byte) (manifest, error) {
 	}
 	if int64(m.distinct) > total {
 		return m, fmt.Errorf("store: manifest distinct %d exceeds element count %d", m.distinct, total)
+	}
+	if version >= 3 {
+		ncols := r.Int()
+		if err := r.Err(); err != nil {
+			return m, err
+		}
+		if ncols < 0 || ncols > maxColumns {
+			return m, fmt.Errorf("store: manifest schema lists %d columns (limit %d)", ncols, maxColumns)
+		}
+		for i := 0; i < ncols; i++ {
+			c := ColumnSpec{Name: r.Str(), Kind: ColumnKind(r.Byte())}
+			if err := r.Err(); err != nil {
+				return m, err
+			}
+			m.schema = append(m.schema, c)
+		}
+		if err := validateSchema(m.schema); err != nil {
+			return m, err
+		}
+	}
+	if len(m.schema) == 0 {
+		for _, g := range m.gens {
+			if g.colCRC != 0 || g.cdCRC != 0 {
+				return m, fmt.Errorf("store: manifest generation %d has column files but no schema", g.id)
+			}
+		}
 	}
 	if err := r.Done(); err != nil {
 		return m, err

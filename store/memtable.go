@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -26,17 +27,28 @@ type memtable struct {
 	// barrier reads the sealed tail; sharded recovery reads the replayed
 	// tail.
 	seqs []uint64
+	// cols holds the payload rows of the applied records, sparsely (only
+	// present cells cost memory) — nil when the store has no column
+	// schema. Guarded by mu like the trie.
+	cols *memCols
 }
 
-func newMemtable(w *wal) *memtable {
-	return &memtable{trie: wavelettrie.NewAppendOnly(), wal: w}
+func newMemtable(w *wal, schema []ColumnSpec) *memtable {
+	m := &memtable{trie: wavelettrie.NewAppendOnly(), wal: w}
+	if len(schema) > 0 {
+		m.cols = newMemCols(schema)
+	}
+	return m
 }
 
-// apply inserts s into the trie and publishes the new length. The WAL
-// write happens in the caller, outside the trie lock, so fsync latency
-// never stalls readers.
-func (m *memtable) apply(s string) {
+// apply inserts s (and its payload row, which may be nil) into the trie
+// and publishes the new length. The WAL write happens in the caller,
+// outside the trie lock, so fsync latency never stalls readers.
+func (m *memtable) apply(s string, row Row) {
 	m.mu.Lock()
+	if m.cols != nil {
+		m.cols.appendRow(m.trie.Len(), row)
+	}
 	m.trie.Append(s)
 	m.mu.Unlock()
 	m.n.Add(1)
@@ -44,8 +56,11 @@ func (m *memtable) apply(s string) {
 
 // applySeq is apply for a sharded record: the global sequence number is
 // retained alongside the trie insert.
-func (m *memtable) applySeq(s string, seq uint64) {
+func (m *memtable) applySeq(s string, seq uint64, row Row) {
 	m.mu.Lock()
+	if m.cols != nil {
+		m.cols.appendRow(m.trie.Len(), row)
+	}
 	m.trie.Append(s)
 	m.seqs = append(m.seqs, seq)
 	m.mu.Unlock()
@@ -55,10 +70,18 @@ func (m *memtable) applySeq(s string, seq uint64) {
 // applyBatch inserts vs into the trie under one lock acquisition and
 // publishes the new length once — the memtable half of a group commit.
 // seqs, when non-nil, carries the records' global sequence numbers
-// (sharded stores), parallel to vs.
-func (m *memtable) applyBatch(vs []string, seqs []uint64) {
+// (sharded stores); rows, when non-nil, the payload rows (entries may
+// individually be nil = all-NULL). Both are parallel to vs.
+func (m *memtable) applyBatch(vs []string, rows []Row, seqs []uint64) {
 	m.mu.Lock()
-	for _, s := range vs {
+	for i, s := range vs {
+		if m.cols != nil {
+			var row Row
+			if rows != nil {
+				row = rows[i]
+			}
+			m.cols.appendRow(m.trie.Len(), row)
+		}
 		m.trie.Append(s)
 	}
 	if seqs != nil {
@@ -66,6 +89,79 @@ func (m *memtable) applyBatch(vs []string, seqs []uint64) {
 	}
 	m.mu.Unlock()
 	m.n.Add(int64(len(vs)))
+}
+
+// memCols is the memtable's column side: per column, the ascending
+// positions holding a present cell and that cell's value in parallel
+// arrays. Appends with no payload cost nothing, and the sparse layout
+// is exactly the (position, value) stream the freeze builder wants.
+type memCols struct {
+	specs []ColumnSpec
+	cols  []memCol
+}
+
+type memCol struct {
+	poss  []int
+	nums  []uint64
+	blobs [][]byte
+}
+
+func newMemCols(schema []ColumnSpec) *memCols {
+	return &memCols{specs: schema, cols: make([]memCol, len(schema))}
+}
+
+// appendRow records the present cells of the row applied at position
+// pos. Blob bytes are copied: the caller's slice (a user argument or a
+// transient WAL buffer) is never retained. Caller holds the memtable
+// lock.
+func (mc *memCols) appendRow(pos int, row Row) {
+	for j := range row {
+		cell := row[j]
+		if cell.IsNull() {
+			continue
+		}
+		c := &mc.cols[j]
+		c.poss = append(c.poss, pos)
+		if cell.kind == ColUint64 {
+			c.nums = append(c.nums, cell.num)
+		} else {
+			c.blobs = append(c.blobs, append([]byte(nil), cell.b...))
+		}
+	}
+}
+
+// presentBounds returns the index range of c.poss falling inside
+// positions [l, r).
+func (c *memCol) presentBounds(l, r int) (int, int) {
+	lo := sort.SearchInts(c.poss, l)
+	hi := lo + sort.SearchInts(c.poss[lo:], r)
+	return lo, hi
+}
+
+// cellAt returns the i-th present cell of column j as a Value.
+func (mc *memCols) cellAt(j, i int) Value {
+	c := &mc.cols[j]
+	if mc.specs[j].Kind == ColUint64 {
+		return U64(c.nums[i])
+	}
+	return Blob(c.blobs[i])
+}
+
+// feedColumn streams column col's present cells into a freeze builder.
+// Only valid on a sealed memtable — the single RLock is uncontended and
+// held across the walk.
+func (m *memtable) feedColumn(col int, fn func(pos int, v Value) bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.cols == nil {
+		return
+	}
+	c := &m.cols.cols[col]
+	for i, pos := range c.poss {
+		if !fn(pos, m.cols.cellAt(col, i)) {
+			return
+		}
+	}
 }
 
 // maxSeq returns the largest retained sequence number (the last one —
@@ -186,6 +282,60 @@ func (v memView) Iterate(l, r int, fn func(pos int, s string) bool) {
 		}
 		l = hi
 	}
+}
+
+// colValue reads the cell of column col at position pos; positions at
+// or past the clamp (and stores with no schema) read as NULL.
+func (v memView) colValue(col, pos int) Value {
+	v.m.mu.RLock()
+	defer v.m.mu.RUnlock()
+	if v.m.cols == nil || pos >= v.n {
+		return Value{}
+	}
+	c := &v.m.cols.cols[col]
+	i := sort.SearchInts(c.poss, pos)
+	if i == len(c.poss) || c.poss[i] != pos {
+		return Value{}
+	}
+	return v.m.cols.cellAt(col, i)
+}
+
+// colRange counts present cells of column col in positions [l, r) with
+// value in [lo, hi], by linear scan over the sparse present list — the
+// memtable is bounded by the flush threshold, so the scan is short.
+func (v memView) colRange(col, l, r int, lo, hi uint64) int {
+	v.m.mu.RLock()
+	defer v.m.mu.RUnlock()
+	if v.m.cols == nil || lo > hi {
+		return 0
+	}
+	if r > v.n {
+		r = v.n
+	}
+	c := &v.m.cols.cols[col]
+	plo, phi := c.presentBounds(l, r)
+	count := 0
+	for i := plo; i < phi; i++ {
+		if x := c.nums[i]; x >= lo && x <= hi {
+			count++
+		}
+	}
+	return count
+}
+
+// colPresent counts present cells of column col in positions [l, r).
+func (v memView) colPresent(col, l, r int) int {
+	v.m.mu.RLock()
+	defer v.m.mu.RUnlock()
+	if v.m.cols == nil {
+		return 0
+	}
+	if r > v.n {
+		r = v.n
+	}
+	c := &v.m.cols.cols[col]
+	plo, phi := c.presentBounds(l, r)
+	return phi - plo
 }
 
 func (v memView) Height() int {

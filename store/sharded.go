@@ -79,6 +79,7 @@ type ShardedStore struct {
 	opts   ShardedOptions
 	part   Partitioner
 	shards []*Store
+	schema []ColumnSpec // the shards' shared column schema
 	router *router
 	seq    atomic.Uint64 // next global sequence number
 
@@ -217,6 +218,17 @@ func OpenSharded(dir string, opts *ShardedOptions) (*ShardedStore, error) {
 		if err != nil {
 			closeOpened()
 			return nil, err
+		}
+	}
+
+	// Every shard was created with the same Options, so their pinned
+	// column schemas must agree; divergence means the directory was
+	// tampered with, and serving it would scramble rows across shards.
+	ss.schema = ss.shards[0].schema
+	for i, sh := range ss.shards {
+		if !schemaEqual(sh.schema, ss.schema) {
+			closeOpened()
+			return nil, fmt.Errorf("store: shard %d pins a different column schema than shard 0", i)
 		}
 	}
 
@@ -375,7 +387,15 @@ func reconcile(claimed []byte, shards []*Store) (order []byte, newTails [][]uint
 // sequence. Appends to different shards contend only on the shared
 // sequence counter (one atomic add); appends to the same shard
 // serialize on that shard's lock, exactly as in a plain Store.
-func (ss *ShardedStore) Append(v string) error {
+func (ss *ShardedStore) Append(v string) error { return ss.AppendRow(v, nil) }
+
+// AppendRow appends v with a payload row; the row rides to the same
+// shard as the value, so stitched reads find it by the same locate
+// arithmetic. See Store.AppendRow for row semantics.
+func (ss *ShardedStore) AppendRow(v string, row Row) error {
+	if err := validateRow(ss.schema, row); err != nil {
+		return err
+	}
 	if err := ss.err(); err != nil {
 		return err
 	}
@@ -387,7 +407,7 @@ func (ss *ShardedStore) Append(v string) error {
 		ss.fail(err)
 		return err
 	}
-	seq, err := ss.shards[shard].appendSeq(v)
+	seq, err := ss.shards[shard].appendSeq(v, row)
 	if err != nil {
 		// The allocated sequence number is burned: the watermark can
 		// never pass it, so visibility freezes at the last consistent
@@ -410,9 +430,17 @@ func (ss *ShardedStore) Append(v string) error {
 // locks are held, and each shard gets one WAL write and at most one
 // fsync for its whole sub-batch — the cross-shard group commit. An
 // empty batch is a no-op.
-func (ss *ShardedStore) AppendBatch(vs []string) error {
+func (ss *ShardedStore) AppendBatch(vs []string) error { return ss.AppendBatchRows(vs, nil) }
+
+// AppendBatchRows is AppendBatch with one payload row per value; rows
+// may be nil (no payloads) or exactly len(vs) long, with nil entries
+// meaning all-NULL. The atomicity and ordering contract is AppendBatch's.
+func (ss *ShardedStore) AppendBatchRows(vs []string, rows []Row) error {
 	if len(vs) == 0 {
 		return nil
+	}
+	if rows != nil && len(rows) != len(vs) {
+		return fmt.Errorf("store: AppendBatchRows got %d rows for %d values", len(rows), len(vs))
 	}
 	if err := ss.err(); err != nil {
 		return err
@@ -420,16 +448,23 @@ func (ss *ShardedStore) AppendBatch(vs []string) error {
 	if ss.closed.Load() {
 		return errClosed
 	}
-	// Route and validate every value first; a broken partitioner or an
-	// oversized record fails the whole batch before any lock is taken
-	// or sequence number allocated — nothing is burned, nothing poisons
-	// the store.
+	// Route and validate every value first; a broken partitioner, an
+	// oversized record or a schema-mismatched row fails the whole batch
+	// before any lock is taken or sequence number allocated — nothing is
+	// burned, nothing poisons the store.
 	shardOf := make([]int, len(vs))
 	counts := make([]int, len(ss.shards))
 	var involved []int
 	for i, v := range vs {
-		if 1+walSeqMaxLen+len(v) > walMaxRecord {
-			return fmt.Errorf("store: WAL record of %d bytes exceeds limit", 1+walSeqMaxLen+len(v))
+		var row Row
+		if rows != nil {
+			row = rows[i]
+		}
+		if err := validateRow(ss.schema, row); err != nil {
+			return err
+		}
+		if 1+walSeqMaxLen+len(v)+rowWireSize(row) > walMaxRecord {
+			return fmt.Errorf("store: WAL record of %d bytes exceeds limit", 1+walSeqMaxLen+len(v)+rowWireSize(row))
 		}
 		sh, err := pickShard(ss.part, v, len(ss.shards))
 		if err != nil {
@@ -471,16 +506,23 @@ func (ss *ShardedStore) AppendBatch(vs []string) error {
 	// interleave numbers freely, exactly as with single appends.
 	seqs := make([]uint64, len(vs))
 	perVals := make([][]string, len(ss.shards))
+	perRows := make([][]Row, len(ss.shards))
 	perSeqs := make([][]uint64, len(ss.shards))
 	for _, sh := range involved {
 		perVals[sh] = make([]string, 0, counts[sh])
 		perSeqs[sh] = make([]uint64, 0, counts[sh])
+		if rows != nil {
+			perRows[sh] = make([]Row, 0, counts[sh])
+		}
 	}
 	for i, v := range vs {
 		sh := shardOf[i]
 		seqs[i] = ss.seq.Add(1) - 1
 		perVals[sh] = append(perVals[sh], v)
 		perSeqs[sh] = append(perSeqs[sh], seqs[i])
+		if rows != nil {
+			perRows[sh] = append(perRows[sh], rows[i])
+		}
 	}
 
 	// One group commit per involved shard. A mid-batch failure burns the
@@ -490,7 +532,7 @@ func (ss *ShardedStore) AppendBatch(vs []string) error {
 	// failure contract.
 	ns := make([]int64, len(ss.shards))
 	for _, sh := range involved {
-		n, err := ss.shards[sh].appendBatchLocked(perVals[sh], perSeqs[sh])
+		n, err := ss.shards[sh].appendBatchLocked(perVals[sh], perRows[sh], perSeqs[sh])
 		if err != nil {
 			unlock()
 			if err != errClosed {
@@ -677,7 +719,7 @@ func (ss *ShardedStore) Snapshot() *ShardedSnapshot {
 		shards[i] = sn.prefixed(ss.router.rank(i, w))
 	}
 	fp = fpMix(fp, w)
-	return &ShardedSnapshot{r: ss.router, n: int(w), part: ss.part, shards: shards, distinct: distinct, fp: fp}
+	return &ShardedSnapshot{r: ss.router, n: int(w), part: ss.part, shards: shards, schema: ss.schema, distinct: distinct, fp: fp}
 }
 
 // ShardCount returns the partition count.
@@ -782,6 +824,26 @@ func (ss *ShardedStore) SelectPrefix(p string, idx int) (int, bool) {
 // merge over per-shard prefix streams; see ShardedSnapshot.IteratePrefix.
 func (ss *ShardedStore) IteratePrefix(p string, from int, fn func(idx, pos int) bool) {
 	ss.Snapshot().IteratePrefix(p, from, fn)
+}
+
+// Schema returns the shards' shared column schema (nil when the store
+// has no columns). The returned slice must not be modified.
+func (ss *ShardedStore) Schema() []ColumnSpec { return ss.schema }
+
+// Row returns the payload row at global position pos — served by the
+// owning shard via the router's locate arithmetic.
+func (ss *ShardedStore) Row(pos int) Row { return ss.Snapshot().Row(pos) }
+
+// CountWhere counts positions matching a value prefix and numeric
+// column predicates; see Snapshot.CountWhere.
+func (ss *ShardedStore) CountWhere(prefix string, preds ...Pred) (int, error) {
+	return ss.Snapshot().CountWhere(prefix, preds...)
+}
+
+// IterateWhere streams global positions matching a value prefix and
+// column predicates in ascending order; see Snapshot.IterateWhere.
+func (ss *ShardedStore) IterateWhere(prefix string, from int, preds []Pred, fn func(idx, pos int) bool) error {
+	return ss.Snapshot().IterateWhere(prefix, from, preds, fn)
 }
 
 // RouterInfo reports how the interleave router is represented right

@@ -29,6 +29,7 @@ type ShardedSnapshot struct {
 	n        int // pinned watermark
 	part     Partitioner
 	shards   []*Snapshot
+	schema   []ColumnSpec // the shards' shared column schema
 	distinct int
 	fp       uint64 // combined per-shard fingerprints + watermark
 }
@@ -55,7 +56,7 @@ func (sn *ShardedSnapshot) Fingerprint() uint64 { return sn.fp }
 // across stores and across sharded/plain layouts — any two stores
 // holding the same sequence agree on it.
 func (sn *ShardedSnapshot) ContentFingerprint() uint64 {
-	return contentFP(sn.n, sn.Iterate)
+	return contentFP(sn.n, len(sn.schema), sn.Iterate, sn.cellAt)
 }
 
 // Height returns the maximum trie height over all shards' segments.
@@ -267,6 +268,89 @@ func (sn *ShardedSnapshot) IteratePrefix(p string, from int, fn func(idx, pos in
 		j[best]++
 		heads[best] = sn.prefixHead(p, best, j[best])
 	}
+}
+
+// Schema returns the shards' shared column schema (nil when the store
+// has no columns). The returned slice must not be modified.
+func (sn *ShardedSnapshot) Schema() []ColumnSpec { return sn.schema }
+
+// cellAt reads one cell at a global position: the router resolves the
+// owning shard and local position, the shard view reads the cell.
+func (sn *ShardedSnapshot) cellAt(pos, col int) Value {
+	s, local := sn.r.locate(uint64(pos))
+	return sn.shards[s].cellAt(local, col)
+}
+
+// Row returns the payload row at global position pos, served by the
+// owning shard — payloads ride to the same shard as their value, so one
+// locate resolves the whole row. Panics if pos is out of range.
+func (sn *ShardedSnapshot) Row(pos int) Row {
+	if pos < 0 || pos >= sn.n {
+		panic(fmt.Sprintf("store: Row(%d) out of range [0,%d)", pos, sn.n))
+	}
+	s, local := sn.r.locate(uint64(pos))
+	return sn.shards[s].Row(local)
+}
+
+// CountWhere counts global positions whose value has byte prefix prefix
+// AND whose row satisfies every predicate. Global positions partition
+// across shards and both the prefix and the predicates are per-position,
+// so the count is the sum of per-shard counts — each shard answering
+// over its clamped view with the same rank-arithmetic fast path a plain
+// Snapshot uses; see Snapshot.CountWhere.
+func (sn *ShardedSnapshot) CountWhere(prefix string, preds ...Pred) (int, error) {
+	if err := validatePreds(sn.schema, preds); err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, sh := range sn.shards {
+		c, err := sh.CountWhere(prefix, preds...)
+		if err != nil {
+			return 0, err
+		}
+		total += c
+	}
+	return total, nil
+}
+
+// IterateWhere streams the global positions matching prefix AND preds
+// in ascending order from the from-th (0-based) match; fn receives the
+// match index and global position and returns false to stop. Prefix
+// candidates come from the k-way prefix merge; each is tested against
+// the predicates on its owning shard. See Snapshot.IterateWhere for the
+// from-resume cost caveat.
+func (sn *ShardedSnapshot) IterateWhere(prefix string, from int, preds []Pred, fn func(idx, pos int) bool) error {
+	if from < 0 {
+		return fmt.Errorf("store: IterateWhere from %d negative", from)
+	}
+	if err := validatePreds(sn.schema, preds); err != nil {
+		return err
+	}
+	if len(preds) == 0 && prefix != "" {
+		sn.IteratePrefix(prefix, from, fn)
+		return nil
+	}
+	idx := 0
+	emit := func(pos int) bool {
+		s, local := sn.r.locate(uint64(pos))
+		if sn.shards[s].matchAt(local, preds) {
+			if idx >= from && !fn(idx, pos) {
+				return false
+			}
+			idx++
+		}
+		return true
+	}
+	if prefix == "" {
+		for pos := 0; pos < sn.n; pos++ {
+			if !emit(pos) {
+				break
+			}
+		}
+		return nil
+	}
+	sn.IteratePrefix(prefix, 0, func(_, pos int) bool { return emit(pos) })
+	return nil
 }
 
 // Iterate streams the elements of global positions [l, r) in order,

@@ -22,10 +22,12 @@ type segment interface {
 }
 
 // snapSeg pairs a segment with the probe filter of the generation
-// backing it (nil for memtable views — those are always probed).
+// backing it (nil for memtable views — those are always probed) and,
+// when the store has a column schema, the segment's column reader.
 type snapSeg struct {
 	segment
 	filter *probeFilter
+	cols   colReader
 }
 
 // Snapshot is an immutable, consistent view of the store at the moment
@@ -38,7 +40,8 @@ type Snapshot struct {
 	segs     []snapSeg
 	offs     []int // offs[i] = start of segs[i]; offs[len(segs)] = Len
 	distinct int
-	fp       uint64 // state fingerprint; see Fingerprint
+	fp       uint64       // state fingerprint; see Fingerprint
+	schema   []ColumnSpec // the store's pinned column schema (possibly empty)
 
 	// lastSeg memoizes the most recent locate hit: scan-heavy Access
 	// callers walk positions in runs, so the next position is almost
@@ -119,27 +122,44 @@ func (sn *Snapshot) locate(pos int) (int, int) {
 func (sn *Snapshot) Fingerprint() uint64 { return sn.fp }
 
 // ContentFingerprint returns a 64-bit hash of the snapshot's visible
-// sequence contents — FNV-1a over every value, length-delimited. Unlike
-// Fingerprint (an identity of this store's state, mixed from generation
-// ids) it depends only on the values and their order, so it compares
+// sequence contents — FNV-1a over every value, length-delimited, and,
+// when the store has a column schema, over every position's payload row
+// (each cell mixed as its kind tag then its value). Unlike Fingerprint
+// (an identity of this store's state, mixed from generation ids) it
+// depends only on the values, rows and their order, so it compares
 // across stores: a replication follower and its primary agree on it
-// exactly when they hold the same sequence, whatever their flush and
-// compaction histories. Cost is O(n) — a full iteration — so it is a
-// verification tool, not a serving-path key.
+// exactly when they hold the same sequence and payloads, whatever their
+// flush and compaction histories. Cost is O(n) — a full iteration — so
+// it is a verification tool, not a serving-path key.
 func (sn *Snapshot) ContentFingerprint() uint64 {
-	return contentFP(sn.Len(), sn.Iterate)
+	return contentFP(sn.Len(), len(sn.schema), sn.Iterate, sn.cellAt)
 }
 
 // contentFP streams a sequence through the content hash: each value is
 // mixed as its length then its bytes, so concatenation boundaries are
-// unambiguous ("ab","c" never collides with "a","bc").
-func contentFP(n int, iterate func(l, r int, fn func(pos int, s string) bool)) uint64 {
+// unambiguous ("ab","c" never collides with "a","bc"). With ncols > 0,
+// each position's row cells follow its value, read through cellAt.
+func contentFP(n, ncols int, iterate func(l, r int, fn func(pos int, s string) bool), cellAt func(pos, col int) Value) uint64 {
 	h := uint64(fnvOffset64)
-	iterate(0, n, func(_ int, v string) bool {
+	iterate(0, n, func(pos int, v string) bool {
 		h = fpMix(h, uint64(len(v)))
 		for i := 0; i < len(v); i++ {
 			h ^= uint64(v[i])
 			h *= fnvPrime64
+		}
+		for c := 0; c < ncols; c++ {
+			cell := cellAt(pos, c)
+			h = fpMix(h, uint64(cell.kind))
+			switch cell.kind {
+			case ColUint64:
+				h = fpMix(h, cell.num)
+			case ColBytes:
+				h = fpMix(h, uint64(len(cell.b)))
+				for _, b := range cell.b {
+					h ^= uint64(b)
+					h *= fnvPrime64
+				}
+			}
 		}
 		return true
 	})
@@ -334,6 +354,195 @@ func (sn *Snapshot) Iterate(l, r int, fn func(pos int, s string) bool) {
 	}
 }
 
+// Schema returns the snapshot's column schema (nil when the store has
+// no columns). The returned slice must not be modified.
+func (sn *Snapshot) Schema() []ColumnSpec { return sn.schema }
+
+// cellAt reads the cell of column col at global position pos, routing
+// through the segment's column reader.
+func (sn *Snapshot) cellAt(pos, col int) Value {
+	i, rel := sn.locate(pos)
+	if c := sn.segs[i].cols; c != nil {
+		return c.colValue(col, rel)
+	}
+	return Value{}
+}
+
+// Row returns the payload row at position pos (one cell per schema
+// column; nil when the store has no schema). Cells written before the
+// schema was pinned, or never filled, are NULL. Panics if pos is out of
+// range, like Access.
+func (sn *Snapshot) Row(pos int) Row {
+	if pos < 0 || pos >= sn.Len() {
+		panic(fmt.Sprintf("store: Row(%d) out of range [0,%d)", pos, sn.Len()))
+	}
+	if len(sn.schema) == 0 {
+		return nil
+	}
+	i, rel := sn.locate(pos)
+	row := make(Row, len(sn.schema))
+	if c := sn.segs[i].cols; c != nil {
+		for j := range row {
+			row[j] = c.colValue(j, rel)
+		}
+	}
+	return row
+}
+
+// ColumnView is positional access to one column of a snapshot.
+type ColumnView struct {
+	sn  *Snapshot
+	col int
+}
+
+// Column returns a view of schema column i. It panics when i is outside
+// the schema, like a slice access.
+func (sn *Snapshot) Column(i int) ColumnView {
+	if i < 0 || i >= len(sn.schema) {
+		panic(fmt.Sprintf("store: Column(%d) outside schema of %d columns", i, len(sn.schema)))
+	}
+	return ColumnView{sn: sn, col: i}
+}
+
+// Spec returns the column's declaration.
+func (cv ColumnView) Spec() ColumnSpec { return cv.sn.schema[cv.col] }
+
+// Value returns the column's cell at position pos (NULL when never
+// filled). Panics if pos is out of range.
+func (cv ColumnView) Value(pos int) Value {
+	if pos < 0 || pos >= cv.sn.Len() {
+		panic(fmt.Sprintf("store: column Value(%d) out of range [0,%d)", pos, cv.sn.Len()))
+	}
+	return cv.sn.cellAt(pos, cv.col)
+}
+
+// Present counts the column's non-NULL cells across the snapshot, by
+// presence rank per segment.
+func (cv ColumnView) Present() int {
+	total := 0
+	for _, seg := range cv.sn.segs {
+		if seg.cols != nil {
+			total += seg.cols.colPresent(cv.col, 0, seg.Len())
+		}
+	}
+	return total
+}
+
+// matchAt evaluates pre-validated predicates against the row at global
+// position pos, reading each tested cell through the wavelet planes —
+// no row is materialized.
+func (sn *Snapshot) matchAt(pos int, preds []Pred) bool {
+	i, rel := sn.locate(pos)
+	c := sn.segs[i].cols
+	for _, p := range preds {
+		if c == nil || !matchValue(c.colValue(p.Col, rel), p) {
+			return false
+		}
+	}
+	return true
+}
+
+// CountWhere counts positions whose value has byte prefix prefix (""
+// matches everything) AND whose row satisfies every predicate — the §5
+// range-query surface intersected with numeric column filters. A single
+// predicate with no prefix is answered purely by rank arithmetic: per
+// segment, the presence bitvector maps the span onto present indices
+// and the column's wavelet planes count values in the predicate's
+// range — no value is ever materialized or even decoded. Other shapes
+// walk the narrower side (prefix matches, or all positions) and test
+// cells individually. NULL cells match no predicate.
+func (sn *Snapshot) CountWhere(prefix string, preds ...Pred) (int, error) {
+	if err := validatePreds(sn.schema, preds); err != nil {
+		return 0, err
+	}
+	if len(preds) == 0 {
+		if prefix == "" {
+			return sn.Len(), nil
+		}
+		return sn.CountPrefix(prefix), nil
+	}
+	if prefix == "" && len(preds) == 1 {
+		return sn.countPred(preds[0]), nil
+	}
+	count := 0
+	if prefix == "" {
+		for pos := 0; pos < sn.Len(); pos++ {
+			if sn.matchAt(pos, preds) {
+				count++
+			}
+		}
+		return count, nil
+	}
+	sn.IteratePrefix(prefix, 0, func(_, pos int) bool {
+		if sn.matchAt(pos, preds) {
+			count++
+		}
+		return true
+	})
+	return count, nil
+}
+
+// countPred sums one predicate's rank-arithmetic count over the
+// segments. Allocation-free — the CountWhere fast path.
+func (sn *Snapshot) countPred(p Pred) int {
+	lo, hi, negate, empty := predRange(p.Op, p.Val)
+	if empty {
+		return 0
+	}
+	count := 0
+	for _, seg := range sn.segs {
+		if seg.cols == nil {
+			continue
+		}
+		n := seg.Len()
+		if negate {
+			count += seg.cols.colPresent(p.Col, 0, n) - seg.cols.colRange(p.Col, 0, n, lo, hi)
+		} else {
+			count += seg.cols.colRange(p.Col, 0, n, lo, hi)
+		}
+	}
+	return count
+}
+
+// IterateWhere streams the positions matching prefix AND preds in
+// ascending order, starting from the from-th (0-based) match; fn
+// receives the match index and position and returns false to stop.
+// Unlike IteratePrefix, earlier matches cannot be skipped by rank
+// arithmetic (the predicate intersection has no precomputed counts), so
+// resuming at from costs a walk over the earlier matches' candidates.
+func (sn *Snapshot) IterateWhere(prefix string, from int, preds []Pred, fn func(idx, pos int) bool) error {
+	if from < 0 {
+		return fmt.Errorf("store: IterateWhere from %d negative", from)
+	}
+	if err := validatePreds(sn.schema, preds); err != nil {
+		return err
+	}
+	if len(preds) == 0 && prefix != "" {
+		sn.IteratePrefix(prefix, from, fn)
+		return nil
+	}
+	idx := 0
+	emit := func(pos int) bool {
+		if sn.matchAt(pos, preds) {
+			if idx >= from && !fn(idx, pos) {
+				return false
+			}
+			idx++
+		}
+		return true
+	}
+	if prefix == "" {
+		for pos := 0; pos < sn.Len(); pos++ {
+			if !emit(pos) {
+				break
+			}
+		}
+		return nil
+	}
+	sn.IteratePrefix(prefix, 0, func(_, pos int) bool { return emit(pos) })
+	return nil
+}
+
 // prefixed returns a view of the snapshot's first n elements — the
 // per-shard cut a ShardedSnapshot pins so every shard view ends exactly
 // at the cross-shard watermark. The distinct count is inherited (it may
@@ -352,9 +561,16 @@ func (sn *Snapshot) prefixed(n int) *Snapshot {
 			segs = append(segs, seg)
 			continue
 		}
-		segs = append(segs, snapSeg{segment: clampSeg{seg.segment, n - sn.offs[i]}, filter: seg.filter})
+		keep := n - sn.offs[i]
+		cols := seg.cols
+		if cols != nil {
+			cols = clampCols{cols: cols, n: keep}
+		}
+		segs = append(segs, snapSeg{segment: clampSeg{seg.segment, keep}, filter: seg.filter, cols: cols})
 	}
-	return newSnapshot(segs, sn.distinct)
+	out := newSnapshot(segs, sn.distinct)
+	out.schema = sn.schema
+	return out
 }
 
 // clampSeg bounds a segment to its first n elements, the same way

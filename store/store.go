@@ -40,6 +40,13 @@ type Options struct {
 	// shares across processes — the index bits. With NoMmap set every
 	// generation is read and decoded onto the heap.
 	NoMmap bool
+	// Columns declares the store's payload column schema. The schema is
+	// pinned in the manifest on first use and fixed for the store's
+	// lifetime (like the shard layout): reopening with a different
+	// schema fails; reopening with nil adopts the pinned one. Declaring
+	// columns on an existing schema-less store pins them — data written
+	// before then reads as all-NULL rows.
+	Columns []ColumnSpec
 }
 
 func (o *Options) withDefaults() Options {
@@ -97,6 +104,9 @@ type Store struct {
 
 	state    atomic.Pointer[storeState]
 	distinct atomic.Int64 // distinct strings across the whole store
+
+	// schema is the pinned column schema (possibly empty), fixed at Open.
+	schema []ColumnSpec
 
 	hooks *shardHooks // non-nil when this store is a shard (see shardHooks)
 
@@ -204,6 +214,7 @@ func openStore(dir string, opts *Options, hooks *shardHooks) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.schema = m.schema
 	// Generations are independent files; load them in parallel (recovery
 	// time is dominated by snapshot validation, which is CPU-bound).
 	gens := make([]*generation, len(m.gens))
@@ -213,7 +224,7 @@ func openStore(dir string, opts *Options, hooks *shardHooks) (*Store, error) {
 		wg.Add(1)
 		go func(i int, meta genMeta) {
 			defer wg.Done()
-			gens[i], errs[i] = loadGeneration(dir, meta, s.useMmap())
+			gens[i], errs[i] = loadGeneration(dir, meta, s.schema, s.useMmap())
 		}(i, meta)
 	}
 	wg.Wait()
@@ -237,7 +248,7 @@ func openStore(dir string, opts *Options, hooks *shardHooks) (*Store, error) {
 	// Replay every WAL at or after the manifest's: more than one exists
 	// only when a crash interrupted a flush between the WAL rotation and
 	// the old log's deletion.
-	mem := newMemtable(nil)
+	mem := newMemtable(nil, s.schema)
 	s.state.Store(&storeState{gens: gens, mem: mem})
 	var lastWAL *wal
 	for i, id := range walIDs {
@@ -246,14 +257,21 @@ func openStore(dir string, opts *Options, hooks *shardHooks) (*Store, error) {
 			return nil, err
 		}
 		for _, rec := range records {
-			v, isNew, seq, hasSeq := walRecordSeq(rec)
+			v, isNew, seq, hasSeq, row := walRecordRow(rec)
 			if isNew {
 				s.distinct.Add(1)
 			}
+			if row != nil && validateRow(s.schema, row) != nil {
+				// A row the pinned schema cannot hold (a schema can only be
+				// pinned before any row is written, so this is corruption
+				// that happened to checksum): drop the cells, keep the
+				// acknowledged value.
+				row = nil
+			}
 			if hasSeq {
-				mem.applySeq(v, seq)
+				mem.applySeq(v, seq, row)
 			} else {
-				mem.apply(v)
+				mem.apply(v, row)
 			}
 		}
 		if i == len(walIDs)-1 {
@@ -311,11 +329,19 @@ func openStore(dir string, opts *Options, hooks *shardHooks) (*Store, error) {
 	return s, nil
 }
 
-// loadManifest reads dir/MANIFEST, writing a fresh one for a new store.
+// loadManifest reads dir/MANIFEST, writing a fresh one for a new store,
+// and settles the column schema: a fresh store pins Options.Columns; an
+// existing schema-less store opened with columns pins them (rewriting
+// the manifest — prior generations keep colCRC 0 and read all-NULL); an
+// existing schema must match Options.Columns exactly, or be adopted
+// when the options carry none.
 func (s *Store) loadManifest() (manifest, bool, error) {
+	if err := validateSchema(s.opts.Columns); err != nil {
+		return manifest{}, false, err
+	}
 	data, err := os.ReadFile(filepath.Join(s.dir, manifestName))
 	if os.IsNotExist(err) {
-		m := manifest{nextID: 2, walID: 1}
+		m := manifest{nextID: 2, walID: 1, schema: s.opts.Columns}
 		if err := writeManifest(s.dir, m); err != nil {
 			return m, false, err
 		}
@@ -328,6 +354,17 @@ func (s *Store) loadManifest() (manifest, bool, error) {
 	if err != nil {
 		return m, false, err
 	}
+	switch {
+	case len(s.opts.Columns) == 0:
+		// Adopt whatever is pinned.
+	case len(m.schema) == 0:
+		m.schema = s.opts.Columns
+		if err := writeManifest(s.dir, m); err != nil {
+			return m, false, err
+		}
+	case !schemaEqual(m.schema, s.opts.Columns):
+		return m, false, fmt.Errorf("store: %s pins a different column schema than Options.Columns (schemas are fixed at creation)", s.dir)
+	}
 	return m, false, nil
 }
 
@@ -338,10 +375,12 @@ func (s *Store) loadManifest() (manifest, bool, error) {
 // the manifest is the sole root: an unreferenced file can never become
 // reachable again.
 func (s *Store) removeOrphanGens(metas []genMeta) {
-	live := make(map[string]bool, 2*len(metas))
+	live := make(map[string]bool, 4*len(metas))
 	for _, meta := range metas {
 		live[genFileName(meta.id)] = true
 		live[filterFileName(meta.id)] = true
+		live[colFileName(meta.id)] = true
+		live[colDirFileName(meta.id)] = true
 	}
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -352,7 +391,7 @@ func (s *Store) removeOrphanGens(metas []genMeta) {
 		if !strings.HasPrefix(name, "gen-") || live[name] {
 			continue
 		}
-		for _, suffix := range []string{".wt", ".wt.tmp", ".flt", ".flt.tmp"} {
+		for _, suffix := range []string{".wt", ".wt.tmp", ".flt", ".flt.tmp", ".col", ".col.tmp", ".cd", ".cd.tmp"} {
 			if strings.HasSuffix(name, suffix) {
 				os.Remove(filepath.Join(s.dir, name))
 				break
@@ -413,8 +452,17 @@ func (s *Store) isNew(st *storeState, v string) bool {
 // Append adds v at the end of the sequence: WAL first (fsynced when
 // Options.Sync is set), then the memtable. It returns only after the
 // write is visible to new snapshots.
-func (s *Store) Append(v string) error {
+func (s *Store) Append(v string) error { return s.AppendRow(v, nil) }
+
+// AppendRow is Append carrying a payload row: row[i] is the cell of
+// schema column i (nil row = all NULL). The row rides in the same WAL
+// record as the value, so its durability and crash-recovery guarantees
+// are exactly Append's.
+func (s *Store) AppendRow(v string, row Row) error {
 	if err := s.err(); err != nil {
+		return err
+	}
+	if err := validateRow(s.schema, row); err != nil {
 		return err
 	}
 	s.appendMu.Lock()
@@ -424,12 +472,12 @@ func (s *Store) Append(v string) error {
 	}
 	st := s.state.Load()
 	isNew := s.isNew(st, v)
-	if err := st.mem.wal.append(walPayload(v, isNew)); err != nil {
+	if err := st.mem.wal.append(walPayloadRow(v, isNew, 0, false, row)); err != nil {
 		s.appendMu.Unlock()
 		s.fail(err)
 		return err
 	}
-	st.mem.apply(v)
+	st.mem.apply(v, row)
 	if isNew {
 		s.distinct.Add(1)
 	}
@@ -447,19 +495,32 @@ func (s *Store) Append(v string) error {
 // Options.Sync) one fsync regardless of its size — the group-commit
 // amortization the network server's write path batches into. An empty
 // batch is a no-op.
-func (s *Store) AppendBatch(vs []string) error {
+func (s *Store) AppendBatch(vs []string) error { return s.AppendBatchRows(vs, nil) }
+
+// AppendBatchRows is AppendBatch carrying payload rows: rows, when
+// non-nil, is parallel to vs (individual entries may be nil = all
+// NULL). The batch keeps AppendBatch's atomicity and group-commit cost.
+func (s *Store) AppendBatchRows(vs []string, rows []Row) error {
 	if len(vs) == 0 {
 		return nil
 	}
+	if rows != nil && len(rows) != len(vs) {
+		return fmt.Errorf("store: %d rows for %d values", len(rows), len(vs))
+	}
 	if err := s.err(); err != nil {
 		return err
+	}
+	for _, row := range rows {
+		if err := validateRow(s.schema, row); err != nil {
+			return err
+		}
 	}
 	s.appendMu.Lock()
 	if s.closed.Load() {
 		s.appendMu.Unlock()
 		return errClosed
 	}
-	n, err := s.appendBatchLocked(vs, nil)
+	n, err := s.appendBatchLocked(vs, rows, nil)
 	s.appendMu.Unlock()
 	if err != nil {
 		return err
@@ -472,16 +533,20 @@ func (s *Store) AppendBatch(vs []string) error {
 // every value (a batch-local set catches duplicates within the batch,
 // invisible to the probes until applied), frame all WAL records into one
 // buffer, write it with a single write+fsync, then apply the whole batch
-// to the memtable under one lock. seqs, when non-nil, carries the
-// records' global sequence numbers (sharded shards), parallel to vs.
+// to the memtable under one lock. rows and seqs, when non-nil, carry
+// the records' payload rows and global sequence numbers (sharded
+// shards), parallel to vs; rows must be pre-validated.
 // Returns the memtable length after the batch. Caller holds appendMu.
-func (s *Store) appendBatchLocked(vs []string, seqs []uint64) (int64, error) {
+func (s *Store) appendBatchLocked(vs []string, rows []Row, seqs []uint64) (int64, error) {
 	st := s.state.Load()
 	var seen map[string]struct{}
 	newCount := 0
 	size := 0
-	for _, v := range vs {
+	for i, v := range vs {
 		size += walRecHeaderLen + 1 + walSeqMaxLen + len(v)
+		if rows != nil {
+			size += walSeqMaxLen + rowWireSize(rows[i])
+		}
 	}
 	buf := make([]byte, 0, size)
 	for i, v := range vs {
@@ -494,12 +559,16 @@ func (s *Store) appendBatchLocked(vs []string, seqs []uint64) (int64, error) {
 			seen[v] = struct{}{}
 			newCount++
 		}
-		var payload []byte
-		if seqs != nil {
-			payload = walPayloadSeq(v, isNew, seqs[i])
-		} else {
-			payload = walPayload(v, isNew)
+		var row Row
+		if rows != nil {
+			row = rows[i]
 		}
+		var seq uint64
+		hasSeq := seqs != nil
+		if hasSeq {
+			seq = seqs[i]
+		}
+		payload := walPayloadRow(v, isNew, seq, hasSeq, row)
 		if len(payload) > walMaxRecord {
 			return 0, fmt.Errorf("store: WAL record of %d bytes exceeds limit", len(payload))
 		}
@@ -509,7 +578,7 @@ func (s *Store) appendBatchLocked(vs []string, seqs []uint64) (int64, error) {
 		s.fail(err)
 		return 0, err
 	}
-	st.mem.applyBatch(vs, seqs)
+	st.mem.applyBatch(vs, rows, seqs)
 	if newCount > 0 {
 		s.distinct.Add(int64(newCount))
 	}
@@ -534,8 +603,11 @@ func (s *Store) nudgeFlush(n int64) {
 // sequence header. Returns the allocated number; on error the number
 // (if any was allocated) is burned and the sharded layer fails the
 // store, so a half-written slot can never become visible.
-func (s *Store) appendSeq(v string) (uint64, error) {
+func (s *Store) appendSeq(v string, row Row) (uint64, error) {
 	if err := s.err(); err != nil {
+		return 0, err
+	}
+	if err := validateRow(s.schema, row); err != nil {
 		return 0, err
 	}
 	s.appendMu.Lock()
@@ -546,12 +618,12 @@ func (s *Store) appendSeq(v string) (uint64, error) {
 	st := s.state.Load()
 	isNew := s.isNew(st, v)
 	seq := s.hooks.seq.Add(1) - 1
-	if err := st.mem.wal.append(walPayloadSeq(v, isNew, seq)); err != nil {
+	if err := st.mem.wal.append(walPayloadRow(v, isNew, seq, true, row)); err != nil {
 		s.appendMu.Unlock()
 		s.fail(err)
 		return 0, err
 	}
-	st.mem.applySeq(v, seq)
+	st.mem.applySeq(v, seq, row)
 	if isNew {
 		s.distinct.Add(1)
 	}
@@ -687,7 +759,7 @@ func (s *Store) flushLocked(oldWALs []uint64) error {
 	st := s.state.Load()
 	sealed := st.mem
 	distinctAtSeal := int(s.distinct.Load())
-	s.state.Store(&storeState{gens: st.gens, sealed: sealed, mem: newMemtable(w)})
+	s.state.Store(&storeState{gens: st.gens, sealed: sealed, mem: newMemtable(w, s.schema)})
 	s.appendMu.Unlock()
 	// The sealed records' global sequence range, for WAL retention: a
 	// shard reads its records' sequence headers; a plain store's
@@ -735,7 +807,7 @@ func (s *Store) flushLocked(oldWALs []uint64) error {
 		if capture {
 			runtime.ReadMemStats(&m0)
 		}
-		g, err := writeGenerationFrom(s.dir, gid, sealed.feedInto)
+		g, err := writeGenerationFrom(s.dir, gid, s.schema, sealed, sealed.feedInto)
 		if err != nil {
 			return err
 		}
@@ -751,7 +823,7 @@ func (s *Store) flushLocked(oldWALs []uint64) error {
 
 	// Commit: the manifest now covers the sealed contents, so the old
 	// WALs are dead.
-	m := manifest{nextID: s.nextID, walID: newWALID, distinct: distinctAtSeal, gens: genMetas(gens)}
+	m := manifest{nextID: s.nextID, walID: newWALID, distinct: distinctAtSeal, gens: genMetas(gens), schema: s.schema}
 	if err := writeManifest(s.dir, m); err != nil {
 		return err
 	}
@@ -829,13 +901,22 @@ func (s *Store) Snapshot() *Snapshot { return s.snapshotOf(s.state.Load()) }
 func (s *Store) snapshotOf(st *storeState) *Snapshot {
 	segs := make([]snapSeg, 0, len(st.gens)+2)
 	for _, g := range st.gens {
-		segs = append(segs, snapSeg{segment: g.ix, filter: g.filter})
+		var cols colReader
+		if g.cols != nil {
+			cols = g.cols
+		} else if len(s.schema) > 0 {
+			cols = allNullCols{} // frozen before the schema was pinned
+		}
+		segs = append(segs, snapSeg{segment: g.ix, filter: g.filter, cols: cols})
 	}
 	if st.sealed != nil {
-		segs = append(segs, snapSeg{segment: memView{m: st.sealed, n: int(st.sealed.n.Load())}})
+		mv := memView{m: st.sealed, n: int(st.sealed.n.Load())}
+		segs = append(segs, snapSeg{segment: mv, cols: mv})
 	}
-	segs = append(segs, snapSeg{segment: memView{m: st.mem, n: int(st.mem.n.Load())}})
+	mv := memView{m: st.mem, n: int(st.mem.n.Load())}
+	segs = append(segs, snapSeg{segment: mv, cols: mv})
 	sn := newSnapshot(segs, int(s.distinct.Load()))
+	sn.schema = s.schema
 	h := uint64(fnvOffset64)
 	for _, g := range st.gens {
 		h = fpMix(h, g.id)
@@ -862,6 +943,14 @@ type GenInfo struct {
 	// memory (mincore), or -1 when the generation is heap-backed or the
 	// platform cannot tell.
 	ResidentBytes int
+	// ColFileBytes / ColDirFileBytes are the on-disk sizes of the
+	// generation's column file and offset directory (0 when absent), and
+	// ColMmapped / ColResidentBytes mirror Mmapped / ResidentBytes for
+	// the column mappings (resident is summed across .col and .cd).
+	ColFileBytes     int
+	ColDirFileBytes  int
+	ColMmapped       bool
+	ColResidentBytes int
 }
 
 // Generations lists the persisted generations in sequence order.
@@ -874,10 +963,21 @@ func (s *Store) Generations() []GenInfo {
 		if g.region != nil {
 			resident = residentBytes(g.region.data)
 		}
+		colResident := -1
+		if g.colRegion != nil {
+			colResident = residentBytes(g.colRegion.data)
+			if g.cdRegion != nil {
+				if r := residentBytes(g.cdRegion.data); r >= 0 {
+					colResident += r
+				}
+			}
+		}
 		out[i] = GenInfo{ID: g.id, Len: g.ix.Len(), SizeBits: g.ix.SizeBits(),
 			FilterBits: g.filter.sizeBits(),
 			MinValue:   g.filter.min, MaxValue: g.filter.max,
-			Mmapped: g.region != nil, FileBytes: g.fileBytes, ResidentBytes: resident}
+			Mmapped: g.region != nil, FileBytes: g.fileBytes, ResidentBytes: resident,
+			ColFileBytes: g.colBytes, ColDirFileBytes: g.cdBytes,
+			ColMmapped: g.colRegion != nil, ColResidentBytes: colResident}
 	}
 	return out
 }
@@ -931,6 +1031,25 @@ func (s *Store) SelectPrefix(p string, idx int) (int, bool) { return s.Snapshot(
 // Snapshot.IteratePrefix.
 func (s *Store) IteratePrefix(p string, from int, fn func(idx, pos int) bool) {
 	s.Snapshot().IteratePrefix(p, from, fn)
+}
+
+// Schema returns the store's pinned column schema (nil when the store
+// has no columns). The returned slice must not be modified.
+func (s *Store) Schema() []ColumnSpec { return s.schema }
+
+// Row returns the payload row at position pos; see Snapshot.Row.
+func (s *Store) Row(pos int) Row { return s.Snapshot().Row(pos) }
+
+// CountWhere counts elements matching a string prefix and numeric
+// predicates; see Snapshot.CountWhere.
+func (s *Store) CountWhere(prefix string, preds ...Pred) (int, error) {
+	return s.Snapshot().CountWhere(prefix, preds...)
+}
+
+// IterateWhere streams positions matching a prefix and predicates; see
+// Snapshot.IterateWhere.
+func (s *Store) IterateWhere(prefix string, from int, preds []Pred, fn func(idx, pos int) bool) error {
+	return s.Snapshot().IterateWhere(prefix, from, preds, fn)
 }
 
 // MarshalBinary exports a point-in-time snapshot of the whole sequence

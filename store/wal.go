@@ -30,12 +30,26 @@ const (
 
 // WAL payload flag bits. A record is (flag byte, optional uvarint
 // sequence number, value bytes); plain stores write flags 0/1, shards
-// add the sequence header the sharded recovery interleaves by.
+// add the sequence header the sharded recovery interleaves by. Records
+// carrying a payload row (walFlagRow) switch the tail to a
+// self-delimiting layout: uvarint value length, value bytes, then the
+// row cells (see appendRowWire). Records without the flag — including
+// every record written before the column subsystem existed — replay
+// with an all-NULL row.
 const (
 	walFlagNew   = 1 << 0 // value was new to the store's alphabet
 	walFlagSeq   = 1 << 1 // a global sequence number follows the flag
-	walFlagLimit = walFlagNew | walFlagSeq
+	walFlagRow   = 1 << 2 // a payload row follows the value
+	walFlagLimit = walFlagNew | walFlagSeq | walFlagRow
 	walSeqMaxLen = binary.MaxVarintLen64
+)
+
+// Row cell tags inside a walFlagRow record: NULL, uvarint number, or
+// length-prefixed bytes.
+const (
+	walCellNull  = 0
+	walCellU64   = 1
+	walCellBytes = 2
 )
 
 // wal is an open append-only log positioned for appending.
@@ -73,16 +87,81 @@ func walPayloadSeq(v string, isNew bool, seq uint64) []byte {
 	return append(p, v...)
 }
 
+// walPayloadRow encodes one append carrying a payload row. A nil row
+// falls back to walPayload/walPayloadSeq's legacy shape — stores with
+// no schema keep writing records byte-identical to every prior version.
+func walPayloadRow(v string, isNew bool, seq uint64, hasSeq bool, row Row) []byte {
+	if row == nil {
+		if hasSeq {
+			return walPayloadSeq(v, isNew, seq)
+		}
+		return walPayload(v, isNew)
+	}
+	p := make([]byte, 1, 1+2*walSeqMaxLen+len(v)+rowWireSize(row))
+	p[0] = walFlagRow
+	if isNew {
+		p[0] |= walFlagNew
+	}
+	if hasSeq {
+		p[0] |= walFlagSeq
+		p = binary.AppendUvarint(p, seq)
+	}
+	p = binary.AppendUvarint(p, uint64(len(v)))
+	p = append(p, v...)
+	return appendRowWire(p, row)
+}
+
+// rowWireSize returns the encoded size of a row's wire form, for WAL
+// buffer sizing and record caps.
+func rowWireSize(row Row) int {
+	size := walSeqMaxLen // cell count
+	for _, c := range row {
+		size += 1 + walSeqMaxLen + len(c.b)
+	}
+	return size
+}
+
+// appendRowWire encodes a row: uvarint cell count, then per cell a tag
+// byte and — for numbers — the value as a uvarint, or — for blobs —
+// the uvarint length and bytes. The count rides in the record itself so
+// validWALPayload stays schema-independent.
+func appendRowWire(p []byte, row Row) []byte {
+	p = binary.AppendUvarint(p, uint64(len(row)))
+	for _, c := range row {
+		switch c.kind {
+		case ColUint64:
+			p = append(p, walCellU64)
+			p = binary.AppendUvarint(p, c.num)
+		case ColBytes:
+			p = append(p, walCellBytes)
+			p = binary.AppendUvarint(p, uint64(len(c.b)))
+			p = append(p, c.b...)
+		default:
+			p = append(p, walCellNull)
+		}
+	}
+	return p
+}
+
 // walRecord decodes a payload back into (value, isNew), dropping any
 // sequence header. parseWAL only yields payloads in writer shape, so
 // decoding cannot fail.
 func walRecord(payload []byte) (v string, isNew bool) {
-	v, isNew, _, _ = walRecordSeq(payload)
+	v, isNew, _, _, _ = walRecordRow(payload)
 	return v, isNew
 }
 
 // walRecordSeq decodes a payload into (value, isNew, seq, hasSeq).
 func walRecordSeq(payload []byte) (v string, isNew bool, seq uint64, hasSeq bool) {
+	v, isNew, seq, hasSeq, _ = walRecordRow(payload)
+	return v, isNew, seq, hasSeq
+}
+
+// walRecordRow fully decodes a payload, including any row. Records
+// without walFlagRow — all pre-column records — return a nil row, which
+// applies as all-NULL. The row's blob cells are copied (WAL read
+// buffers are transient).
+func walRecordRow(payload []byte) (v string, isNew bool, seq uint64, hasSeq bool, row Row) {
 	flag := payload[0]
 	body := payload[1:]
 	if flag&walFlagSeq != 0 {
@@ -91,23 +170,94 @@ func walRecordSeq(payload []byte) (v string, isNew bool, seq uint64, hasSeq bool
 		body = body[n:]
 		hasSeq = true
 	}
-	return string(body), flag&walFlagNew != 0, seq, hasSeq
+	isNew = flag&walFlagNew != 0
+	if flag&walFlagRow == 0 {
+		return string(body), isNew, seq, hasSeq, nil
+	}
+	vlen, n := binary.Uvarint(body)
+	body = body[n:]
+	v = string(body[:vlen])
+	body = body[vlen:]
+	ncells, n := binary.Uvarint(body)
+	body = body[n:]
+	row = make(Row, ncells)
+	for i := range row {
+		tag := body[0]
+		body = body[1:]
+		switch tag {
+		case walCellU64:
+			num, n := binary.Uvarint(body)
+			body = body[n:]
+			row[i] = U64(num)
+		case walCellBytes:
+			blen, n := binary.Uvarint(body)
+			body = body[n:]
+			row[i] = Blob(append([]byte(nil), body[:blen]...))
+			body = body[blen:]
+		}
+	}
+	return v, isNew, seq, hasSeq, row
 }
 
 // validWALPayload reports whether a checksummed payload has the shape
-// walPayload/walPayloadSeq produce. A record our writer cannot have
-// written is corruption all the same, and the replay truncation point
-// must stop before it.
+// walPayload/walPayloadSeq/walPayloadRow produce. A record our writer
+// cannot have written is corruption all the same, and the replay
+// truncation point must stop before it. Row records are structurally
+// parsed end to end — walRecordRow relies on this to decode without
+// bounds checks.
 func validWALPayload(payload []byte) bool {
 	if len(payload) == 0 || payload[0] > walFlagLimit {
 		return false
 	}
-	if payload[0]&walFlagSeq != 0 {
-		if _, n := binary.Uvarint(payload[1:]); n <= 0 {
+	flag := payload[0]
+	body := payload[1:]
+	if flag&walFlagSeq != 0 {
+		_, n := binary.Uvarint(body)
+		if n <= 0 {
+			return false
+		}
+		body = body[n:]
+	}
+	if flag&walFlagRow == 0 {
+		return true
+	}
+	vlen, n := binary.Uvarint(body)
+	if n <= 0 || vlen > uint64(len(body)-n) {
+		return false
+	}
+	body = body[n+int(vlen):]
+	ncells, n := binary.Uvarint(body)
+	if n <= 0 || ncells > maxColumns {
+		return false
+	}
+	body = body[n:]
+	for i := uint64(0); i < ncells; i++ {
+		if len(body) == 0 {
+			return false
+		}
+		tag := body[0]
+		body = body[1:]
+		switch tag {
+		case walCellNull:
+		case walCellU64:
+			_, n := binary.Uvarint(body)
+			if n <= 0 {
+				return false
+			}
+			body = body[n:]
+		case walCellBytes:
+			blen, n := binary.Uvarint(body)
+			if n <= 0 || blen > uint64(len(body)-n) {
+				return false
+			}
+			body = body[n+int(blen):]
+		default:
 			return false
 		}
 	}
-	return true
+	// A row record is fully self-delimiting: trailing bytes are
+	// corruption, not value data.
+	return len(body) == 0
 }
 
 func logHeader(magic uint32) []byte {
